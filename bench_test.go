@@ -1,0 +1,80 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation (one testing.B benchmark per figure), printing the
+// measured series as benchmark logs and reporting the paper's metric —
+// operations per simulated millisecond at 8 threads — as a custom unit.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The same runners are available interactively via cmd/ptobench. The
+// simulated machine is deterministic, so b.N iterations all produce the
+// same figure; one iteration is meaningful and additional ones only verify
+// stability.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale shrinks the measurement window for testing.B runs; cmd/ptobench
+// -scale 1.0 produces the full-length numbers recorded in EXPERIMENTS.md.
+const benchScale = 0.25
+
+func runFigure(b *testing.B, f func(float64) bench.Figure) {
+	b.ReportAllocs()
+	var fig bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = f(benchScale)
+	}
+	b.StopTimer()
+	b.Log("\n" + bench.Render(fig))
+	last := fig.Series[0].Points[len(fig.Series[0].Points)-1]
+	b.ReportMetric(last.Throughput, "ops/simms@8t")
+}
+
+func BenchmarkFig2aMindicator(b *testing.B) {
+	runFigure(b, bench.Fig2a)
+}
+
+func BenchmarkFig2bPriorityQueues(b *testing.B) {
+	runFigure(b, bench.Fig2b)
+}
+
+func BenchmarkFig3aSetBenchWriteOnly(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig3(0, s) })
+}
+
+func BenchmarkFig3bSetBenchMixed(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig3(34, s) })
+}
+
+func BenchmarkFig3cSetBenchReadOnly(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig3(100, s) })
+}
+
+func BenchmarkFig4aHashWriteOnly(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig4(0, s) })
+}
+
+func BenchmarkFig4bHashMixed(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig4(80, s) })
+}
+
+func BenchmarkFig4cHashReadOnly(b *testing.B) {
+	runFigure(b, func(s float64) bench.Figure { return bench.Fig4(100, s) })
+}
+
+func BenchmarkFig5aBSTComposition(b *testing.B) {
+	runFigure(b, bench.Fig5a)
+}
+
+func BenchmarkFig5bMoundFences(b *testing.B) {
+	runFigure(b, bench.Fig5b)
+}
+
+func BenchmarkFig5cBSTFences(b *testing.B) {
+	runFigure(b, bench.Fig5c)
+}

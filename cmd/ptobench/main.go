@@ -1,0 +1,93 @@
+// Command ptobench regenerates the paper's evaluation figures on the
+// simulated machine and prints them as text tables (optionally CSV).
+//
+// Usage:
+//
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c] [-scale 1.0] [-csv]
+//
+// Figures (Liu, Zhou, Spear, SPAA 2015):
+//
+//	2a  Mindicator microbenchmark (lock-free vs PTO vs TLE)
+//	2b  Priority queues (Mound and SkipQ, lock-free vs PTO)
+//	3a-c  Search structures (BST and skiplist) at 0/34/100% lookups
+//	4a-c  Hash table at 0/80/100% lookups
+//	5a  PTO composition on the BST
+//	5b  Fence elimination on the Mound
+//	5c  Fence elimination on the BST
+//
+// -scale shrinks or stretches the simulated measurement window (1.0 is the
+// duration used for EXPERIMENTS.md). Runs are deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate")
+	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A5)")
+	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
+	flag.Parse()
+
+	runners := map[string]func(float64) bench.Figure{
+		"2a": bench.Fig2a,
+		"2b": bench.Fig2b,
+		"3a": func(s float64) bench.Figure { return bench.Fig3(0, s) },
+		"3b": func(s float64) bench.Figure { return bench.Fig3(34, s) },
+		"3c": func(s float64) bench.Figure { return bench.Fig3(100, s) },
+		"4a": func(s float64) bench.Figure { return bench.Fig4(0, s) },
+		"4b": func(s float64) bench.Figure { return bench.Fig4(80, s) },
+		"4c": func(s float64) bench.Figure { return bench.Fig4(100, s) },
+		"5a": bench.Fig5a,
+		"5b": bench.Fig5b,
+		"5c": bench.Fig5c,
+	}
+	order := []string{"2a", "2b", "3a", "3b", "3c", "4a", "4b", "4c", "5a", "5b", "5c"}
+
+	var selected []string
+	if *figure == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*figure, ",") {
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v)\n", id, order)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		f := runners[id](*scale)
+		if *csv {
+			fmt.Print(bench.CSV(f))
+		} else {
+			fmt.Println(bench.Render(f))
+		}
+	}
+	if *ablations {
+		for _, f := range bench.Ablations(*scale) {
+			if *csv {
+				fmt.Print(bench.CSV(f))
+			} else {
+				fmt.Println(bench.Render(f))
+			}
+		}
+	}
+	if *extensions {
+		for _, f := range bench.Extensions(*scale) {
+			if *csv {
+				fmt.Print(bench.CSV(f))
+			} else {
+				fmt.Println(bench.Render(f))
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Command ptostress hammers the real-concurrency data structures (the
+// correctness layer) with randomized concurrent operations and verifies
+// their semantics at quiescence: per-key insert/remove balance must match
+// final membership for sets, and multiset conservation plus ordering must
+// hold for the queues. It reports PTO speculation statistics alongside.
+//
+// Usage:
+//
+//	ptostress [-structure all|bst|skiplist|hashtable|list|msqueue|mound]
+//	          [-variant pto|lockfree] [-threads 8] [-ops 20000] [-keys 256]
+//
+// Exit status 0 means every check passed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bst"
+	"repro/internal/hashtable"
+	"repro/internal/list"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/skiplist"
+)
+
+var (
+	structure = flag.String("structure", "all", "which structure to stress")
+	variant   = flag.String("variant", "pto", "pto or lockfree")
+	threads   = flag.Int("threads", 8, "concurrent goroutines")
+	ops       = flag.Int("ops", 20000, "operations per goroutine")
+	keys      = flag.Int("keys", 256, "key range")
+	seed      = flag.Int64("seed", 1, "base RNG seed")
+)
+
+type set interface {
+	Insert(k int64) bool
+	Remove(k int64) bool
+	Contains(k int64) bool
+}
+
+func xorshift(s *uint64) uint64 {
+	*s ^= *s << 13
+	*s ^= *s >> 7
+	*s ^= *s << 17
+	return *s
+}
+
+// stressSet churns a set and verifies per-key balance against membership.
+func stressSet(name string, s set) bool {
+	ins := make([]atomic.Int64, *keys)
+	rem := make([]atomic.Int64, *keys)
+	var wg sync.WaitGroup
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(*seed)*2654435761 + uint64(g)*977 + 1
+			for i := 0; i < *ops; i++ {
+				x := xorshift(&rnd)
+				k := int64(x % uint64(*keys))
+				switch x >> 32 % 3 {
+				case 0:
+					if s.Insert(k) {
+						ins[k].Add(1)
+					}
+				case 1:
+					if s.Remove(k) {
+						rem[k].Add(1)
+					}
+				default:
+					s.Contains(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	bad := 0
+	for k := 0; k < *keys; k++ {
+		diff := ins[k].Load() - rem[k].Load()
+		if diff != 0 && diff != 1 {
+			fmt.Printf("  FAIL %s: key %d balance %d\n", name, k, diff)
+			bad++
+			continue
+		}
+		if (diff == 1) != s.Contains(int64(k)) {
+			fmt.Printf("  FAIL %s: key %d membership disagrees with balance %d\n", name, k, diff)
+			bad++
+		}
+	}
+	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name,
+		*ops, *threads, verdict(bad == 0))
+	return bad == 0
+}
+
+// stressQueue checks conservation: everything enqueued is dequeued once.
+func stressQueue(name string, enq func(int64), deq func() (int64, bool)) bool {
+	total := *threads * *ops
+	seen := make([]atomic.Int32, total)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < *ops; i++ {
+				enq(int64(g**ops + i))
+				if i%2 == 1 {
+					if v, ok := deq(); ok {
+						seen[v].Add(1)
+						count.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for {
+		v, ok := deq()
+		if !ok {
+			break
+		}
+		seen[v].Add(1)
+		count.Add(1)
+	}
+	bad := 0
+	if count.Load() != int64(total) {
+		fmt.Printf("  FAIL %s: %d values out, want %d\n", name, count.Load(), total)
+		bad++
+	}
+	for v := range seen {
+		if c := seen[v].Load(); c != 1 {
+			fmt.Printf("  FAIL %s: value %d seen %d times\n", name, v, c)
+			bad++
+		}
+	}
+	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
+	return bad == 0
+}
+
+// stressPQ checks conservation plus sorted drain at quiescence.
+func stressPQ(name string, push func(int64), pop func() (int64, bool)) bool {
+	var pushes, pops atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(*seed) + uint64(g)*31 + 7
+			for i := 0; i < *ops; i++ {
+				x := xorshift(&rnd)
+				if x&1 == 0 {
+					push(int64(x >> 40 % 100000))
+					pushes.Add(1)
+				} else if _, ok := pop(); ok {
+					pops.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var drained []int64
+	for {
+		v, ok := pop()
+		if !ok {
+			break
+		}
+		drained = append(drained, v)
+	}
+	bad := 0
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		fmt.Printf("  FAIL %s: quiescent drain not sorted\n", name)
+		bad++
+	}
+	if pushes.Load() != pops.Load()+int64(len(drained)) {
+		fmt.Printf("  FAIL %s: %d pushes, %d pops + %d drained\n",
+			name, pushes.Load(), pops.Load(), len(drained))
+		bad++
+	}
+	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
+	return bad == 0
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAILED"
+}
+
+func main() {
+	flag.Parse()
+	pto := *variant == "pto"
+	run := map[string]func() bool{
+		"bst": func() bool {
+			if pto {
+				return stressSet("bst/pto1+pto2", bst.NewPTO12())
+			}
+			return stressSet("bst/lockfree", bst.New())
+		},
+		"skiplist": func() bool {
+			if pto {
+				return stressSet("skiplist/pto", skiplist.NewPTOSet(0))
+			}
+			return stressSet("skiplist/lockfree", skiplist.NewSet())
+		},
+		"hashtable": func() bool {
+			if pto {
+				return stressSet("hashtable/pto+inplace", hashtable.NewInplaceTable(4, 0))
+			}
+			return stressSet("hashtable/lockfree", hashtable.NewTable(4))
+		},
+		"list": func() bool {
+			if pto {
+				return stressSet("list/pto", list.NewPTO(0))
+			}
+			return stressSet("list/lockfree", list.New())
+		},
+		"msqueue": func() bool {
+			if pto {
+				q := msqueue.NewPTO(0)
+				return stressQueue("msqueue/pto", q.Enqueue, q.Dequeue)
+			}
+			q := msqueue.New()
+			return stressQueue("msqueue/lockfree", q.Enqueue, q.Dequeue)
+		},
+		"mound": func() bool {
+			if pto {
+				q := mound.NewPTO(0, 0)
+				return stressPQ("mound/pto", q.Insert, q.RemoveMin)
+			}
+			q := mound.New(0)
+			return stressPQ("mound/lockfree", q.Insert, q.RemoveMin)
+		},
+	}
+	names := []string{"bst", "skiplist", "hashtable", "list", "msqueue", "mound"}
+	selected := names
+	if *structure != "all" {
+		if _, ok := run[*structure]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown structure %q (want one of %v)\n", *structure, names)
+			os.Exit(2)
+		}
+		selected = []string{*structure}
+	}
+	fmt.Printf("ptostress: variant=%s threads=%d ops=%d keys=%d seed=%d\n",
+		*variant, *threads, *ops, *keys, *seed)
+	allOK := true
+	for _, n := range selected {
+		if !run[n]() {
+			allOK = false
+		}
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import "testing"
+
+const ablationTestScale = 0.1
+
+func allPositive(t *testing.T, f Figure) {
+	t.Helper()
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: series %q empty", f.ID, s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Throughput <= 0 {
+				t.Fatalf("%s: %q at x=%d nonpositive (%v)", f.ID, s.Name, p.Threads, p.Throughput)
+			}
+		}
+	}
+}
+
+func TestAblationMindicatorRetries(t *testing.T) {
+	f := AblationMindicatorRetries(ablationTestScale)
+	allPositive(t, f)
+	if len(f.Series) != 2 || len(f.Series[0].Points) != 6 {
+		t.Fatalf("unexpected table shape: %+v", f)
+	}
+}
+
+func TestAblationMoundRetries(t *testing.T) {
+	allPositive(t, AblationMoundRetries(ablationTestScale))
+}
+
+func TestAblationBSTBudgets(t *testing.T) {
+	f := AblationBSTBudgets(ablationTestScale)
+	allPositive(t, f)
+	// The composition is robust to its budgets: no config should be
+	// dramatically worse than another.
+	lo, hi := f.Series[0].Points[0].Throughput, f.Series[0].Points[0].Throughput
+	for _, p := range f.Series[0].Points {
+		if p.Throughput < lo {
+			lo = p.Throughput
+		}
+		if p.Throughput > hi {
+			hi = p.Throughput
+		}
+	}
+	if lo < 0.6*hi {
+		t.Fatalf("budget sensitivity too high: %v .. %v", lo, hi)
+	}
+}
+
+func TestAblationCapacityGracefulDegradation(t *testing.T) {
+	f := AblationCapacity(ablationTestScale)
+	allPositive(t, f)
+	pto := byName(f, "Tree (PTO1)")
+	lf := byName(f, "Tree (Lockfree)")
+	// Crushed capacity: PTO1 must degrade to ≈ the lock-free baseline, not
+	// below it (the paper's capacity-obliviousness claim).
+	if at(pto, 2) < 0.85*at(lf, 2) {
+		t.Fatalf("PTO1 fell below lock-free under crushed capacity: %v vs %v", at(pto, 2), at(lf, 2))
+	}
+	// Ample capacity: PTO1 must win.
+	if at(pto, 4096) <= at(lf, 4096) {
+		t.Fatalf("PTO1 not above lock-free at full capacity: %v vs %v", at(pto, 4096), at(lf, 4096))
+	}
+}
+
+func TestAblationSMTKnee(t *testing.T) {
+	f := AblationSMT(ablationTestScale)
+	allPositive(t, f)
+	smt := byName(f, "SMT factor 1.55 (default)")
+	none := byName(f, "SMT factor 1.0 (no sharing)")
+	// Identical through 4 threads (distinct cores), divergent beyond.
+	for n := 1; n <= 4; n++ {
+		if at(smt, n) != at(none, n) {
+			t.Fatalf("SMT factor affected ≤4-thread point %d: %v vs %v", n, at(smt, n), at(none, n))
+		}
+	}
+	if at(none, 8) <= at(smt, 8) {
+		t.Fatalf("disabling SMT sharing did not help at 8 threads: %v vs %v", at(none, 8), at(smt, 8))
+	}
+}
+
+func TestExtensionList(t *testing.T) {
+	f := ExtList(34, ablationTestScale)
+	allPositive(t, f)
+	lf := byName(f, "List (Lockfree+HP)")
+	pto := byName(f, "List (PTO)")
+	// Hazard elision dominates the short-list workload at one thread.
+	if at(pto, 1) < 2*at(lf, 1) {
+		t.Fatalf("hazard elision gain missing: %v vs %v", at(pto, 1), at(lf, 1))
+	}
+}
+
+func TestExtensionQueue(t *testing.T) {
+	f := ExtQueue(ablationTestScale)
+	allPositive(t, f)
+	lf := byName(f, "MSQueue (Lockfree)")
+	pto := byName(f, "MSQueue (PTO)")
+	// A single hot spot leaves nothing to win, but PTO must not lose
+	// significantly at any point.
+	for _, n := range []int{1, 4, 8} {
+		if at(pto, n) < 0.85*at(lf, n) {
+			t.Fatalf("queue PTO lost at %d threads: %v vs %v", n, at(pto, n), at(lf, n))
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package bst implements the nonblocking leaf-oriented binary search tree of
+// Ellen, Fatourou, Ruppert, and van Breugel (PODC 2010), the structure the
+// paper accelerates in §3.2/§4.4, plus its PTO variants.
+//
+// The baseline is a faithful transliteration: internal nodes carry an update
+// field holding a (state, Info) pair; insertions IFlag the parent, swing the
+// child, and unflag; deletions DFlag the grandparent, Mark the parent, splice
+// it out, and unflag; any operation that encounters a flagged node helps the
+// flagged operation to completion, giving lock-freedom. The (state, Info)
+// pairs are boxed in immutable cells, so the algorithm's packed-word CASes
+// become identity CASes on the boxes, which also rules out ABA.
+//
+// The PTO variants (pto.go) replace the flag/help protocol with prefix
+// transactions: PTO1 runs the whole operation in one transaction, PTO2 runs
+// only the update phase after a non-transactional search, and the composed
+// form attempts PTO1 twice, then PTO2 sixteen times, then falls back to this
+// baseline protocol (§4.4).
+package bst
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Update-field states.
+const (
+	stateClean = iota
+	stateIFlag
+	stateDFlag
+	stateMark
+)
+
+// Key sentinels: user keys must be ≤ MaxKey.
+const (
+	inf1 = math.MaxInt64 - 1
+	inf2 = math.MaxInt64
+	// MaxKey is the largest key the tree accepts.
+	MaxKey = math.MaxInt64 - 2
+)
+
+// info is an operation descriptor (the paper's IInfo/DInfo records).
+type info struct {
+	gp, p       *node // DInfo; p doubles as IInfo's parent
+	l           *node
+	newInternal *node   // IInfo
+	pupdate     *update // DInfo: p's update observed by the search
+}
+
+// update is the boxed (state, info) pair stored in a node's update field.
+type update struct {
+	state int
+	info  *info
+}
+
+type node struct {
+	key         int64
+	leaf        bool
+	left, right atomic.Pointer[node]
+	update      atomic.Pointer[update]
+}
+
+func newLeaf(key int64) *node { return &node{key: key, leaf: true} }
+
+func newInternal(key int64, left, right *node) *node {
+	n := &node{key: key}
+	n.left.Store(left)
+	n.right.Store(right)
+	n.update.Store(&update{state: stateClean})
+	return n
+}
+
+// Tree is the lock-free baseline BST implementing a set of int64 keys.
+type Tree struct {
+	root *node
+	// helps counts help calls (contention diagnostic; PTO avoids these).
+	helps atomic.Uint64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: newInternal(inf2, newLeaf(inf1), newLeaf(inf2))}
+}
+
+// search descends from the root to the leaf where key belongs, returning the
+// grandparent, parent, leaf, and the update fields read (before the
+// corresponding child pointers) on the way down.
+func (t *Tree) search(key int64) (gp, p, l *node, pupdate, gpupdate *update) {
+	p = t.root
+	pupdate = p.update.Load()
+	l = p.left.Load()
+	for !l.leaf {
+		gp, gpupdate = p, pupdate
+		p = l
+		pupdate = p.update.Load()
+		if key < p.key {
+			l = p.left.Load()
+		} else {
+			l = p.right.Load()
+		}
+	}
+	return
+}
+
+// Contains reports whether key is in the set. It is a wait-free traversal.
+func (t *Tree) Contains(key int64) bool {
+	_, _, l, _, _ := t.search(key)
+	return l.key == key
+}
+
+// Insert adds key, reporting false if already present.
+func (t *Tree) Insert(key int64) bool {
+	if key > MaxKey {
+		panic("bst: key out of range")
+	}
+	for {
+		_, p, l, pupdate, _ := t.search(key)
+		if l.key == key {
+			return false
+		}
+		if pupdate.state != stateClean {
+			t.help(pupdate)
+			continue
+		}
+		nl := newLeaf(key)
+		lc := newLeaf(l.key)
+		var left, right *node
+		if key < l.key {
+			left, right = nl, lc
+		} else {
+			left, right = lc, nl
+		}
+		ni := newInternal(max(key, l.key), left, right)
+		op := &info{p: p, l: l, newInternal: ni}
+		iflag := &update{state: stateIFlag, info: op}
+		if p.update.CompareAndSwap(pupdate, iflag) {
+			t.helpInsert(iflag)
+			return true
+		}
+		t.help(p.update.Load())
+	}
+}
+
+// Remove deletes key, reporting false if absent.
+func (t *Tree) Remove(key int64) bool {
+	if key > MaxKey {
+		return false // sentinels are never removable
+	}
+	for {
+		gp, p, l, pupdate, gpupdate := t.search(key)
+		if l.key != key {
+			return false
+		}
+		if gpupdate.state != stateClean {
+			t.help(gpupdate)
+			continue
+		}
+		if pupdate.state != stateClean {
+			t.help(pupdate)
+			continue
+		}
+		op := &info{gp: gp, p: p, l: l, pupdate: pupdate}
+		dflag := &update{state: stateDFlag, info: op}
+		if gp.update.CompareAndSwap(gpupdate, dflag) {
+			if t.helpDelete(dflag) {
+				return true
+			}
+		} else {
+			t.help(gp.update.Load())
+		}
+	}
+}
+
+// help advances whatever operation u belongs to.
+func (t *Tree) help(u *update) {
+	t.helps.Add(1)
+	switch u.state {
+	case stateIFlag:
+		t.helpInsert(u)
+	case stateDFlag:
+		t.helpDelete(u)
+	case stateMark:
+		op := u.info
+		g := op.gp.update.Load()
+		if g.state == stateDFlag && g.info == op {
+			t.helpMarked(g)
+		}
+	}
+}
+
+// helpInsert completes an IFlagged insertion: swing the child, then unflag.
+func (t *Tree) helpInsert(u *update) {
+	op := u.info
+	casChild(op.p, op.l, op.newInternal)
+	op.p.update.CompareAndSwap(u, &update{state: stateClean, info: op})
+}
+
+// helpDelete tries to mark the parent of a DFlagged deletion. On success the
+// deletion is completed; on failure the grandparent is unflagged (backtrack)
+// and false is returned so the deleter retries.
+func (t *Tree) helpDelete(u *update) bool {
+	op := u.info
+	mark := &update{state: stateMark, info: op}
+	if op.p.update.CompareAndSwap(op.pupdate, mark) {
+		t.helpMarked(u)
+		return true
+	}
+	cur := op.p.update.Load()
+	if cur.state == stateMark && cur.info == op {
+		t.helpMarked(u)
+		return true
+	}
+	t.help(cur)
+	op.gp.update.CompareAndSwap(u, &update{state: stateClean, info: op})
+	return false
+}
+
+// helpMarked splices the marked parent out and unflags the grandparent.
+// u is the DFlag box installed in gp's update field.
+func (t *Tree) helpMarked(u *update) {
+	op := u.info
+	var other *node
+	if op.p.right.Load() == op.l {
+		other = op.p.left.Load()
+	} else {
+		other = op.p.right.Load()
+	}
+	casChild(op.gp, op.p, other)
+	op.gp.update.CompareAndSwap(u, &update{state: stateClean, info: op})
+}
+
+// casChild swings whichever child pointer of parent currently equals old to
+// new. Parent is flagged by the in-flight operation, so its children are
+// stable and the identity test is unambiguous.
+func casChild(parent, old, new *node) {
+	if parent.left.Load() == old {
+		parent.left.CompareAndSwap(old, new)
+	} else {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+// HelpCount returns the cumulative number of help calls.
+func (t *Tree) HelpCount() uint64 { return t.helps.Load() }
+
+// Len counts keys. O(n); for tests and examples.
+func (t *Tree) Len() int { return len(t.Keys()) }
+
+// Keys returns the keys in order. O(n); for tests and examples.
+func (t *Tree) Keys() []int64 {
+	var out []int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if n.key <= MaxKey {
+				out = append(out, n.key)
+			}
+			return
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(t.root)
+	return out
+}

@@ -1,0 +1,225 @@
+package bst
+
+import (
+	"testing"
+
+	"repro/internal/htm"
+)
+
+// White-box tests of the helping machinery — the heart of the lock-free
+// protocol. Helping triggers only when an operation encounters a node
+// flagged by a stalled peer, a window too narrow to hit reliably on this
+// host, so these tests stage the intermediate states directly: they install
+// IFlag/DFlag/Mark descriptors exactly as a stalled operation would and then
+// verify that an unrelated operation (or an explicit help call) completes
+// the stalled one correctly.
+
+// stageTree builds root -> internal(20) -> leaves {10, 20} plus leaf(inf1).
+func stageTree(t *testing.T) (tree *Tree, gp, p *node, l10, l20 *node) {
+	t.Helper()
+	tree = New()
+	if !tree.Insert(10) || !tree.Insert(20) {
+		t.Fatal("staging inserts failed")
+	}
+	gp = tree.root
+	inner := gp.left.Load() // internal(inf1): {internal(20), leaf(inf1)}
+	if inner.leaf {
+		t.Fatal("unexpected tree shape")
+	}
+	p = inner.left.Load() // internal(20): {leaf(10), leaf(20)}
+	if p.leaf || p.key != 20 {
+		t.Fatalf("unexpected parent shape: leaf=%v key=%d", p.leaf, p.key)
+	}
+	return tree, inner, p, p.left.Load(), p.right.Load()
+}
+
+// TestHelpCompletesStalledInsert: a peer IFlagged p and stalled before
+// swinging the child; a later insert through p must help it to completion.
+func TestHelpCompletesStalledInsert(t *testing.T) {
+	tree, _, p, l10, _ := stageTree(t)
+	// Stage a stalled insert of 5 at leaf 10: descriptor built, parent
+	// flagged, child not yet swung.
+	nl := newLeaf(5)
+	lc := newLeaf(10)
+	ni := newInternal(10, nl, lc)
+	op := &info{p: p, l: l10, newInternal: ni}
+	pupd := p.update.Load()
+	iflag := &update{state: stateIFlag, info: op}
+	if !p.update.CompareAndSwap(pupd, iflag) {
+		t.Fatal("staging iflag failed")
+	}
+	// An unrelated insert through the same parent must first help.
+	if !tree.Insert(15) {
+		t.Fatal("insert(15) failed")
+	}
+	if tree.HelpCount() == 0 {
+		t.Fatal("no helping happened")
+	}
+	for _, k := range []int64{5, 10, 15, 20} {
+		if !tree.Contains(k) {
+			t.Fatalf("key %d missing after helped insert", k)
+		}
+	}
+	if got := p.update.Load(); got.state != stateClean {
+		t.Fatalf("parent not unflagged: state=%d", got.state)
+	}
+}
+
+// TestHelpCompletesStalledDelete: a peer DFlagged gp and stalled; a later
+// operation must drive mark, splice, and unflag.
+func TestHelpCompletesStalledDelete(t *testing.T) {
+	tree, gp, p, _, l20 := stageTree(t)
+	pupd := p.update.Load()
+	gpupd := gp.update.Load()
+	op := &info{gp: gp, p: p, l: l20, pupdate: pupd}
+	dflag := &update{state: stateDFlag, info: op}
+	if !gp.update.CompareAndSwap(gpupd, dflag) {
+		t.Fatal("staging dflag failed")
+	}
+	// A removal needs the grandparent clean, so it helps the stalled
+	// delete of 20 to completion before performing its own.
+	if !tree.Remove(10) {
+		t.Fatal("remove(10) failed")
+	}
+	if tree.Contains(20) {
+		t.Fatal("stalled delete not completed by helper")
+	}
+	if tree.Contains(10) {
+		t.Fatal("helper's own removal lost")
+	}
+	// gp itself was spliced out by the helper's own removal and correctly
+	// stays marked forever; the observable tree must be empty.
+	if tree.Len() != 0 {
+		t.Fatalf("tree not empty: %v", tree.Keys())
+	}
+}
+
+// TestHelpDeleteBacktracks: a DFlag whose recorded parent snapshot is stale
+// cannot mark; helpDelete must unflag the grandparent and report failure.
+func TestHelpDeleteBacktracks(t *testing.T) {
+	tree, gp, p, _, l20 := stageTree(t)
+	stale := &update{state: stateClean} // not the box currently in p.update
+	op := &info{gp: gp, p: p, l: l20, pupdate: stale}
+	dflag := &update{state: stateDFlag, info: op}
+	if !gp.update.CompareAndSwap(gp.update.Load(), dflag) {
+		t.Fatal("staging dflag failed")
+	}
+	if tree.helpDelete(dflag) {
+		t.Fatal("helpDelete succeeded with a stale parent snapshot")
+	}
+	if got := gp.update.Load(); got.state != stateClean {
+		t.Fatalf("backtrack did not unflag: state=%d", got.state)
+	}
+	if !tree.Contains(20) {
+		t.Fatal("failed delete removed the key anyway")
+	}
+}
+
+// TestHelpMarkedViaMarkState: help() on a Mark box must find the DFlagged
+// grandparent and finish the splice.
+func TestHelpMarkedViaMarkState(t *testing.T) {
+	tree, gp, p, _, l20 := stageTree(t)
+	pupd := p.update.Load()
+	op := &info{gp: gp, p: p, l: l20, pupdate: pupd}
+	dflag := &update{state: stateDFlag, info: op}
+	if !gp.update.CompareAndSwap(gp.update.Load(), dflag) {
+		t.Fatal("staging dflag failed")
+	}
+	mark := &update{state: stateMark, info: op}
+	if !p.update.CompareAndSwap(pupd, mark) {
+		t.Fatal("staging mark failed")
+	}
+	tree.help(mark)
+	if tree.Contains(20) {
+		t.Fatal("marked delete not completed")
+	}
+	if got := gp.update.Load(); got.state != stateClean {
+		t.Fatalf("grandparent not unflagged: state=%d", got.state)
+	}
+}
+
+// --- the same scenarios for the Var-based fallback protocol (pto.go) ---
+
+func stagePTOTree(t *testing.T) (tree *PTOTree, gp, p, l10, l20 *pnode) {
+	t.Helper()
+	tree = NewPTO(0, 0) // pure fallback protocol
+	if !tree.Insert(10) || !tree.Insert(20) {
+		t.Fatal("staging inserts failed")
+	}
+	gp = htm.Load(nil, &tree.root.left)
+	p = htm.Load(nil, &gp.left)
+	if p.leaf || p.key != 20 {
+		t.Fatalf("unexpected parent shape: leaf=%v key=%d", p.leaf, p.key)
+	}
+	return tree, gp, p, htm.Load(nil, &p.left), htm.Load(nil, &p.right)
+}
+
+func TestVarHelpCompletesStalledInsert(t *testing.T) {
+	tree, _, p, l10, _ := stagePTOTree(t)
+	ni := tree.buildInsert(5, l10)
+	op := &pinfo{p: p, l: l10, newInternal: ni}
+	pupd := htm.Load(nil, &p.update)
+	iflag := &pupdate{state: stateIFlag, info: op}
+	if !htm.CAS(nil, &p.update, pupd, iflag) {
+		t.Fatal("staging iflag failed")
+	}
+	if !tree.Insert(15) {
+		t.Fatal("insert(15) failed")
+	}
+	for _, k := range []int64{5, 10, 15, 20} {
+		if !tree.Contains(k) {
+			t.Fatalf("key %d missing after helped insert", k)
+		}
+	}
+}
+
+func TestVarHelpCompletesStalledDelete(t *testing.T) {
+	tree, gp, p, _, l20 := stagePTOTree(t)
+	pupd := htm.Load(nil, &p.update)
+	op := &pinfo{gp: gp, p: p, l: l20, pupdate: pupd}
+	dflag := &pupdate{state: stateDFlag, info: op}
+	if !htm.CAS(nil, &gp.update, htm.Load(nil, &gp.update), dflag) {
+		t.Fatal("staging dflag failed")
+	}
+	if !tree.Remove(10) {
+		t.Fatal("remove(10) failed")
+	}
+	if tree.Contains(20) {
+		t.Fatal("stalled delete not completed by helper")
+	}
+	if tree.Contains(10) {
+		t.Fatal("helper's own removal lost")
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("tree not empty: %v", tree.Keys())
+	}
+}
+
+func TestVarHelpDeleteBacktracks(t *testing.T) {
+	tree, gp, p, _, l20 := stagePTOTree(t)
+	stale := &pupdate{state: stateClean}
+	op := &pinfo{gp: gp, p: p, l: l20, pupdate: stale}
+	dflag := &pupdate{state: stateDFlag, info: op}
+	if !htm.CAS(nil, &gp.update, htm.Load(nil, &gp.update), dflag) {
+		t.Fatal("staging dflag failed")
+	}
+	if tree.helpDeleteVar(dflag) {
+		t.Fatal("helpDeleteVar succeeded with a stale parent snapshot")
+	}
+	if got := htm.Load(nil, &gp.update); got.state != stateClean {
+		t.Fatalf("backtrack did not unflag: state=%d", got.state)
+	}
+	if !tree.Contains(20) {
+		t.Fatal("failed delete removed the key anyway")
+	}
+}
+
+// TestVarHelpIgnoresDummyMark: the static dummy descriptor installed by
+// transactional removals must be ignored by helpers (§3.2).
+func TestVarHelpIgnoresDummyMark(t *testing.T) {
+	tree, _, _, _, _ := stagePTOTree(t)
+	tree.helpVar(&pupdate{state: stateMark, info: dummyInfo}) // must not panic
+	if !tree.Contains(10) || !tree.Contains(20) {
+		t.Fatal("dummy-mark help disturbed the tree")
+	}
+}

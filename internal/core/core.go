@@ -1,0 +1,122 @@
+// Package core implements the algorithm-agnostic machinery of Prefix
+// Transaction Optimization (PTO), §2 of the paper: executing an operation as
+// a chain of speculative prefix-transaction levels with bounded attempts,
+// falling back to the original nonblocking code when speculation fails.
+//
+// A PTO-accelerated operation is described by an ordered list of Levels —
+// outermost (largest superblock) first — plus a mandatory fallback. This
+// directly encodes the paper's recursive composition T_B(T_A(G)): level 0 is
+// the prefix transaction of the whole operation, level 1 the prefix
+// transaction applied within level 0's fallback path, and so on; the final
+// fallback is the unmodified original algorithm. Theorem 3 guarantees that a
+// bounded number of attempts per level preserves the original progress
+// property, so Attempts must always be finite.
+//
+// The BST of §4.4 is the canonical example: PTO1 (whole operation, 2
+// attempts) composed with PTO2 (update phase only, 16 attempts) composed with
+// the original lock-free algorithm.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/htm"
+)
+
+// Level is one speculative tier of a PTO composition.
+type Level struct {
+	// Name labels the level in statistics (e.g. "PTO1").
+	Name string
+	// Attempts is the maximum number of times this level's transaction is
+	// tried before control moves to the next level. It must be positive and
+	// finite to preserve the progress guarantee (Theorem 3). The paper tunes
+	// this per structure: 3 for the Mindicator, 4 for Mound DCAS, 2 and 16
+	// for the BST's PTO1 and PTO2.
+	Attempts int
+	// Run is the speculative body. It executes inside a transaction; it may
+	// call tx.Abort to bail out explicitly (e.g. on observing a state that
+	// would require helping, §2.4).
+	Run func(tx *htm.Tx)
+	// RetryOnExplicit, when false (the default), treats an explicit abort as
+	// a signal to stop retrying this level immediately: the code observed a
+	// condition (typically contention it would otherwise have to help
+	// resolve) that retrying will not fix, so remaining attempts are skipped
+	// and control moves to the next level. When true, explicit aborts
+	// consume an attempt like any other abort.
+	RetryOnExplicit bool
+}
+
+// Stats aggregates outcomes of Execute calls for one operation kind. Counters
+// are updated atomically and may be read concurrently.
+type Stats struct {
+	// CommitsByLevel[i] counts operations completed by level i's transaction.
+	CommitsByLevel []atomic.Uint64
+	// Fallbacks counts operations that ran the nonblocking fallback.
+	Fallbacks atomic.Uint64
+	// Aborts counts individual aborted attempts across all levels.
+	Aborts atomic.Uint64
+}
+
+// NewStats returns a Stats sized for the given number of levels.
+func NewStats(levels int) *Stats {
+	return &Stats{CommitsByLevel: make([]atomic.Uint64, levels)}
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() (commits []uint64, fallbacks, aborts uint64) {
+	commits = make([]uint64, len(s.CommitsByLevel))
+	for i := range s.CommitsByLevel {
+		commits[i] = s.CommitsByLevel[i].Load()
+	}
+	return commits, s.Fallbacks.Load(), s.Aborts.Load()
+}
+
+// Outcome reports how an Execute call completed.
+type Outcome struct {
+	// Level is the index of the level whose transaction committed, or -1 if
+	// the fallback ran.
+	Level int
+	// Attempts is the total number of transaction attempts made.
+	Attempts int
+}
+
+// FellBack reports whether the operation was completed by the fallback.
+func (o Outcome) FellBack() bool { return o.Level < 0 }
+
+// Execute runs one operation under the PTO composition given by levels,
+// falling back to fallback if every speculative attempt fails. stats may be
+// nil. Levels are tried outermost-first, each for at most its Attempts; the
+// fallback is the original algorithm and must always succeed.
+func Execute(d *htm.Domain, levels []Level, fallback func(), stats *Stats) Outcome {
+	attempts := 0
+	for li := range levels {
+		lv := &levels[li]
+		for a := 0; a < lv.Attempts; a++ {
+			attempts++
+			st := d.Atomically(lv.Run)
+			if st == htm.Committed {
+				if stats != nil && li < len(stats.CommitsByLevel) {
+					stats.CommitsByLevel[li].Add(1)
+				}
+				return Outcome{Level: li, Attempts: attempts}
+			}
+			if stats != nil {
+				stats.Aborts.Add(1)
+			}
+			if st == htm.AbortExplicit && !lv.RetryOnExplicit {
+				break
+			}
+		}
+	}
+	fallback()
+	if stats != nil {
+		stats.Fallbacks.Add(1)
+	}
+	return Outcome{Level: -1, Attempts: attempts}
+}
+
+// Run is the single-level convenience form of Execute: one prefix transaction
+// tried up to attempts times, then the fallback.
+func Run(d *htm.Domain, attempts int, speculative func(tx *htm.Tx), fallback func(), stats *Stats) Outcome {
+	return Execute(d, []Level{{Attempts: attempts, Run: speculative}}, fallback, stats)
+}

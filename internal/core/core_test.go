@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/htm"
+)
+
+func TestRunCommitsFirstAttempt(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	x := htm.NewVar(d, 0)
+	out := Run(d, 3, func(tx *htm.Tx) { htm.Store(tx, x, 1) }, func() { t.Error("fallback ran") }, nil)
+	if out.FellBack() || out.Level != 0 || out.Attempts != 1 {
+		t.Fatalf("outcome = %+v, want level 0 in 1 attempt", out)
+	}
+	if htm.Load(nil, x) != 1 {
+		t.Error("write not visible")
+	}
+}
+
+func TestExplicitAbortSkipsRemainingAttempts(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	tries := 0
+	ranFallback := false
+	out := Run(d, 5, func(tx *htm.Tx) {
+		tries++
+		tx.Abort(1)
+	}, func() { ranFallback = true }, nil)
+	if tries != 1 {
+		t.Errorf("speculative body ran %d times, want 1 (explicit abort stops retries)", tries)
+	}
+	if !ranFallback || !out.FellBack() {
+		t.Error("fallback did not run")
+	}
+}
+
+func TestRetryOnExplicit(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	tries := 0
+	Execute(d, []Level{{
+		Attempts:        4,
+		RetryOnExplicit: true,
+		Run: func(tx *htm.Tx) {
+			tries++
+			tx.Abort(1)
+		},
+	}}, func() {}, nil)
+	if tries != 4 {
+		t.Errorf("speculative body ran %d times, want 4", tries)
+	}
+}
+
+func TestCompositionOrderAndAttemptBudget(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	var order []string
+	stats := NewStats(2)
+	out := Execute(d, []Level{
+		{Name: "PTO1", Attempts: 2, RetryOnExplicit: true, Run: func(tx *htm.Tx) {
+			order = append(order, "PTO1")
+			tx.Abort(1)
+		}},
+		{Name: "PTO2", Attempts: 3, RetryOnExplicit: true, Run: func(tx *htm.Tx) {
+			order = append(order, "PTO2")
+			tx.Abort(1)
+		}},
+	}, func() { order = append(order, "fallback") }, stats)
+	want := []string{"PTO1", "PTO1", "PTO2", "PTO2", "PTO2", "fallback"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if !out.FellBack() || out.Attempts != 5 {
+		t.Errorf("outcome = %+v, want fallback after 5 attempts", out)
+	}
+	commits, fallbacks, aborts := stats.Snapshot()
+	if commits[0] != 0 || commits[1] != 0 || fallbacks != 1 || aborts != 5 {
+		t.Errorf("stats = commits %v fallbacks %d aborts %d", commits, fallbacks, aborts)
+	}
+}
+
+func TestSecondLevelCanCommit(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	x := htm.NewVar(d, 0)
+	stats := NewStats(2)
+	out := Execute(d, []Level{
+		{Attempts: 1, Run: func(tx *htm.Tx) { tx.Abort(1) }},
+		{Attempts: 1, Run: func(tx *htm.Tx) { htm.Store(tx, x, 2) }},
+	}, func() { t.Error("fallback ran") }, stats)
+	if out.Level != 1 {
+		t.Fatalf("outcome = %+v, want commit at level 1", out)
+	}
+	commits, _, _ := stats.Snapshot()
+	if commits[1] != 1 {
+		t.Errorf("commits = %v, want level 1 credited", commits)
+	}
+}
+
+func TestConflictAbortConsumesAttempts(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	x := htm.NewVar(d, 0)
+	tries := 0
+	out := Run(d, 3, func(tx *htm.Tx) {
+		tries++
+		htm.Load(tx, x)
+		htm.Store(nil, x, tries) // force a conflict every attempt
+		htm.Load(tx, x)
+	}, func() {}, nil)
+	if tries != 3 || !out.FellBack() {
+		t.Fatalf("tries=%d outcome=%+v, want 3 attempts then fallback", tries, out)
+	}
+}

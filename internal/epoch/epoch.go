@@ -1,0 +1,167 @@
+// Package epoch implements epoch-based memory reclamation in the style of
+// Fraser, the scheme the paper's C++ ports of the BST and hash table use.
+//
+// Go is garbage collected, so reclamation is not needed for memory safety
+// here; the substrate exists because the paper attributes measurable latency
+// to it — two stores and their ordering fences per protected operation, plus
+// counter maintenance — and because PTO's §4.5 optimization (eliding all
+// reclaimer interaction inside a hardware transaction, since strong atomicity
+// already guarantees accessed memory cannot be unlinked and recycled under a
+// live transaction) is only meaningful if the structures actually interact
+// with a reclaimer. Retired objects are handed to a user callback once no
+// thread can hold a reference, which the data structures use to recycle nodes
+// through free pools — giving the scheme an observable, testable effect.
+//
+// The usual three-epoch rule applies: an object retired in global epoch e may
+// be released once the global epoch has advanced to e+2, because every
+// operation active in e or e+1 has completed by then.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// retireThreshold is how many retirements a handle accumulates before it
+// attempts to advance the global epoch and release old garbage.
+const retireThreshold = 64
+
+type retired struct {
+	free func()
+}
+
+// Manager is a reclamation domain shared by all threads operating on one (or
+// several) data structures.
+type Manager struct {
+	global atomic.Uint64
+
+	mu    sync.Mutex
+	slots []*slot
+}
+
+type slot struct {
+	_      [8]uint64 // padding to keep hot per-thread words off shared lines
+	active atomic.Uint64
+	epoch  atomic.Uint64
+	_      [8]uint64
+}
+
+// NewManager returns an empty reclamation domain. The global epoch starts
+// at 2 so that retirement epochs are always ≥ 2 and never underflow.
+func NewManager() *Manager {
+	m := &Manager{}
+	m.global.Store(2)
+	return m
+}
+
+// GlobalEpoch returns the current global epoch (for tests and diagnostics).
+func (m *Manager) GlobalEpoch() uint64 { return m.global.Load() }
+
+// Register creates a per-thread Handle. Handles must not be shared between
+// goroutines. Registration is infrequent and may take a lock.
+func (m *Manager) Register() *Handle {
+	s := &slot{}
+	m.mu.Lock()
+	m.slots = append(m.slots, s)
+	m.mu.Unlock()
+	return &Handle{m: m, s: s, limbo: make(map[uint64][]retired)}
+}
+
+// canAdvance reports whether every active handle has observed epoch e.
+func (m *Manager) canAdvance(e uint64) bool {
+	m.mu.Lock()
+	slots := m.slots
+	m.mu.Unlock()
+	for _, s := range slots {
+		if s.active.Load() == 1 && s.epoch.Load() != e {
+			return false
+		}
+	}
+	return true
+}
+
+// tryAdvance attempts to move the global epoch forward by one and reports
+// whether it (or a concurrent thread) succeeded.
+func (m *Manager) tryAdvance() bool {
+	e := m.global.Load()
+	if !m.canAdvance(e) {
+		return false
+	}
+	return m.global.CompareAndSwap(e, e+1)
+}
+
+// Handle is a single thread's interface to the reclamation domain.
+type Handle struct {
+	m *Manager
+	s *slot
+	// limbo holds retired objects keyed by the epoch they were retired in.
+	limbo   map[uint64][]retired
+	pending int
+
+	// Enters and Fences count the protocol's overhead events; the benchmark
+	// harness and the PTO lookup optimization tests read them.
+	Enters uint64
+	Fences uint64
+}
+
+// Enter marks the start of a protected operation. Every Enter must be paired
+// with an Exit. Enter publishes the thread's view of the global epoch; the
+// two atomic stores model the store+fence pair the paper charges to the
+// reclaimer on every operation.
+func (h *Handle) Enter() {
+	e := h.m.global.Load()
+	h.s.epoch.Store(e)
+	h.s.active.Store(1) // sequentially consistent: acts as the publication fence
+	h.Enters++
+	h.Fences += 2
+}
+
+// Exit marks the end of a protected operation.
+func (h *Handle) Exit() {
+	h.s.active.Store(0)
+	h.Fences++
+}
+
+// Retire schedules free to run once no concurrent operation can still hold a
+// reference to the retired object. It must be called inside an Enter/Exit
+// pair or from a quiescent thread.
+func (h *Handle) Retire(free func()) {
+	e := h.m.global.Load()
+	h.limbo[e] = append(h.limbo[e], retired{free: free})
+	h.pending++
+	if h.pending >= retireThreshold {
+		h.Collect()
+	}
+}
+
+// Collect attempts to advance the global epoch and releases any of this
+// handle's retired objects that are now unreachable by all threads.
+func (h *Handle) Collect() {
+	h.m.tryAdvance()
+	e := h.m.global.Load()
+	for re, list := range h.limbo {
+		if re+2 <= e {
+			for _, r := range list {
+				r.free()
+			}
+			h.pending -= len(list)
+			delete(h.limbo, re)
+		}
+	}
+}
+
+// Drain releases everything the handle has retired, regardless of epoch. It
+// is only safe once no other thread is inside an operation (e.g. at
+// shutdown or between test phases).
+func (h *Handle) Drain() {
+	for re, list := range h.limbo {
+		for _, r := range list {
+			r.free()
+		}
+		h.pending -= len(list)
+		delete(h.limbo, re)
+	}
+}
+
+// Pending returns the number of retired-but-unreleased objects (for tests).
+func (h *Handle) Pending() int { return h.pending }

@@ -1,0 +1,154 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireNotFreedWhileReaderActive(t *testing.T) {
+	m := NewManager()
+	reader := m.Register()
+	writer := m.Register()
+
+	reader.Enter() // pins the current epoch
+
+	freed := false
+	writer.Enter()
+	writer.Retire(func() { freed = true })
+	writer.Exit()
+	for i := 0; i < 10; i++ {
+		writer.Collect()
+	}
+	if freed {
+		t.Fatal("object freed while a same-epoch reader was active")
+	}
+
+	reader.Exit()
+	for i := 0; i < 3; i++ {
+		writer.Collect()
+	}
+	if !freed {
+		t.Fatal("object never freed after reader exited")
+	}
+}
+
+func TestEpochAdvancesWhenQuiescent(t *testing.T) {
+	m := NewManager()
+	h := m.Register()
+	e0 := m.GlobalEpoch()
+	h.Enter()
+	h.Exit()
+	if !m.tryAdvance() {
+		t.Fatal("could not advance with all threads quiescent")
+	}
+	if m.GlobalEpoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", m.GlobalEpoch(), e0+1)
+	}
+}
+
+func TestEpochPinnedByActiveLaggard(t *testing.T) {
+	m := NewManager()
+	h := m.Register()
+	h.Enter() // observes e
+	m.tryAdvance()
+	if m.canAdvance(m.GlobalEpoch()) {
+		t.Fatal("advance permitted past an active thread that has not re-observed")
+	}
+	h.Exit()
+	if !m.canAdvance(m.GlobalEpoch()) {
+		t.Fatal("advance blocked by an inactive thread")
+	}
+}
+
+func TestThresholdTriggersCollection(t *testing.T) {
+	m := NewManager()
+	h := m.Register()
+	var freedCount int
+	for i := 0; i < 3*retireThreshold; i++ {
+		h.Enter()
+		h.Retire(func() { freedCount++ })
+		h.Exit()
+	}
+	if freedCount == 0 {
+		t.Fatal("no automatic collection after many retirements")
+	}
+	h.Drain()
+	if freedCount != 3*retireThreshold {
+		t.Fatalf("freed %d, want %d after drain", freedCount, 3*retireThreshold)
+	}
+	if h.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", h.Pending())
+	}
+}
+
+func TestFenceAccounting(t *testing.T) {
+	m := NewManager()
+	h := m.Register()
+	h.Enter()
+	h.Exit()
+	if h.Enters != 1 || h.Fences != 3 {
+		t.Fatalf("enters=%d fences=%d, want 1 and 3", h.Enters, h.Fences)
+	}
+}
+
+// TestConcurrentRetireAndRead stresses the core guarantee: a reader holding
+// an Enter never sees an object freed out from under it. Each object carries
+// a liveness flag that the free callback clears; readers that captured the
+// object inside Enter must observe it live until Exit.
+func TestConcurrentRetireAndRead(t *testing.T) {
+	m := NewManager()
+	type obj struct{ live atomic.Bool }
+	var current atomic.Pointer[obj]
+	first := &obj{}
+	first.live.Store(true)
+	current.Store(first)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var violations atomic.Int64
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Register()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Enter()
+				o := current.Load()
+				for i := 0; i < 100; i++ {
+					if !o.live.Load() {
+						violations.Add(1)
+						break
+					}
+				}
+				h.Exit()
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := m.Register()
+		for i := 0; i < 2000; i++ {
+			h.Enter()
+			next := &obj{}
+			next.live.Store(true)
+			old := current.Swap(next)
+			h.Retire(func() { old.live.Store(false) })
+			h.Exit()
+		}
+		close(stop)
+	}()
+
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d use-after-free violations observed", v)
+	}
+}

@@ -1,0 +1,160 @@
+package hazard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestProtectBlocksRelease(t *testing.T) {
+	d := NewDomain()
+	reader := d.Register()
+	writer := d.Register()
+
+	x := new(int64)
+	reader.Protect(0, unsafe.Pointer(x))
+
+	freed := false
+	writer.Retire(unsafe.Pointer(x), func() { freed = true })
+	writer.Scan()
+	if freed {
+		t.Fatal("protected pointer was released")
+	}
+
+	reader.Clear(0)
+	writer.Scan()
+	if !freed {
+		t.Fatal("unprotected pointer was not released")
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	xs := make([]*int64, slotsPerThread)
+	for i := range xs {
+		xs[i] = new(int64)
+		h.Protect(i, unsafe.Pointer(xs[i]))
+	}
+	h.ClearAll()
+	w := d.Register()
+	freed := 0
+	for _, x := range xs {
+		w.Retire(unsafe.Pointer(x), func() { freed++ })
+	}
+	w.Scan()
+	if freed != len(xs) {
+		t.Fatalf("freed %d, want %d", freed, len(xs))
+	}
+}
+
+func TestScanThresholdTriggers(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	freed := 0
+	for i := 0; i < 3*scanThreshold; i++ {
+		h.Retire(unsafe.Pointer(new(int64)), func() { freed++ })
+	}
+	if freed == 0 {
+		t.Fatal("no automatic scan after many retirements")
+	}
+	h.Drain()
+	if h.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", h.Pending())
+	}
+}
+
+func TestOnlyMatchingPointerKept(t *testing.T) {
+	d := NewDomain()
+	reader := d.Register()
+	writer := d.Register()
+	a, b := new(int64), new(int64)
+	reader.Protect(1, unsafe.Pointer(a))
+	var freedA, freedB bool
+	writer.Retire(unsafe.Pointer(a), func() { freedA = true })
+	writer.Retire(unsafe.Pointer(b), func() { freedB = true })
+	writer.Scan()
+	if freedA {
+		t.Fatal("protected a released")
+	}
+	if !freedB {
+		t.Fatal("unprotected b kept")
+	}
+	if writer.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", writer.Pending())
+	}
+}
+
+func TestEventAccounting(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	h.Protect(0, unsafe.Pointer(new(int64)))
+	h.Protect(1, unsafe.Pointer(new(int64)))
+	if h.Protects != 2 || h.Fences != 2 {
+		t.Fatalf("protects=%d fences=%d, want 2 and 2", h.Protects, h.Fences)
+	}
+}
+
+// TestConcurrentUseAfterFreePrevention runs the canonical pattern: readers
+// publish-then-revalidate a shared pointer while a writer swaps and retires;
+// a freed flag on each object catches any use-after-free.
+func TestConcurrentUseAfterFreePrevention(t *testing.T) {
+	type obj struct{ live atomic.Bool }
+	d := NewDomain()
+	var cur atomic.Pointer[obj]
+	first := &obj{}
+	first.live.Store(true)
+	cur.Store(first)
+
+	var violations atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Load, publish, revalidate.
+				o := cur.Load()
+				h.Protect(0, unsafe.Pointer(o))
+				if cur.Load() != o {
+					h.Clear(0)
+					continue
+				}
+				for i := 0; i < 50; i++ {
+					if !o.live.Load() {
+						violations.Add(1)
+						break
+					}
+				}
+				h.Clear(0)
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		for i := 0; i < 3000; i++ {
+			next := &obj{}
+			next.live.Store(true)
+			old := cur.Swap(next)
+			h.Retire(unsafe.Pointer(old), func() { old.live.Store(false) })
+		}
+		close(stop)
+	}()
+
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d use-after-free violations", v)
+	}
+}

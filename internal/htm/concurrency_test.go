@@ -1,0 +1,141 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDomainIsolation: transactions in different domains never conflict, so
+// pure writers in domain A must not abort readers pinned in domain B.
+func TestDomainIsolation(t *testing.T) {
+	a := NewDomain(0, 0)
+	b := NewDomain(0, 0)
+	xa := NewVar(a, 0)
+	xb := NewVar(b, 0)
+	st := b.Atomically(func(tx *Tx) {
+		Load(tx, xb)
+		// Heavy traffic in the other domain mid-transaction.
+		for i := 0; i < 100; i++ {
+			Store(nil, xa, i)
+		}
+		Load(tx, xb)
+	})
+	if st != Committed {
+		t.Fatalf("cross-domain traffic aborted an unrelated transaction: %v", st)
+	}
+}
+
+// TestBankTransferInvariant runs concurrent transactional transfers between
+// accounts while direct readers check conservation through transactional
+// read-only snapshots.
+func TestBankTransferInvariant(t *testing.T) {
+	const accounts = 6
+	const initial = 1000
+	d := NewDomain(0, 0)
+	acct := make([]*Var[uint64], accounts)
+	for i := range acct {
+		acct[i] = NewVar(d, uint64(initial))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := uint64(w)*2654435761 + 13
+			for i := 0; i < 2500; i++ {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				from := int(rnd>>33) % accounts
+				to := (from + 1 + int(rnd>>17)%(accounts-1)) % accounts
+				for {
+					st := d.Atomically(func(tx *Tx) {
+						f := Load(tx, acct[from])
+						if f == 0 {
+							return
+						}
+						Store(tx, acct[from], f-1)
+						Store(tx, acct[to], Load(tx, acct[to])+1)
+					})
+					if st == Committed {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		checks := 0
+		for checks < 200 {
+			var sum uint64
+			st := d.Atomically(func(tx *Tx) {
+				sum = 0
+				for _, a := range acct {
+					sum += Load(tx, a)
+				}
+			})
+			if st != Committed {
+				continue
+			}
+			checks++
+			if sum != accounts*initial {
+				t.Errorf("conservation violated: sum = %d", sum)
+				break
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	<-stop
+	var sum uint64
+	for _, a := range acct {
+		sum += Load(nil, a)
+	}
+	if sum != accounts*initial {
+		t.Fatalf("final sum = %d, want %d", sum, accounts*initial)
+	}
+}
+
+// TestFallbackAndTxInterleavingOnSharedVars mixes core PTO-style usage at
+// the raw htm level: speculative double-increments racing direct CAS-loop
+// double-increments; both counters must agree exactly at the end.
+func TestFallbackAndTxInterleavingOnSharedVars(t *testing.T) {
+	d := NewDomain(0, 0)
+	x := NewVar(d, uint64(0))
+	y := NewVar(d, uint64(0))
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					for d.Atomically(func(tx *Tx) {
+						Store(tx, x, Load(tx, x)+1)
+						Store(tx, y, Load(tx, y)+1)
+					}) != Committed {
+					}
+				} else {
+					for {
+						v := Load(nil, x)
+						if CAS(nil, x, v, v+1) {
+							break
+						}
+					}
+					for {
+						v := Load(nil, y)
+						if CAS(nil, y, v, v+1) {
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if Load(nil, x) != 6*per || Load(nil, y) != 6*per {
+		t.Fatalf("x=%d y=%d, want %d each", Load(nil, x), Load(nil, y), 6*per)
+	}
+}

@@ -1,0 +1,421 @@
+// Package htm provides a software emulation of a best-effort hardware
+// transactional memory in the style of Intel's Restricted Transactional
+// Memory (RTM), which the paper uses as its execution substrate.
+//
+// The emulation preserves the RTM *failure model*, which is what Prefix
+// Transaction Optimization (PTO) is designed around:
+//
+//   - a transaction may abort at any point, for any reason;
+//   - aborts carry a status (conflict, capacity, explicit) so retry policies
+//     can distinguish transient from permanent failure;
+//   - code must always provide a non-transactional fallback;
+//   - committed transactions are strongly atomic: no concurrent reader,
+//     transactional or not, observes a partial commit.
+//
+// Internally this is a single-version, eager-validation STM built on a global
+// sequence lock per Domain (in the spirit of TML/NOrec). Values live in
+// Var[T] cells. Transactional writes are buffered and applied at commit while
+// the domain's sequence lock is held; transactional reads validate that the
+// domain clock has not moved since the transaction began and abort otherwise.
+// Non-transactional writes acquire the same sequence lock for their single
+// update, and non-transactional reads validate against the clock, so no code
+// path can observe a half-applied commit.
+//
+// The one property of real HTM this emulation cannot preserve is progress of
+// the combined system: the commit path holds a lock, so a preempted committer
+// can delay others, whereas real RTM commits in a bounded number of hardware
+// steps. The deterministic machine simulator in internal/sim models true
+// requester-wins HTM and carries the paper's progress and performance claims;
+// this package carries correctness of the PTO code structure under real Go
+// concurrency.
+package htm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Status reports how a transaction attempt ended. It mirrors the RTM status
+// word delivered to the fallback path of XBEGIN.
+type Status int
+
+const (
+	// Committed means the transaction ran to completion and its writes are
+	// visible atomically.
+	Committed Status = iota
+	// AbortConflict means a concurrent writer invalidated the transaction's
+	// snapshot (the analogue of an RTM data-conflict abort).
+	AbortConflict
+	// AbortCapacity means the transaction's read or write footprint exceeded
+	// the configured capacity (the analogue of an RTM capacity abort).
+	AbortCapacity
+	// AbortExplicit means the transaction called Abort itself, e.g. because
+	// it observed a state in which it would have to help a concurrent
+	// operation (§2.4 of the paper). The user code is available via Tx code.
+	AbortExplicit
+)
+
+// String returns a short human-readable name for the status.
+func (s Status) String() string {
+	switch s {
+	case Committed:
+		return "committed"
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Stats counts transaction outcomes for a Domain. All fields are cumulative.
+type Stats struct {
+	Commits   uint64
+	Conflicts uint64
+	Capacity  uint64
+	Explicit  uint64
+}
+
+// Domain is an independent transactional memory. Transactions in different
+// domains never conflict with each other; a data structure instance typically
+// owns one Domain. The zero value is ready to use.
+type Domain struct {
+	// clock is the sequence lock: even = quiescent, odd = a writer (either a
+	// committing transaction or a non-transactional store/CAS) is applying
+	// updates. Every completed write bumps it by 2.
+	clock atomic.Uint64
+
+	commits   atomic.Uint64
+	conflicts atomic.Uint64
+	capacity  atomic.Uint64
+	explicit  atomic.Uint64
+
+	// readCap and writeCap bound the transactional footprint; zero means the
+	// package defaults. They model HTM capacity limits.
+	readCap  int
+	writeCap int
+}
+
+// Default capacity limits, chosen to approximate an L1-bounded write set and
+// an L2-tracked read set as on Haswell RTM.
+const (
+	DefaultReadCap  = 4096
+	DefaultWriteCap = 448
+)
+
+// NewDomain returns a Domain with the given footprint limits. Passing zero
+// for either limit selects the package default.
+func NewDomain(readCap, writeCap int) *Domain {
+	if readCap <= 0 {
+		readCap = DefaultReadCap
+	}
+	if writeCap <= 0 {
+		writeCap = DefaultWriteCap
+	}
+	return &Domain{readCap: readCap, writeCap: writeCap}
+}
+
+// SetCapacity changes the domain's footprint limits (≤ 0 selects the
+// package defaults). It is intended for tests and tuning experiments — e.g.
+// a read capacity of 1 makes every multi-read transaction abort with
+// AbortCapacity, forcing all operations down their fallback paths. It must
+// not be called concurrently with transactions.
+func (d *Domain) SetCapacity(readCap, writeCap int) {
+	d.readCap = readCap
+	d.writeCap = writeCap
+}
+
+// Stats returns a snapshot of the domain's cumulative transaction outcomes.
+func (d *Domain) Stats() Stats {
+	return Stats{
+		Commits:   d.commits.Load(),
+		Conflicts: d.conflicts.Load(),
+		Capacity:  d.capacity.Load(),
+		Explicit:  d.explicit.Load(),
+	}
+}
+
+func (d *Domain) caps() (int, int) {
+	r, w := d.readCap, d.writeCap
+	if r <= 0 {
+		r = DefaultReadCap
+	}
+	if w <= 0 {
+		w = DefaultWriteCap
+	}
+	return r, w
+}
+
+// lock spins until it holds the domain's sequence lock and returns the value
+// the clock had before it was taken (always even).
+func (d *Domain) lock() uint64 {
+	for {
+		s := d.clock.Load()
+		if s&1 == 0 && d.clock.CompareAndSwap(s, s+1) {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// unlock releases the sequence lock taken at clock value s.
+func (d *Domain) unlock(s uint64) {
+	d.clock.Store(s + 2)
+}
+
+// Var is a transactional cell holding a value of comparable type T. Vars must
+// be created by MakeVar (or NewVar) so they are bound to a Domain; the zero
+// Var is not usable. All access goes through Load, Store, CAS, and Add, which
+// take an optional transaction: a nil *Tx selects the direct, non-speculative
+// path used by fallback code.
+type Var[T comparable] struct {
+	d *Domain
+	p atomic.Pointer[T]
+}
+
+// Init binds an embedded Var to domain d and sets its initial value. It must
+// be called exactly once, before any concurrent access; it is intended for
+// initializing Var fields of freshly allocated nodes.
+func (v *Var[T]) Init(d *Domain, init T) {
+	v.d = d
+	v.p.Store(&init)
+}
+
+// NewVar allocates a Var bound to domain d holding init.
+func NewVar[T comparable](d *Domain, init T) *Var[T] {
+	v := new(Var[T])
+	v.Init(d, init)
+	return v
+}
+
+// Domain returns the domain the Var is bound to.
+func (v *Var[T]) Domain() *Domain { return v.d }
+
+// abortSignal is the panic payload used to unwind to Atomically.
+type abortSignal struct {
+	status Status
+	code   int
+}
+
+// Tx is an in-flight transaction. A Tx is only valid inside the function
+// passed to Atomically and must not be retained, shared between goroutines,
+// or used after that function returns.
+type Tx struct {
+	d        *Domain
+	snapshot uint64
+	reads    int
+	// writes is the redo log: insertion-ordered so commit write-back follows
+	// program order of first-writes, plus an index for read-own-writes.
+	writeIdx map[any]int
+	writeLog []writeEntry
+	readCap  int
+	writeCap int
+	code     int
+}
+
+type writeEntry struct {
+	key   any
+	boxed any // the pending value, boxed, for read-own-writes
+	apply func(boxed any)
+}
+
+// Code returns the user abort code recorded by the last explicit Abort on
+// this context. It is only meaningful when Atomically returned AbortExplicit.
+func (tx *Tx) Code() int { return tx.code }
+
+// Abort aborts the running transaction with AbortExplicit, recording code for
+// the fallback path (the analogue of XABORT imm8). It does not return.
+func (tx *Tx) Abort(code int) {
+	tx.code = code
+	panic(abortSignal{status: AbortExplicit, code: code})
+}
+
+// validate aborts the transaction if the domain clock has moved since the
+// snapshot was taken, i.e. some writer committed; this is the conservative
+// conflict detection of a global-clock STM.
+func (tx *Tx) validate() {
+	if tx.d.clock.Load() != tx.snapshot {
+		panic(abortSignal{status: AbortConflict})
+	}
+}
+
+// Atomically runs f as a single transaction attempt against domain d and
+// reports how it ended. It makes exactly one attempt: retry policy is the
+// caller's responsibility (see internal/core), mirroring the paper's model in
+// which TxBegin may "return more than once" and the program decides whether
+// to retry or run the fallback.
+//
+// If f returns normally the transaction commits (Committed). If f calls
+// Tx.Abort, or a conflict or capacity condition arises, the attempt's
+// buffered writes are discarded and the corresponding abort status is
+// returned. Panics not originating from the transaction machinery propagate
+// to the caller after the attempt is rolled back.
+//
+// Nesting is not supported: f must not call Atomically.
+func (d *Domain) Atomically(f func(tx *Tx)) Status {
+	rc, wc := d.caps()
+	tx := &Tx{
+		d:        d,
+		writeIdx: make(map[any]int, 8),
+		readCap:  rc,
+		writeCap: wc,
+	}
+	// Wait for a quiescent clock so the snapshot is even.
+	for {
+		s := d.clock.Load()
+		if s&1 == 0 {
+			tx.snapshot = s
+			break
+		}
+		runtime.Gosched()
+	}
+	status := d.attempt(tx, f)
+	switch status {
+	case Committed:
+		d.commits.Add(1)
+	case AbortConflict:
+		d.conflicts.Add(1)
+	case AbortCapacity:
+		d.capacity.Add(1)
+	case AbortExplicit:
+		d.explicit.Add(1)
+	}
+	return status
+}
+
+func (d *Domain) attempt(tx *Tx, f func(tx *Tx)) (status Status) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, ok := r.(abortSignal); ok {
+				status = sig.status
+				return
+			}
+			panic(r)
+		}
+	}()
+	f(tx)
+	return tx.commit()
+}
+
+// commit publishes the write log. Read-only transactions commit without
+// touching the clock, mirroring the cheapness of read-only HTM commits.
+func (tx *Tx) commit() Status {
+	if len(tx.writeLog) == 0 {
+		tx.validate()
+		return Committed
+	}
+	// Acquire the sequence lock only if the clock still equals our snapshot;
+	// any other value means a writer committed during our execution and our
+	// reads may be stale.
+	if !tx.d.clock.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		return AbortConflict
+	}
+	for i := range tx.writeLog {
+		e := &tx.writeLog[i]
+		e.apply(e.boxed)
+	}
+	tx.d.unlock(tx.snapshot)
+	return Committed
+}
+
+// Load reads v. With a non-nil tx it is a transactional read: it returns the
+// transaction's own pending write if any, validates the snapshot, and counts
+// against the read capacity. With tx == nil it is a direct read that never
+// observes a partially applied commit (it retries across writer windows).
+func Load[T comparable](tx *Tx, v *Var[T]) T {
+	if tx != nil {
+		if i, ok := tx.writeIdx[v]; ok {
+			return tx.writeLog[i].boxed.(T)
+		}
+		tx.reads++
+		if tx.reads > tx.readCap {
+			panic(abortSignal{status: AbortCapacity})
+		}
+		x := *v.p.Load()
+		tx.validate()
+		return x
+	}
+	d := v.d
+	for {
+		s := d.clock.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		x := *v.p.Load()
+		if d.clock.Load() == s {
+			return x
+		}
+	}
+}
+
+// Store writes x to v. With a non-nil tx the write is buffered and becomes
+// visible atomically at commit; with tx == nil it is applied immediately
+// under the domain's sequence lock.
+func Store[T comparable](tx *Tx, v *Var[T], x T) {
+	if tx != nil {
+		if i, ok := tx.writeIdx[v]; ok {
+			tx.writeLog[i].boxed = x
+			return
+		}
+		if len(tx.writeLog) >= tx.writeCap {
+			panic(abortSignal{status: AbortCapacity})
+		}
+		tx.writeIdx[v] = len(tx.writeLog)
+		tx.writeLog = append(tx.writeLog, writeEntry{
+			key:   v,
+			boxed: x,
+			apply: func(boxed any) {
+				val := boxed.(T)
+				v.p.Store(&val)
+			},
+		})
+		return
+	}
+	d := v.d
+	s := d.lock()
+	v.p.Store(&x)
+	d.unlock(s)
+}
+
+// CAS atomically compares v against old and, if equal, replaces it with new,
+// reporting whether the swap happened. Inside a transaction this degenerates
+// to a load, a comparison, and a buffered store — exactly the CAS-to-branch
+// strength reduction of §2.3 — at no extra synchronization cost. Outside a
+// transaction it is a linearizable compare-and-swap.
+func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
+	if tx != nil {
+		if Load(tx, v) != old {
+			return false
+		}
+		Store(tx, v, new)
+		return true
+	}
+	d := v.d
+	s := d.lock()
+	ok := *v.p.Load() == old
+	if ok {
+		v.p.Store(&new)
+	}
+	d.unlock(s)
+	return ok
+}
+
+// Add atomically adds delta to an integer Var and returns the new value.
+func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
+	if tx != nil {
+		x := Load(tx, v) + delta
+		Store(tx, v, x)
+		return x
+	}
+	d := v.d
+	s := d.lock()
+	x := *v.p.Load() + delta
+	v.p.Store(&x)
+	d.unlock(s)
+	return x
+}

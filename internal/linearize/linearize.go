@@ -1,0 +1,143 @@
+// Package linearize implements a small linearizability checker for set
+// histories (insert / remove / contains with boolean results), in the style
+// of Wing & Gong's algorithm: search for a total order of operations that
+// respects the real-time partial order (operation windows) and the
+// sequential specification of a set.
+//
+// It exists to give the reproduction's data structures a correctness
+// standard stronger than invariant checks: the simulator's deterministic
+// global event order yields exact per-operation windows, so histories
+// recorded there are checked against the precise real-time order.
+package linearize
+
+import "sort"
+
+// Kind is an operation type.
+type Kind int
+
+const (
+	// Insert adds a key; Result reports whether it was absent.
+	Insert Kind = iota
+	// Remove deletes a key; Result reports whether it was present.
+	Remove
+	// Contains queries a key; Result reports presence.
+	Contains
+)
+
+// Op is one completed operation with its real-time window: the operation's
+// linearization point lies somewhere in [Start, End].
+type Op struct {
+	Start, End uint64
+	Kind       Kind
+	Key        int64
+	Result     bool
+}
+
+// Check reports whether the history is linearizable with respect to the
+// sequential set specification, starting from an empty set. The search is
+// exponential in the worst case; histories should stay small (≲ 40 ops).
+func Check(history []Op) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 62 {
+		panic("linearize: history too large")
+	}
+	ops := append([]Op(nil), history...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	type stateKey struct {
+		done uint64
+		set  uint64 // hash of the current set contents
+	}
+	visited := make(map[stateKey]bool)
+
+	// The current set is tracked exactly in a map; its hash keys the memo.
+	set := make(map[int64]bool)
+	var hash uint64 = 1469598103934665603
+	rehash := func() uint64 {
+		var h uint64 = 1469598103934665603
+		for k := range set {
+			// Order-independent combine.
+			x := uint64(k) * 0x9E3779B97F4A7C15
+			x ^= x >> 29
+			h += x*0xBF58476D1CE4E5B9 + 1
+		}
+		return h
+	}
+
+	// apply runs op against the model; ok reports whether the observed
+	// result matches the specification.
+	apply := func(op Op) (undo func(), ok bool) {
+		switch op.Kind {
+		case Insert:
+			present := set[op.Key]
+			if op.Result == present {
+				return nil, false
+			}
+			if present {
+				return func() {}, true // failed insert: no state change
+			}
+			set[op.Key] = true
+			return func() { delete(set, op.Key) }, true
+		case Remove:
+			present := set[op.Key]
+			if op.Result != present {
+				return nil, false
+			}
+			if present {
+				delete(set, op.Key)
+				return func() { set[op.Key] = true }, true
+			}
+			return func() {}, true
+		default:
+			if op.Result != set[op.Key] {
+				return nil, false
+			}
+			return func() {}, true
+		}
+	}
+
+	var dfs func(done uint64) bool
+	dfs = func(done uint64) bool {
+		if done == 1<<uint(n)-1 {
+			return true
+		}
+		key := stateKey{done: done, set: hash}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		// An undone op may linearize next only if no other undone op's
+		// window ends strictly before this op's window starts (real-time
+		// order: if a.End < b.Start, a must precede b).
+		minEnd := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if done&(1<<uint(i)) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Start > minEnd {
+				continue // some earlier-finishing op must come first
+			}
+			undo, ok := apply(ops[i])
+			if !ok {
+				continue
+			}
+			oldHash := hash
+			hash = rehash()
+			if dfs(done | 1<<uint(i)) {
+				return true
+			}
+			hash = oldHash
+			undo()
+		}
+		return false
+	}
+	return dfs(0)
+}

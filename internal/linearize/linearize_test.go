@@ -1,0 +1,155 @@
+package linearize
+
+import "testing"
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	h := []Op{
+		{0, 1, Insert, 5, true},
+		{2, 3, Contains, 5, true},
+		{4, 5, Remove, 5, true},
+		{6, 7, Contains, 5, false},
+	}
+	if !Check(h) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestWrongResultRejected(t *testing.T) {
+	h := []Op{
+		{0, 1, Insert, 5, true},
+		{2, 3, Contains, 5, false}, // must see the insert
+	}
+	if Check(h) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestDoubleInsertRejected(t *testing.T) {
+	h := []Op{
+		{0, 1, Insert, 5, true},
+		{2, 3, Insert, 5, true}, // second must fail
+	}
+	if Check(h) {
+		t.Fatal("double successful insert accepted")
+	}
+}
+
+func TestOverlapAllowsEitherOrder(t *testing.T) {
+	// Two overlapping inserts of the same key: exactly one may succeed, in
+	// either order.
+	h := []Op{
+		{0, 10, Insert, 5, true},
+		{1, 9, Insert, 5, false},
+	}
+	if !Check(h) {
+		t.Fatal("overlapping inserts with one success rejected")
+	}
+	h[1].Result = true
+	if Check(h) {
+		t.Fatal("overlapping inserts with two successes accepted")
+	}
+}
+
+func TestConcurrentReadMaySeeEitherState(t *testing.T) {
+	// A contains overlapping an insert may return either value.
+	for _, res := range []bool{true, false} {
+		h := []Op{
+			{0, 10, Insert, 5, true},
+			{1, 9, Contains, 5, res},
+		}
+		if !Check(h) {
+			t.Fatalf("contains=%v overlapping insert rejected", res)
+		}
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Insert completes strictly before the contains starts: it must be seen.
+	h := []Op{
+		{0, 1, Insert, 5, true},
+		{5, 6, Contains, 5, false},
+	}
+	if Check(h) {
+		t.Fatal("real-time order violated but history accepted")
+	}
+	// If they overlap, the miss is fine.
+	h[1].Start = 0
+	if !Check(h) {
+		t.Fatal("overlapping miss rejected")
+	}
+}
+
+func TestRemoveOfAbsentKey(t *testing.T) {
+	h := []Op{
+		{0, 1, Remove, 9, false},
+		{2, 3, Insert, 9, true},
+		{4, 5, Remove, 9, true},
+	}
+	if !Check(h) {
+		t.Fatal("valid remove sequence rejected")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestThreeThreadInterleaving(t *testing.T) {
+	// A richer valid history with overlapping windows across "threads".
+	h := []Op{
+		{0, 4, Insert, 1, true},
+		{1, 5, Insert, 2, true},
+		{2, 8, Remove, 1, true},     // linearizes after insert(1)
+		{3, 9, Contains, 2, true},   // after insert(2)
+		{6, 10, Contains, 1, false}, // after remove(1)
+	}
+	if !Check(h) {
+		t.Fatal("valid three-thread history rejected")
+	}
+}
+
+// TestGeneratedLinearizableHistoriesAccepted builds histories by simulating
+// a true linearization order and then widening each operation's window
+// randomly; the checker must accept all of them.
+func TestGeneratedLinearizableHistoriesAccepted(t *testing.T) {
+	rnd := func(seed *uint64) uint64 {
+		*seed ^= *seed << 13
+		*seed ^= *seed >> 7
+		*seed ^= *seed << 17
+		return *seed
+	}
+	for trial := uint64(1); trial <= 200; trial++ {
+		seed := trial * 2654435761
+		set := map[int64]bool{}
+		var h []Op
+		n := 10 + int(rnd(&seed)%20)
+		for i := 0; i < n; i++ {
+			key := int64(rnd(&seed)%3 + 1)
+			point := uint64(i * 10)
+			var op Op
+			switch rnd(&seed) % 3 {
+			case 0:
+				op = Op{Kind: Insert, Key: key, Result: !set[key]}
+				set[key] = true
+			case 1:
+				op = Op{Kind: Remove, Key: key, Result: set[key]}
+				delete(set, key)
+			default:
+				op = Op{Kind: Contains, Key: key, Result: set[key]}
+			}
+			// Widen the window randomly around the linearization point.
+			before := rnd(&seed) % 15
+			after := rnd(&seed) % 15
+			if before > point {
+				before = point
+			}
+			op.Start, op.End = point-before, point+after
+			h = append(h, op)
+		}
+		if !Check(h) {
+			t.Fatalf("trial %d: linearizable-by-construction history rejected:\n%+v", trial, h)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package mcas implements lock-free double-compare-and-swap (DCAS) and
+// double-compare-single-swap (DCSS) over shared 64-bit words, in the style of
+// Harris, Fraser and Pratt's practical multi-word compare-and-swap. The Mound
+// priority queue (§3.1 of the paper) is built on these primitives; the paper
+// reports each software DCAS/DCSS costs up to five CAS instructions, which is
+// precisely the latency PTO removes by running the double-word update as a
+// single hardware transaction.
+//
+// Words are boxed behind unique heap cells, which rules out ABA on the
+// descriptor-installation CASes. A word temporarily holds a pointer to an
+// operation descriptor while a multi-word operation is in flight; readers and
+// writers that encounter a descriptor help complete it, making every
+// operation lock-free.
+package mcas
+
+import (
+	"sync/atomic"
+)
+
+// status values for a DCAS descriptor.
+const (
+	undecided uint32 = iota
+	succeeded
+	failed
+)
+
+// box is the immutable cell a Word points at. desc == nil means the word
+// holds the plain value val; otherwise the word is claimed by desc, and val
+// is the (already validated) expected old value to restore on failure.
+type box struct {
+	val  uint64
+	desc *descriptor
+}
+
+type entry struct {
+	w        *Word
+	old, new uint64
+}
+
+type descriptor struct {
+	status atomic.Uint32
+	// entries are ordered by Word id to prevent livelock between concurrent
+	// multi-word operations over overlapping word sets.
+	entries [2]entry
+}
+
+var nextID atomic.Uint64
+
+// Word is a 64-bit shared memory word that supports Load, Store, CAS, and
+// participation in DCAS/DCSS. The zero Word is not valid; use NewWord.
+type Word struct {
+	id uint64
+	p  atomic.Pointer[box]
+}
+
+// NewWord returns a word initialized to v.
+func NewWord(v uint64) *Word {
+	w := &Word{id: nextID.Add(1)}
+	w.p.Store(&box{val: v})
+	return w
+}
+
+// Load returns the word's current value, helping any in-flight multi-word
+// operation that has claimed the word.
+func (w *Word) Load() uint64 {
+	for {
+		b := w.p.Load()
+		if b.desc == nil {
+			return b.val
+		}
+		b.desc.help()
+	}
+}
+
+// Store unconditionally sets the word to v. It helps in-flight operations
+// rather than clobbering their descriptors.
+func (w *Word) Store(v uint64) {
+	for {
+		b := w.p.Load()
+		if b.desc != nil {
+			b.desc.help()
+			continue
+		}
+		if w.p.CompareAndSwap(b, &box{val: v}) {
+			return
+		}
+	}
+}
+
+// CAS atomically replaces old with new, reporting success. It is
+// linearizable with respect to concurrent DCAS/DCSS operations.
+func (w *Word) CAS(old, new uint64) bool {
+	for {
+		b := w.p.Load()
+		if b.desc != nil {
+			b.desc.help()
+			continue
+		}
+		if b.val != old {
+			return false
+		}
+		if w.p.CompareAndSwap(b, &box{val: new}) {
+			return true
+		}
+	}
+}
+
+// DCAS atomically performs {if *w1==o1 && *w2==o2 { *w1=n1; *w2=n2 }},
+// reporting whether the update happened. w1 and w2 must be distinct words.
+func DCAS(w1 *Word, o1, n1 uint64, w2 *Word, o2, n2 uint64) bool {
+	d := &descriptor{}
+	d.entries[0] = entry{w: w1, old: o1, new: n1}
+	d.entries[1] = entry{w: w2, old: o2, new: n2}
+	if w2.id < w1.id {
+		d.entries[0], d.entries[1] = d.entries[1], d.entries[0]
+	}
+	d.help()
+	return d.status.Load() == succeeded
+}
+
+// DCSS atomically performs {if *cmp==expect && *w==old { *w=new }}, reporting
+// whether the write happened. It is implemented as a DCAS whose first leg is
+// a no-op write, matching the paper's observation that DCSS is simulated
+// through a sequence of CAS instructions.
+func DCSS(cmp *Word, expect uint64, w *Word, old, new uint64) bool {
+	return DCAS(cmp, expect, expect, w, old, new)
+}
+
+// help drives the descriptor to completion. It is safe for any number of
+// threads to help the same descriptor concurrently.
+func (d *descriptor) help() {
+	// Phase 1: claim each word in id order, helping or failing as needed.
+claim:
+	for i := range d.entries {
+		e := &d.entries[i]
+		for {
+			if d.status.Load() != undecided {
+				break claim
+			}
+			b := e.w.p.Load()
+			switch {
+			case b.desc == d:
+				// Already claimed (by us or a helper).
+			case b.desc != nil:
+				b.desc.help()
+				continue
+			case b.val != e.old:
+				d.status.CompareAndSwap(undecided, failed)
+				break claim
+			default:
+				if !e.w.p.CompareAndSwap(b, &box{val: e.old, desc: d}) {
+					continue
+				}
+			}
+			break
+		}
+	}
+	d.status.CompareAndSwap(undecided, succeeded)
+
+	// Phase 2: release each claimed word to its final value.
+	final := d.status.Load() == succeeded
+	for i := range d.entries {
+		e := &d.entries[i]
+		b := e.w.p.Load()
+		if b.desc == d {
+			v := e.old
+			if final {
+				v = e.new
+			}
+			e.w.p.CompareAndSwap(b, &box{val: v})
+		}
+	}
+}

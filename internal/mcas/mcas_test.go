@@ -1,0 +1,194 @@
+package mcas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreCAS(t *testing.T) {
+	w := NewWord(5)
+	if w.Load() != 5 {
+		t.Fatal("initial load")
+	}
+	w.Store(6)
+	if w.Load() != 6 {
+		t.Fatal("store not visible")
+	}
+	if !w.CAS(6, 7) || w.Load() != 7 {
+		t.Fatal("matching CAS failed")
+	}
+	if w.CAS(6, 8) {
+		t.Fatal("stale CAS succeeded")
+	}
+}
+
+func TestDCASBothMatch(t *testing.T) {
+	a, b := NewWord(1), NewWord(2)
+	if !DCAS(a, 1, 10, b, 2, 20) {
+		t.Fatal("DCAS with both matching failed")
+	}
+	if a.Load() != 10 || b.Load() != 20 {
+		t.Fatalf("a=%d b=%d, want 10 20", a.Load(), b.Load())
+	}
+}
+
+func TestDCASFirstMismatch(t *testing.T) {
+	a, b := NewWord(1), NewWord(2)
+	if DCAS(a, 9, 10, b, 2, 20) {
+		t.Fatal("DCAS succeeded with first mismatch")
+	}
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatalf("a=%d b=%d changed by failed DCAS", a.Load(), b.Load())
+	}
+}
+
+func TestDCASSecondMismatch(t *testing.T) {
+	a, b := NewWord(1), NewWord(2)
+	if DCAS(a, 1, 10, b, 9, 20) {
+		t.Fatal("DCAS succeeded with second mismatch")
+	}
+	if a.Load() != 1 || b.Load() != 2 {
+		t.Fatalf("a=%d b=%d changed by failed DCAS", a.Load(), b.Load())
+	}
+}
+
+func TestDCSS(t *testing.T) {
+	cmp, w := NewWord(7), NewWord(1)
+	if !DCSS(cmp, 7, w, 1, 2) {
+		t.Fatal("DCSS with matching guard failed")
+	}
+	if cmp.Load() != 7 || w.Load() != 2 {
+		t.Fatalf("cmp=%d w=%d, want 7 2", cmp.Load(), w.Load())
+	}
+	if DCSS(cmp, 8, w, 2, 3) {
+		t.Fatal("DCSS with stale guard succeeded")
+	}
+	if w.Load() != 2 {
+		t.Fatal("failed DCSS wrote anyway")
+	}
+}
+
+// TestDCASTransfersConserveSum runs concurrent DCAS "transfers" between a set
+// of accounts; the total balance must be conserved exactly, which fails if
+// DCAS is not atomic or helpers double-apply.
+func TestDCASTransfersConserveSum(t *testing.T) {
+	const nAccounts = 8
+	const perThread = 2000
+	words := make([]*Word, nAccounts)
+	for i := range words {
+		words[i] = NewWord(1000)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*2654435761 + 1
+			for i := 0; i < perThread; i++ {
+				rnd = rnd*6364136223846793005 + 1442695040888963407
+				from := int(rnd>>33) % nAccounts
+				to := (from + 1 + int(rnd>>17)%(nAccounts-1)) % nAccounts
+				for {
+					fv := words[from].Load()
+					tv := words[to].Load()
+					if fv == 0 {
+						break
+					}
+					if DCAS(words[from], fv, fv-1, words[to], tv, tv+1) {
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, w := range words {
+		sum += w.Load()
+	}
+	if sum != nAccounts*1000 {
+		t.Fatalf("sum = %d, want %d", sum, nAccounts*1000)
+	}
+}
+
+// TestDCASvsCASInterleaving mixes single-word CAS increments with DCAS pair
+// increments on overlapping words; both counters must end exact.
+func TestDCASvsCASInterleaving(t *testing.T) {
+	a, b := NewWord(0), NewWord(0)
+	const n = 3000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			for {
+				av, bv := a.Load(), b.Load()
+				if DCAS(a, av, av+1, b, bv, bv+1) {
+					break
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			for {
+				v := a.Load()
+				if a.CAS(v, v+1) {
+					break
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if a.Load() != 2*n || b.Load() != n {
+		t.Fatalf("a=%d b=%d, want %d %d", a.Load(), b.Load(), 2*n, n)
+	}
+}
+
+// TestOverlappingDCASOrdering runs DCASes over shared overlapping pairs from
+// many goroutines to exercise the help path and the id-ordering that prevents
+// livelock. The per-word increment totals must be exact.
+func TestOverlappingDCASOrdering(t *testing.T) {
+	a, b, c := NewWord(0), NewWord(0), NewWord(0)
+	const n = 2000
+	var wg sync.WaitGroup
+	inc := func(x, y *Word) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			for {
+				xv, yv := x.Load(), y.Load()
+				if DCAS(x, xv, xv+1, y, yv, yv+1) {
+					break
+				}
+			}
+		}
+	}
+	wg.Add(3)
+	go inc(a, b)
+	go inc(b, c)
+	go inc(c, a)
+	wg.Wait()
+	if a.Load() != 2*n || b.Load() != 2*n || c.Load() != 2*n {
+		t.Fatalf("a=%d b=%d c=%d, want all %d", a.Load(), b.Load(), c.Load(), 2*n)
+	}
+}
+
+func TestQuickDCASMatchesSpec(t *testing.T) {
+	f := func(init1, init2, o1, n1, o2, n2 uint64) bool {
+		a, b := NewWord(init1), NewWord(init2)
+		ok := DCAS(a, o1, n1, b, o2, n2)
+		wantOK := init1 == o1 && init2 == o2
+		if ok != wantOK {
+			return false
+		}
+		if ok {
+			return a.Load() == n1 && b.Load() == n2
+		}
+		return a.Load() == init1 && b.Load() == init2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

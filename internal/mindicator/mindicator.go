@@ -1,0 +1,376 @@
+// Package mindicator implements a Mindicator-like quiescence structure
+// (Liu, Luchangco, Spear 2013): a static complete binary tree that maintains
+// the minimum over at most one value per participating thread, with
+// operations Arrive (offer a value), Depart (withdraw it), and Query (read
+// the current minimum). SNZI and the f-array are its relatives; unlike the
+// f-array not every operation must reach the root, and unlike SNZI it
+// computes min rather than a saturating bit.
+//
+// # Baseline protocol
+//
+// Each tree node is one 64-bit word packing a version counter and the node's
+// current minimum. An update writes its leaf, then walks toward the root
+// repairing each ancestor: read both children, recompute the minimum, and
+// install it with a versioned CAS. The walk stops early at the first ancestor
+// whose value the update does not change. Because the two child reads and the
+// parent CAS are not atomic, an upward pass alone can install a stale
+// minimum; the baseline therefore makes a second, downward validation pass
+// over the same ancestors — re-reading children and re-fixing any node that
+// went stale — before returning. This up-then-down structure (a versioned
+// write per node in each direction) plays the role of the original
+// Mindicator's mark-up/unmark-down discipline and is exactly the redundancy
+// PTO eliminates: inside a transaction the child reads and the parent write
+// are atomic, so one pass with one plain store per node suffices, and the
+// version is simply advanced by two in that single store (the paper's
+// "incremented once, by two"), eliminating the downward traversal entirely.
+//
+// Deviation from the original: the original Mindicator's Query is
+// linearizable; this variant guarantees quiescent consistency and
+// self-visibility after repair settles, which is sufficient for its standard
+// uses (quiescence detection, minimum-epoch tracking) and for reproducing the
+// paper's cost structure. See DESIGN.md §7.
+package mindicator
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+)
+
+// Infinity is the encoded "no value" sentinel. Values passed to Arrive must
+// be less than math.MaxInt32.
+const infEnc = math.MaxUint32
+
+// enc maps int32 values to uint32 so that unsigned comparison matches signed
+// comparison, reserving the top encoding for "absent".
+func enc(v int32) uint32 { return uint32(v) ^ 0x80000000 }
+
+func dec(e uint32) int32 { return int32(e ^ 0x80000000) }
+
+// pack combines a version counter and an encoded value into a node word.
+func pack(ver uint32, val uint32) uint64 { return uint64(ver)<<32 | uint64(val) }
+
+func unpack(w uint64) (ver uint32, val uint32) { return uint32(w >> 32), uint32(w) }
+
+// Tree is the lock-free baseline Mindicator. Slots (leaves) are assigned to
+// threads by the caller; the default mapping used by the benchmarks assigns
+// thread i to slot i, left to right, as in the paper.
+type Tree struct {
+	leaves int
+	nodes  []atomic.Uint64
+}
+
+// New returns a Mindicator with the given number of leaves, which must be a
+// power of two and at least 2.
+func New(leaves int) *Tree {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		panic("mindicator: leaves must be a power of two ≥ 2")
+	}
+	t := &Tree{leaves: leaves, nodes: make([]atomic.Uint64, 2*leaves-1)}
+	for i := range t.nodes {
+		t.nodes[i].Store(pack(0, infEnc))
+	}
+	return t
+}
+
+// Leaves returns the number of slots.
+func (t *Tree) Leaves() int { return t.leaves }
+
+func (t *Tree) leafIndex(slot int) int { return t.leaves - 1 + slot }
+
+// setLeaf installs val at the slot's leaf with a version bump.
+func (t *Tree) setLeaf(slot int, val uint32) {
+	i := t.leafIndex(slot)
+	for {
+		old := t.nodes[i].Load()
+		ver, _ := unpack(old)
+		if t.nodes[i].CompareAndSwap(old, pack(ver+1, val)) {
+			return
+		}
+	}
+}
+
+// repair makes node i consistent with its children once, returning whether it
+// wrote (changed the value). Used for the optimistic upward pass.
+func (t *Tree) repair(i int) bool {
+	for {
+		lv := func() uint32 { _, v := unpack(t.nodes[2*i+1].Load()); return v }()
+		rv := func() uint32 { _, v := unpack(t.nodes[2*i+2].Load()); return v }()
+		m := min(lv, rv)
+		cur := t.nodes[i].Load()
+		ver, val := unpack(cur)
+		if val == m {
+			return false
+		}
+		if t.nodes[i].CompareAndSwap(cur, pack(ver+1, m)) {
+			return true
+		}
+	}
+}
+
+// validate repairs node i until a fresh read of the children confirms the
+// installed value; this is the downward double-check pass.
+func (t *Tree) validate(i int) {
+	for t.repair(i) {
+	}
+}
+
+// update writes val to the slot's leaf and restores the min-tree invariant
+// along the leaf-to-root path: an upward optimistic pass with early stopping,
+// then a downward validation pass over the visited ancestors.
+func (t *Tree) update(slot int, val uint32) {
+	t.setLeaf(slot, val)
+	var visited [64]int
+	n := 0
+	for i := parent(t.leafIndex(slot)); ; i = parent(i) {
+		visited[n] = i
+		n++
+		if !t.repair(i) {
+			break
+		}
+		if i == 0 {
+			break
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		t.validate(visited[k])
+	}
+}
+
+func parent(i int) int { return (i - 1) / 2 }
+
+// Arrive offers v as the calling thread's value. The thread must have
+// departed (or never arrived) before arriving again. v must be < MaxInt32.
+func (t *Tree) Arrive(slot int, v int32) { t.update(slot, enc(v)) }
+
+// Depart withdraws the calling thread's value.
+func (t *Tree) Depart(slot int) { t.update(slot, infEnc) }
+
+// Query returns the current minimum over arrived values, and false if no
+// thread is arrived.
+func (t *Tree) Query() (int32, bool) {
+	_, val := unpack(t.nodes[0].Load())
+	if val == infEnc {
+		return 0, false
+	}
+	return dec(val), true
+}
+
+// PTO is the prefix-transaction-accelerated Mindicator: the whole update runs
+// as one transaction that coalesces the mark and unmark version bumps into a
+// single +2 store per node and performs no downward pass; after the tuned
+// number of attempts (three, per §3.1) it falls back to the baseline
+// protocol. Query is unchanged.
+type PTO struct {
+	domain  *htm.Domain
+	leaves  int
+	nodes   []htm.Var[uint64]
+	stats   *core.Stats
+	retries int
+}
+
+// DefaultAttempts is the retry threshold the paper settled on for the
+// Mindicator ("a choice of three attempts yielded the best performance").
+const DefaultAttempts = 3
+
+// NewPTO returns a PTO-accelerated Mindicator. attempts ≤ 0 selects
+// DefaultAttempts.
+func NewPTO(leaves, attempts int) *PTO {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		panic("mindicator: leaves must be a power of two ≥ 2")
+	}
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	p := &PTO{
+		domain:  htm.NewDomain(0, 0),
+		leaves:  leaves,
+		nodes:   make([]htm.Var[uint64], 2*leaves-1),
+		stats:   core.NewStats(1),
+		retries: attempts,
+	}
+	for i := range p.nodes {
+		p.nodes[i].Init(p.domain, pack(0, infEnc))
+	}
+	return p
+}
+
+// Leaves returns the number of slots.
+func (p *PTO) Leaves() int { return p.leaves }
+
+// Stats exposes commit/fallback counters for diagnostics and tests.
+func (p *PTO) Stats() *core.Stats { return p.stats }
+
+// Domain exposes the transactional domain (for tests).
+func (p *PTO) Domain() *htm.Domain { return p.domain }
+
+func (p *PTO) update(slot int, val uint32) {
+	leaf := p.leaves - 1 + slot
+	core.Run(p.domain, p.retries, func(tx *htm.Tx) {
+		// Prefix transaction: one pass, one plain store per node, version
+		// advanced by two (coalesced mark+unmark), no downward traversal.
+		w := htm.Load(tx, &p.nodes[leaf])
+		ver, _ := unpack(w)
+		htm.Store(tx, &p.nodes[leaf], pack(ver+2, val))
+		for i := parent(leaf); ; i = parent(i) {
+			_, lv := unpack(htm.Load(tx, &p.nodes[2*i+1]))
+			_, rv := unpack(htm.Load(tx, &p.nodes[2*i+2]))
+			m := min(lv, rv)
+			cur := htm.Load(tx, &p.nodes[i])
+			cver, cval := unpack(cur)
+			if cval == m {
+				break
+			}
+			htm.Store(tx, &p.nodes[i], pack(cver+2, m))
+			if i == 0 {
+				break
+			}
+		}
+	}, func() {
+		p.fallback(slot, val)
+	}, p.stats)
+}
+
+// fallback is the original baseline protocol expressed over the transactional
+// Vars (the fallback path of the prefix transaction transformation).
+func (p *PTO) fallback(slot int, val uint32) {
+	leaf := p.leaves - 1 + slot
+	for {
+		old := htm.Load(nil, &p.nodes[leaf])
+		ver, _ := unpack(old)
+		if htm.CAS(nil, &p.nodes[leaf], old, pack(ver+1, val)) {
+			break
+		}
+	}
+	var visited [64]int
+	n := 0
+	for i := parent(leaf); ; i = parent(i) {
+		visited[n] = i
+		n++
+		if !p.repairVar(i) {
+			break
+		}
+		if i == 0 {
+			break
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		for p.repairVar(visited[k]) {
+		}
+	}
+}
+
+func (p *PTO) repairVar(i int) bool {
+	for {
+		_, lv := unpack(htm.Load(nil, &p.nodes[2*i+1]))
+		_, rv := unpack(htm.Load(nil, &p.nodes[2*i+2]))
+		m := min(lv, rv)
+		cur := htm.Load(nil, &p.nodes[i])
+		ver, val := unpack(cur)
+		if val == m {
+			return false
+		}
+		if htm.CAS(nil, &p.nodes[i], cur, pack(ver+1, m)) {
+			return true
+		}
+	}
+}
+
+// Arrive offers v as the calling thread's value.
+func (p *PTO) Arrive(slot int, v int32) { p.update(slot, enc(v)) }
+
+// Depart withdraws the calling thread's value.
+func (p *PTO) Depart(slot int) { p.update(slot, infEnc) }
+
+// Query returns the current minimum over arrived values.
+func (p *PTO) Query() (int32, bool) {
+	_, val := unpack(htm.Load(nil, &p.nodes[0]))
+	if val == infEnc {
+		return 0, false
+	}
+	return dec(val), true
+}
+
+// TLE is the comparison point from Figure 2(a): a sequential min-tree
+// protected by a single coarse lock, accelerated with transactional lock
+// elision. The speculative path verifies the lock is free and runs the
+// sequential update inside a transaction; the fallback acquires the lock.
+type TLE struct {
+	domain  *htm.Domain
+	leaves  int
+	lock    htm.Var[uint64]
+	nodes   []htm.Var[uint64] // sequential representation: encoded values only
+	stats   *core.Stats
+	retries int
+}
+
+// NewTLE returns a TLE-protected sequential Mindicator.
+func NewTLE(leaves, attempts int) *TLE {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		panic("mindicator: leaves must be a power of two ≥ 2")
+	}
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	t := &TLE{
+		domain:  htm.NewDomain(0, 0),
+		leaves:  leaves,
+		nodes:   make([]htm.Var[uint64], 2*leaves-1),
+		stats:   core.NewStats(1),
+		retries: attempts,
+	}
+	t.lock.Init(t.domain, 0)
+	for i := range t.nodes {
+		t.nodes[i].Init(t.domain, uint64(infEnc))
+	}
+	return t
+}
+
+// Stats exposes commit/fallback counters.
+func (t *TLE) Stats() *core.Stats { return t.stats }
+
+func (t *TLE) seqUpdate(tx *htm.Tx, slot int, val uint32) {
+	i := t.leaves - 1 + slot
+	htm.Store(tx, &t.nodes[i], uint64(val))
+	for i != 0 {
+		i = parent(i)
+		l := uint32(htm.Load(tx, &t.nodes[2*i+1]))
+		r := uint32(htm.Load(tx, &t.nodes[2*i+2]))
+		m := min(l, r)
+		if uint32(htm.Load(tx, &t.nodes[i])) == m {
+			break
+		}
+		htm.Store(tx, &t.nodes[i], uint64(m))
+	}
+}
+
+func (t *TLE) update(slot int, val uint32) {
+	core.Run(t.domain, t.retries, func(tx *htm.Tx) {
+		if htm.Load(tx, &t.lock) != 0 {
+			tx.Abort(1) // lock held: elision impossible right now
+		}
+		t.seqUpdate(tx, slot, val)
+	}, func() {
+		for !htm.CAS(nil, &t.lock, 0, 1) {
+		}
+		t.seqUpdate(nil, slot, val)
+		htm.Store(nil, &t.lock, 0)
+	}, t.stats)
+}
+
+// Arrive offers v as the calling thread's value.
+func (t *TLE) Arrive(slot int, v int32) { t.update(slot, enc(v)) }
+
+// Depart withdraws the calling thread's value.
+func (t *TLE) Depart(slot int) { t.update(slot, infEnc) }
+
+// Query returns the current minimum over arrived values.
+func (t *TLE) Query() (int32, bool) {
+	val := uint32(htm.Load(nil, &t.nodes[0]))
+	if val == infEnc {
+		return 0, false
+	}
+	return dec(val), true
+}

@@ -1,0 +1,233 @@
+package mound
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mcas"
+)
+
+// mcasBackend is the baseline substrate: node words are mcas.Words and the
+// multi-word operations run the descriptor-based software protocol, costing
+// up to five CAS instructions each — the latency PTO removes.
+type mcasBackend struct {
+	words []*mcas.Word
+}
+
+func newMCASBackend(size int) *mcasBackend {
+	b := &mcasBackend{words: make([]*mcas.Word, size)}
+	for i := range b.words {
+		b.words[i] = mcas.NewWord(0)
+	}
+	return b
+}
+
+func (b *mcasBackend) load(id int) uint64 { return b.words[id].Load() }
+
+func (b *mcasBackend) cas(id int, old, new uint64) bool { return b.words[id].CAS(old, new) }
+
+func (b *mcasBackend) dcss(cmp int, expect uint64, tgt int, old, new uint64) bool {
+	return mcas.DCSS(b.words[cmp], expect, b.words[tgt], old, new)
+}
+
+func (b *mcasBackend) dcas(id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
+	return mcas.DCAS(b.words[id1], o1, n1, b.words[id2], o2, n2)
+}
+
+// DefaultAttempts is the paper's tuned transaction retry budget for the
+// Mound's DCAS/DCSS sub-operations ("ultimately settling on a value of
+// four... used for all DCASes, whether at the (high contention) root of the
+// Mound, or at leaves").
+const DefaultAttempts = 4
+
+// mword is a node word in the PTO substrate: the packed value plus an
+// optional claim by an in-flight software DCAS descriptor (the fallback
+// path). Mound words embed a version counter, so value-based CAS is ABA-free.
+type mword struct {
+	val  uint64
+	desc *mdesc
+}
+
+type mdesc struct {
+	status  atomic.Uint32
+	entries [2]mentry
+}
+
+type mentry struct {
+	w        *htm.Var[mword]
+	id       int
+	old, new uint64
+}
+
+const (
+	undecided uint32 = iota
+	succeeded
+	failed
+)
+
+// ptoBackend runs each DCAS/DCSS as a prefix transaction — two or three
+// plain loads, a comparison, and one or two buffered stores, with no CAS and
+// no descriptor traffic — retried up to attempts times before falling back
+// to the descriptor protocol over the same words.
+type ptoBackend struct {
+	domain   *htm.Domain
+	words    []htm.Var[mword]
+	attempts int
+	stats    *core.Stats
+}
+
+func newPTOBackend(size, attempts int) *ptoBackend {
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	b := &ptoBackend{domain: htm.NewDomain(0, 0), words: make([]htm.Var[mword], size),
+		attempts: attempts, stats: core.NewStats(1)}
+	for i := range b.words {
+		b.words[i].Init(b.domain, mword{})
+	}
+	return b
+}
+
+// NewPTO returns an empty PTO-accelerated mound (≤ 0 arguments select the
+// defaults).
+func NewPTO(maxDepth, attempts int) *Mound {
+	m := newMound(maxDepth)
+	m.be = newPTOBackend(m.size, attempts)
+	return m
+}
+
+// Stats exposes the PTO outcome counters of a PTO-backed mound, or nil for
+// the baseline.
+func (m *Mound) Stats() *core.Stats {
+	if b, ok := m.be.(*ptoBackend); ok {
+		return b.stats
+	}
+	return nil
+}
+
+// Domain exposes the transactional domain of a PTO-backed mound, or nil for
+// the baseline (for tests and diagnostics).
+func (m *Mound) Domain() *htm.Domain {
+	if b, ok := m.be.(*ptoBackend); ok {
+		return b.domain
+	}
+	return nil
+}
+
+// load resolves any in-flight descriptor before returning the word value.
+func (b *ptoBackend) load(id int) uint64 {
+	for {
+		w := htm.Load(nil, &b.words[id])
+		if w.desc == nil {
+			return w.val
+		}
+		b.help(w.desc)
+	}
+}
+
+func (b *ptoBackend) cas(id int, old, new uint64) bool {
+	for {
+		w := htm.Load(nil, &b.words[id])
+		if w.desc != nil {
+			b.help(w.desc)
+			continue
+		}
+		if w.val != old {
+			return false
+		}
+		if htm.CAS(nil, &b.words[id], mword{val: old}, mword{val: new}) {
+			return true
+		}
+	}
+}
+
+func (b *ptoBackend) dcss(cmp int, expect uint64, tgt int, old, new uint64) bool {
+	return b.dcas(cmp, expect, expect, tgt, old, new)
+}
+
+func (b *ptoBackend) dcas(id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
+	// Prefix transaction: the whole double-word update as plain loads,
+	// branches, and buffered stores (§2.3's strength reduction).
+	for a := 0; a < b.attempts; a++ {
+		var result bool
+		st := b.domain.Atomically(func(tx *htm.Tx) {
+			w1 := htm.Load(tx, &b.words[id1])
+			w2 := htm.Load(tx, &b.words[id2])
+			if w1.desc != nil || w2.desc != nil {
+				// A software DCAS is mid-flight; abort rather than help
+				// (§2.4) — the conflict that made it visible would abort us
+				// anyway.
+				tx.Abort(1)
+			}
+			if w1.val != o1 || w2.val != o2 {
+				result = false
+				return
+			}
+			htm.Store(tx, &b.words[id1], mword{val: n1})
+			htm.Store(tx, &b.words[id2], mword{val: n2})
+			result = true
+		})
+		if st == htm.Committed {
+			b.stats.CommitsByLevel[0].Add(1)
+			return result
+		}
+		b.stats.Aborts.Add(1)
+	}
+	b.stats.Fallbacks.Add(1)
+	return b.dcasFallback(id1, o1, n1, id2, o2, n2)
+}
+
+// dcasFallback is the original descriptor-based protocol (cf. internal/mcas)
+// expressed over the transactional words.
+func (b *ptoBackend) dcasFallback(id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
+	d := &mdesc{}
+	d.entries[0] = mentry{w: &b.words[id1], id: id1, old: o1, new: n1}
+	d.entries[1] = mentry{w: &b.words[id2], id: id2, old: o2, new: n2}
+	if id2 < id1 {
+		d.entries[0], d.entries[1] = d.entries[1], d.entries[0]
+	}
+	b.help(d)
+	return d.status.Load() == succeeded
+}
+
+func (b *ptoBackend) help(d *mdesc) {
+claim:
+	for i := range d.entries {
+		e := &d.entries[i]
+		for {
+			if d.status.Load() != undecided {
+				break claim
+			}
+			w := htm.Load(nil, e.w)
+			switch {
+			case w.desc == d:
+				// Already claimed.
+			case w.desc != nil:
+				b.help(w.desc)
+				continue
+			case w.val != e.old:
+				d.status.CompareAndSwap(undecided, failed)
+				break claim
+			default:
+				if !htm.CAS(nil, e.w, w, mword{val: e.old, desc: d}) {
+					continue
+				}
+			}
+			break
+		}
+	}
+	d.status.CompareAndSwap(undecided, succeeded)
+	final := d.status.Load() == succeeded
+	for i := range d.entries {
+		e := &d.entries[i]
+		w := htm.Load(nil, e.w)
+		if w.desc == d {
+			v := e.old
+			if final {
+				v = e.new
+			}
+			htm.CAS(nil, e.w, w, mword{val: v})
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package msqueue implements the Michael–Scott nonblocking FIFO queue — the
+// paper's §2.3 exemplar of double-checked reads [35] — and a PTO-accelerated
+// variant, exercising §5's claim that the technique extends beyond the five
+// evaluated structures.
+//
+// The baseline is the classic algorithm: enqueue links at the tail and then
+// swings the tail pointer in a second CAS, with every operation
+// double-checking that its snapshot of head/tail is still current and
+// helping a lagging tail forward. The PTO enqueue performs the link and the
+// tail swing as one prefix transaction — the lagging-tail intermediate
+// state never becomes visible and the double-checks disappear — aborting
+// explicitly (rather than helping) when it observes a tail left lagging by
+// a concurrent fallback enqueue (§2.4). The PTO dequeue is a two-store
+// transaction with the same discipline.
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+)
+
+// DefaultAttempts is the transaction retry budget for the PTO variant.
+const DefaultAttempts = 3
+
+type node struct {
+	val  int64
+	next atomic.Pointer[node]
+}
+
+// Queue is the lock-free baseline FIFO queue.
+type Queue struct {
+	head atomic.Pointer[node]
+	tail atomic.Pointer[node]
+	// helps counts lagging-tail assists (the work PTO eliminates).
+	helps atomic.Uint64
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{}
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(v int64) {
+	n := &node{val: v}
+	for {
+		t := q.tail.Load()
+		next := t.next.Load()
+		if t != q.tail.Load() { // double-check the snapshot
+			continue
+		}
+		if next != nil {
+			q.helps.Add(1)
+			q.tail.CompareAndSwap(t, next) // help the lagging tail
+			continue
+		}
+		if t.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, reporting false when empty.
+func (q *Queue) Dequeue() (int64, bool) {
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		next := h.next.Load()
+		if h != q.head.Load() { // double-check the snapshot
+			continue
+		}
+		if h == t {
+			if next == nil {
+				return 0, false
+			}
+			q.helps.Add(1)
+			q.tail.CompareAndSwap(t, next)
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(h, next) {
+			return v, true
+		}
+	}
+}
+
+// HelpCount returns how many lagging-tail assists have run.
+func (q *Queue) HelpCount() uint64 { return q.helps.Load() }
+
+// Len counts queued values (O(n); tests and examples).
+func (q *Queue) Len() int {
+	n := 0
+	for c := q.head.Load().next.Load(); c != nil; c = c.next.Load() {
+		n++
+	}
+	return n
+}
+
+// PTOQueue is the PTO-accelerated FIFO queue.
+type PTOQueue struct {
+	domain   *htm.Domain
+	head     htm.Var[*pnode]
+	tail     htm.Var[*pnode]
+	attempts int
+	enqStats *core.Stats
+	deqStats *core.Stats
+}
+
+type pnode struct {
+	val  int64
+	next htm.Var[*pnode]
+}
+
+// NewPTO returns an empty PTO-accelerated queue (attempts ≤ 0 selects
+// DefaultAttempts).
+func NewPTO(attempts int) *PTOQueue {
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	q := &PTOQueue{domain: htm.NewDomain(0, 0), attempts: attempts,
+		enqStats: core.NewStats(1), deqStats: core.NewStats(1)}
+	dummy := &pnode{}
+	dummy.next.Init(q.domain, nil)
+	q.head.Init(q.domain, dummy)
+	q.tail.Init(q.domain, dummy)
+	return q
+}
+
+// EnqueueStats and DequeueStats expose PTO outcome counters.
+func (q *PTOQueue) EnqueueStats() *core.Stats { return q.enqStats }
+
+// Domain exposes the transactional domain (for tests and diagnostics).
+func (q *PTOQueue) Domain() *htm.Domain { return q.domain }
+
+// DequeueStats exposes PTO outcome counters for dequeues.
+func (q *PTOQueue) DequeueStats() *core.Stats { return q.deqStats }
+
+// Enqueue appends v. The prefix transaction links the node and swings the
+// tail in one atomic step: no double-checks, no lagging-tail state.
+func (q *PTOQueue) Enqueue(v int64) {
+	n := &pnode{val: v}
+	n.next.Init(q.domain, nil)
+	for a := 0; a < q.attempts; a++ {
+		st := q.domain.Atomically(func(tx *htm.Tx) {
+			t := htm.Load(tx, &q.tail)
+			if htm.Load(tx, &t.next) != nil {
+				tx.Abort(1) // a fallback enqueue left the tail lagging
+			}
+			htm.Store(tx, &t.next, n)
+			htm.Store(tx, &q.tail, n)
+		})
+		if st == htm.Committed {
+			q.enqStats.CommitsByLevel[0].Add(1)
+			return
+		}
+		q.enqStats.Aborts.Add(1)
+		if st == htm.AbortExplicit {
+			break
+		}
+	}
+	q.enqStats.Fallbacks.Add(1)
+	q.enqueueFallback(n)
+}
+
+// enqueueFallback is the original two-CAS protocol with helping.
+func (q *PTOQueue) enqueueFallback(n *pnode) {
+	for {
+		t := htm.Load(nil, &q.tail)
+		next := htm.Load(nil, &t.next)
+		if t != htm.Load(nil, &q.tail) {
+			continue
+		}
+		if next != nil {
+			htm.CAS(nil, &q.tail, t, next)
+			continue
+		}
+		if htm.CAS(nil, &t.next, nil, n) {
+			htm.CAS(nil, &q.tail, t, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, reporting false when empty.
+func (q *PTOQueue) Dequeue() (int64, bool) {
+	for a := 0; a < q.attempts; a++ {
+		var v int64
+		var ok bool
+		st := q.domain.Atomically(func(tx *htm.Tx) {
+			h := htm.Load(tx, &q.head)
+			t := htm.Load(tx, &q.tail)
+			next := htm.Load(tx, &h.next)
+			if next == nil {
+				ok = false
+				return
+			}
+			if h == t {
+				tx.Abort(1) // lagging tail: let the fallback help it
+			}
+			v, ok = next.val, true
+			htm.Store(tx, &q.head, next)
+		})
+		if st == htm.Committed {
+			q.deqStats.CommitsByLevel[0].Add(1)
+			return v, ok
+		}
+		q.deqStats.Aborts.Add(1)
+		if st == htm.AbortExplicit {
+			break
+		}
+	}
+	q.deqStats.Fallbacks.Add(1)
+	return q.dequeueFallback()
+}
+
+// dequeueFallback is the original protocol with double-checks and helping.
+func (q *PTOQueue) dequeueFallback() (int64, bool) {
+	for {
+		h := htm.Load(nil, &q.head)
+		t := htm.Load(nil, &q.tail)
+		next := htm.Load(nil, &h.next)
+		if h != htm.Load(nil, &q.head) {
+			continue
+		}
+		if h == t {
+			if next == nil {
+				return 0, false
+			}
+			htm.CAS(nil, &q.tail, t, next)
+			continue
+		}
+		v := next.val
+		if htm.CAS(nil, &q.head, h, next) {
+			return v, true
+		}
+	}
+}
+
+// Len counts queued values (O(n); tests and examples).
+func (q *PTOQueue) Len() int {
+	n := 0
+	for c := htm.Load(nil, &htm.Load(nil, &q.head).next); c != nil; c = htm.Load(nil, &c.next) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package sim
+
+import "testing"
+
+// TestStrongAtomicityInvariant maintains x == y via transactional writers on
+// half the threads while the other half performs non-transactional paired
+// reads; because every reader event is globally ordered against every
+// commit's write-back (which is atomic in the simulator), a reader's (x, y)
+// pair may differ by at most the commits between its two loads — and since
+// x is always read first and both move together, y can never be observed
+// behind x.
+func TestStrongAtomicityInvariant(t *testing.T) {
+	for _, threads := range []int{2, 4, 8} {
+		m := New(DefaultConfig(threads))
+		setup := m.Thread(0)
+		x := setup.Alloc(1)
+		y := setup.Alloc(1) // distinct lines (line-aligned allocations)
+		violations := make([]int, 16)
+		m.Run(func(th *Thread) {
+			if th.ID()%2 == 0 {
+				for i := 0; i < 300; i++ {
+					th.Atomic(func() {
+						v := th.Load(x)
+						th.Store(x, v+1)
+						th.Store(y, v+1)
+					})
+				}
+				return
+			}
+			for i := 0; i < 600; i++ {
+				a := th.Load(x)
+				b := th.Load(y)
+				if b < a {
+					violations[th.ID()]++
+				}
+			}
+		})
+		for id, v := range violations {
+			if v != 0 {
+				t.Fatalf("threads=%d: reader %d saw y behind x %d times", threads, id, v)
+			}
+		}
+	}
+}
+
+// TestTxCounterExactness: transactional increments from every thread, with
+// conflicts retried, must produce an exact total — lost updates would mean
+// commits are not atomic.
+func TestTxCounterExactness(t *testing.T) {
+	m := New(DefaultConfig(8))
+	setup := m.Thread(0)
+	c := setup.Alloc(1)
+	const per = 150
+	m.Run(func(th *Thread) {
+		for i := 0; i < per; i++ {
+			for {
+				st := th.Atomic(func() {
+					th.Store(c, th.Load(c)+1)
+				})
+				if st == OK {
+					break
+				}
+				th.Work(20 + th.Rand()%50)
+			}
+		}
+	})
+	if got := setup.Load(c); got != 8*per {
+		t.Fatalf("counter = %d, want %d", got, 8*per)
+	}
+}
+
+// TestMixedTxAndCASCounter mixes transactional increments with plain CAS
+// increments on the same word; the total must still be exact (strong
+// atomicity between transactional and non-transactional code).
+func TestMixedTxAndCASCounter(t *testing.T) {
+	m := New(DefaultConfig(8))
+	setup := m.Thread(0)
+	c := setup.Alloc(1)
+	const per = 150
+	m.Run(func(th *Thread) {
+		for i := 0; i < per; i++ {
+			if th.ID()%2 == 0 {
+				for {
+					if th.Atomic(func() { th.Store(c, th.Load(c)+1) }) == OK {
+						break
+					}
+					th.Work(20 + th.Rand()%50)
+				}
+			} else {
+				for {
+					v := th.Load(c)
+					if th.CAS(c, v, v+1) {
+						break
+					}
+				}
+			}
+		}
+	})
+	if got := setup.Load(c); got != 8*per {
+		t.Fatalf("counter = %d, want %d", got, 8*per)
+	}
+}
+
+// TestConflictStatsConsistency: commits + aborts must equal attempts, and a
+// committed transaction's writes must all be visible.
+func TestConflictStatsConsistency(t *testing.T) {
+	m := New(DefaultConfig(4))
+	setup := m.Thread(0)
+	a := setup.Alloc(4 * LineWords)
+	attempts := make([]uint64, 16)
+	m.Run(func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			attempts[th.ID()]++
+			th.Atomic(func() {
+				slot := a + Addr(th.Rand()%4*LineWords)
+				th.Store(slot, th.Load(slot)+1)
+			})
+		}
+	})
+	s := m.Stats()
+	var total uint64
+	for _, x := range attempts {
+		total += x
+	}
+	outcomes := s.TxCommits + s.TxConflicts + s.TxCapacity + s.TxExplicit
+	if outcomes != total {
+		t.Fatalf("outcomes %d != attempts %d (%+v)", outcomes, total, s)
+	}
+	// The slot totals must equal the number of COMMITS.
+	var sum uint64
+	for i := 0; i < 4; i++ {
+		sum += setup.Load(a + Addr(i*LineWords))
+	}
+	if sum != s.TxCommits {
+		t.Fatalf("slot sum %d != commits %d", sum, s.TxCommits)
+	}
+}

@@ -1,0 +1,587 @@
+// Package sim is a deterministic discrete-event simulator of a small
+// multicore with best-effort hardware transactional memory, standing in for
+// the paper's testbed (an Intel i7-4770 with RTM) per the substitution rule
+// in DESIGN.md §2.
+//
+// The machine executes one memory event at a time, always the one belonging
+// to the runnable thread with the smallest cycle clock (ties broken by
+// thread id), so a run is a total order of events and is reproducible
+// bit-for-bit. Each event is charged cycles by a single calibrated cost
+// model (cost.go): cache hits and misses through a MESI-like directory,
+// cache-to-cache transfers, CAS and fence premiums, allocator bookkeeping on
+// shared metadata lines, and HTM boundary instructions.
+//
+// The HTM is best-effort with requester-wins conflict detection, as on
+// Haswell: any foreign access to a line in a transaction's write set, or any
+// foreign write to a line in its read set, aborts the transaction; the write
+// set is bounded by the L1 and the read set by a larger tracking structure;
+// transactions may also abort themselves explicitly. Transactional writes
+// are buffered and applied at commit, so no concurrent thread ever observes
+// a partial transaction (strong atomicity).
+//
+// Threads beyond the core count share cores (2-way SMT); while both
+// hyperthreads of a core are live, their event costs are multiplied by a
+// contention factor, which produces the characteristic knee at the core
+// count in throughput curves.
+//
+// Simulated code runs as ordinary Go against the Thread API (Load, Store,
+// CAS, Fence, Alloc, Atomic, ...); outside Machine.Run those calls execute
+// immediately and free of charge, which is how benchmarks prefill data
+// structures.
+package sim
+
+import "fmt"
+
+// Addr is a simulated memory address in 8-byte words. Address 0 is the null
+// pointer and is never allocated.
+type Addr uint64
+
+// LineWords is the cache line size in words (64 bytes).
+const LineWords = 8
+
+func lineOf(a Addr) uint64 { return uint64(a) / LineWords }
+
+// Status reports how a transaction attempt ended.
+type Status int
+
+const (
+	// OK means the transaction committed.
+	OK Status = iota
+	// AbortConflict is a requester-wins data conflict.
+	AbortConflict
+	// AbortCapacity means the read or write footprint exceeded the HTM's
+	// tracking capacity.
+	AbortCapacity
+	// AbortExplicit is a self-inflicted abort (Thread.TxAbort).
+	AbortExplicit
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Stats aggregates machine-wide event counts for diagnostics.
+type Stats struct {
+	Loads, Stores, CASes, Fences uint64
+	Allocs, Frees                uint64
+	TxCommits                    uint64
+	TxConflicts                  uint64
+	TxCapacity                   uint64
+	TxExplicit                   uint64
+}
+
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opStore
+	opCAS
+	opFence
+	opAlloc
+	opAllocLocal
+	opFree
+	opWork
+	opTxBegin
+	opTxEnd
+	opTxAbort
+	opDone
+)
+
+type request struct {
+	tid  int
+	kind opKind
+	addr Addr
+	val  uint64 // store value / CAS new / work cycles / alloc words
+	old  uint64 // CAS expected
+	code int    // explicit abort code
+}
+
+type reply struct {
+	val     uint64 // load result / alloc address
+	ok      bool   // CAS result
+	now     uint64 // thread clock after the event
+	aborted bool
+	status  Status
+}
+
+// dline is a directory entry: which thread owns the line modified (-1 none)
+// and which threads share it.
+type dline struct {
+	owner   int8
+	sharers uint16
+}
+
+const pageWords = 1 << 12
+
+// thread is the scheduler-side state of a simulated hardware thread.
+type thread struct {
+	id    int
+	clock uint64
+	done  bool
+
+	// L1 model: directory bits are authoritative; fifo approximates
+	// occupancy for capacity eviction.
+	fifo []uint64
+
+	inTx      bool
+	txAborted bool
+	txStatus  Status
+	readSet   map[uint64]struct{}
+	// readFilter is the imprecise (hashed) read-set signature: as on
+	// Haswell, reads are tracked in a filter that can report false
+	// conflicts, so the false-abort probability grows with read-set size.
+	readFilter map[uint64]struct{}
+	writeSet   map[uint64]struct{}
+	writeBuf   map[Addr]uint64
+	writeOrder []Addr
+
+	pending *request
+	replyCh chan reply
+}
+
+// Machine is the simulated multicore. Create with New, build initial state
+// with direct Thread calls, then measure with Run.
+type Machine struct {
+	cfg   Config
+	cost  CostModel
+	stats Stats
+
+	pages map[uint64]*[pageWords]uint64
+	dir   map[uint64]*dline
+
+	threads []*thread
+	api     []*Thread
+
+	nextAddr  Addr
+	allocLine [1]Addr // shared allocator metadata line (the malloc bottleneck)
+
+	running bool
+	reqCh   chan *request
+
+	// directBuf/directOrder implement write buffering for setup-time
+	// transactions (direct mode).
+	directBuf   map[Addr]uint64
+	directOrder []Addr
+}
+
+// New returns a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Threads <= 0 || cfg.Threads > 16 {
+		panic("sim: thread count out of range")
+	}
+	m := &Machine{
+		cfg:      cfg,
+		cost:     cfg.Cost,
+		pages:    make(map[uint64]*[pageWords]uint64),
+		dir:      make(map[uint64]*dline),
+		nextAddr: LineWords, // skip the null line
+		reqCh:    make(chan *request, cfg.Threads),
+	}
+	// Reserve the allocator metadata lines.
+	for i := range m.allocLine {
+		m.allocLine[i] = m.nextAddr
+		m.nextAddr += LineWords
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		t := &thread{id: i, replyCh: make(chan reply, 1)}
+		t.resetTx()
+		m.threads = append(m.threads, t)
+		m.api = append(m.api, &Thread{m: m, id: i, rng: splitmix(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15)})
+	}
+	return m
+}
+
+func (t *thread) resetTx() {
+	t.inTx = false
+	t.txAborted = false
+	t.readSet = nil
+	t.readFilter = nil
+	t.writeSet = nil
+	t.writeBuf = nil
+	t.writeOrder = nil
+}
+
+// Stats returns machine-wide event counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Thread returns the API handle for hardware thread i. Before Run, its
+// operations execute directly (for building initial state); during Run it
+// must only be used by the body function running on it.
+func (m *Machine) Thread(i int) *Thread { return m.api[i] }
+
+// word returns a pointer to the backing word for a.
+func (m *Machine) word(a Addr) *uint64 {
+	p := m.pages[uint64(a)/pageWords]
+	if p == nil {
+		p = new([pageWords]uint64)
+		m.pages[uint64(a)/pageWords] = p
+	}
+	return &p[uint64(a)%pageWords]
+}
+
+func (m *Machine) dirEntry(l uint64) *dline {
+	d := m.dir[l]
+	if d == nil {
+		d = &dline{owner: -1}
+		m.dir[l] = d
+	}
+	return d
+}
+
+// sibling returns the id of t's SMT sibling, or -1.
+func (m *Machine) sibling(tid int) int {
+	s := -1
+	for i := 0; i < m.cfg.Threads; i++ {
+		if i != tid && i%m.cfg.Cores == tid%m.cfg.Cores {
+			s = i
+		}
+	}
+	return s
+}
+
+// Run executes body concurrently on the first n threads (n = cfg.Threads)
+// and returns when every body has returned. It may be called repeatedly.
+func (m *Machine) Run(body func(t *Thread)) {
+	m.running = true
+	for _, t := range m.threads {
+		t.done = false
+		t.pending = nil
+	}
+	panics := make([]any, m.cfg.Threads)
+	for i := 0; i < m.cfg.Threads; i++ {
+		api := m.api[i]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// Surface panics from simulated code to Run's caller.
+					panics[api.id] = fmt.Sprintf("sim thread %d: %v", api.id, r)
+				}
+				m.reqCh <- &request{tid: api.id, kind: opDone}
+			}()
+			body(api)
+		}()
+	}
+	live := m.cfg.Threads
+	waiting := 0
+	for live > 0 {
+		for waiting < live {
+			r := <-m.reqCh
+			t := m.threads[r.tid]
+			if r.kind == opDone {
+				t.done = true
+				live--
+				continue
+			}
+			t.pending = r
+			waiting++
+		}
+		if live == 0 {
+			break
+		}
+		// Pick the runnable thread with the smallest clock.
+		var pick *thread
+		for _, t := range m.threads {
+			if t.pending != nil && !t.done && (pick == nil || t.clock < pick.clock) {
+				pick = t
+			}
+		}
+		req := pick.pending
+		pick.pending = nil
+		waiting--
+		rep := m.process(pick, req)
+		rep.now = pick.clock
+		pick.replyCh <- rep
+	}
+	m.running = false
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// charge adds cycles to t's clock, inflated if its SMT sibling is live.
+func (m *Machine) charge(t *thread, c uint64) {
+	if s := m.sibling(t.id); s >= 0 && !m.threads[s].done {
+		c = uint64(float64(c) * m.cfg.SMTFactor)
+	}
+	t.clock += c
+}
+
+// abortTx marks a transaction doomed; the owner discovers it at its next
+// event. Requester-wins, as in Intel TSX.
+func (m *Machine) abortOther(v *thread, st Status) {
+	if v.inTx && !v.txAborted {
+		v.txAborted = true
+		v.txStatus = st
+	}
+}
+
+// readFilterBuckets sizes the imprecise read-set signature.
+const readFilterBuckets = 1021
+
+// conflicts applies strong-atomicity conflict detection for an access by t.
+// Writes also test the victims' imprecise read signature, which can report
+// false conflicts — the larger a transaction's read set, the likelier it is
+// to be killed by an unrelated write, as with real best-effort HTM.
+func (m *Machine) conflicts(t *thread, l uint64, write bool) {
+	for _, v := range m.threads {
+		if v == t || !v.inTx {
+			continue
+		}
+		if _, ok := v.writeSet[l]; ok {
+			m.abortOther(v, AbortConflict)
+			continue
+		}
+		if write {
+			if _, ok := v.readFilter[(l*0x9E3779B97F4A7C15)%readFilterBuckets]; ok {
+				m.abortOther(v, AbortConflict)
+			}
+		}
+	}
+}
+
+// access charges the coherence cost of one load or store and updates the
+// directory and t's cache occupancy. It returns the charged cycles.
+func (m *Machine) access(t *thread, a Addr, write bool) uint64 {
+	l := lineOf(a)
+	d := m.dirEntry(l)
+	bit := uint16(1) << t.id
+	var c uint64
+	if write {
+		switch {
+		case d.owner == int8(t.id):
+			c = m.cost.L1Hit
+		case d.owner >= 0:
+			c = m.cost.RemoteDirty
+		case d.sharers&^bit != 0:
+			c = m.cost.Miss // upgrade: invalidate sharers
+		case d.sharers&bit != 0:
+			c = m.cost.L1Hit // exclusive-ish upgrade
+		default:
+			c = m.cost.Miss
+		}
+		newLine := d.sharers&bit == 0
+		d.owner = int8(t.id)
+		d.sharers = bit
+		if newLine {
+			m.insertLine(t, l)
+		}
+	} else {
+		switch {
+		case d.sharers&bit != 0:
+			c = m.cost.L1Hit
+		case d.owner >= 0:
+			c = m.cost.RemoteDirty
+			d.owner = -1
+		default:
+			c = m.cost.Miss
+		}
+		if d.sharers&bit == 0 {
+			d.sharers |= bit
+			m.insertLine(t, l)
+		}
+	}
+	return c
+}
+
+// insertLine records line l in t's cache, evicting FIFO-oldest on overflow.
+// Evicting a line in the running transaction's write set is a capacity
+// abort, as on an L1-bounded HTM.
+func (m *Machine) insertLine(t *thread, l uint64) {
+	t.fifo = append(t.fifo, l)
+	bit := uint16(1) << t.id
+	for len(t.fifo) > m.cfg.L1Lines {
+		old := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		if old == l {
+			continue
+		}
+		d := m.dirEntry(old)
+		if d.sharers&bit == 0 {
+			continue // stale entry: already invalidated
+		}
+		if t.inTx && !t.txAborted {
+			if _, ok := t.writeSet[old]; ok {
+				t.txAborted = true
+				t.txStatus = AbortCapacity
+			}
+		}
+		d.sharers &^= bit
+		if d.owner == int8(t.id) {
+			d.owner = -1
+		}
+		break
+	}
+}
+
+// process executes one event on the scheduler. All memory and HTM state
+// changes happen here, in global event order.
+func (m *Machine) process(t *thread, r *request) reply {
+	// A doomed transaction learns of its abort at its next event.
+	if t.inTx && t.txAborted && r.kind != opTxAbort && r.kind != opTxEnd {
+		return m.finishAbort(t)
+	}
+	cost := m.cost.Op
+	rep := reply{}
+	switch r.kind {
+	case opLoad:
+		m.stats.Loads++
+		m.conflicts(t, lineOf(r.addr), false)
+		cost += m.access(t, r.addr, false)
+		if t.inTx {
+			if v, ok := t.writeBuf[r.addr]; ok {
+				rep.val = v
+			} else {
+				rep.val = *m.word(r.addr)
+			}
+			l := lineOf(r.addr)
+			t.readSet[l] = struct{}{}
+			t.readFilter[(l*0x9E3779B97F4A7C15)%readFilterBuckets] = struct{}{}
+			if len(t.readSet) > m.cfg.ReadSetLines {
+				t.txAborted, t.txStatus = true, AbortCapacity
+				return m.finishAbort(t)
+			}
+		} else {
+			rep.val = *m.word(r.addr)
+		}
+	case opStore, opCAS:
+		write := true
+		if r.kind == opCAS {
+			m.stats.CASes++
+			cost += m.cost.CASExtra
+		} else {
+			m.stats.Stores++
+		}
+		m.conflicts(t, lineOf(r.addr), write)
+		cost += m.access(t, r.addr, write)
+		cur := *m.word(r.addr)
+		if t.inTx {
+			if v, ok := t.writeBuf[r.addr]; ok {
+				cur = v
+			}
+		}
+		doWrite := true
+		val := r.val
+		if r.kind == opCAS {
+			rep.ok = cur == r.old
+			doWrite = rep.ok
+		}
+		if doWrite {
+			if t.inTx {
+				if _, ok := t.writeBuf[r.addr]; !ok {
+					t.writeOrder = append(t.writeOrder, r.addr)
+				}
+				t.writeBuf[r.addr] = val
+				t.writeSet[lineOf(r.addr)] = struct{}{}
+				if len(t.writeSet) > m.cfg.WriteSetLines {
+					t.txAborted, t.txStatus = true, AbortCapacity
+					return m.finishAbort(t)
+				}
+			} else {
+				*m.word(r.addr) = val
+			}
+		}
+	case opFence:
+		m.stats.Fences++
+		cost += m.cost.Fence
+	case opAlloc:
+		m.stats.Allocs++
+		// One CAS on a shared allocator metadata line plus base cost. The
+		// allocator is HTM-neutral (real allocators run out of per-thread
+		// caches, so malloc inside a transaction does not put the shared
+		// metadata in the transaction's footprint), but the metadata line
+		// still ping-pongs between cores, which is the contention the paper
+		// attributes to write-heavy copy-on-write workloads.
+		meta := m.allocLine[int(r.val)%len(m.allocLine)]
+		mc := m.access(t, meta, true)
+		if mc >= m.cost.Miss {
+			mc += m.cost.AllocContended // lock handoff between cores
+		}
+		cost += mc + m.cost.CASExtra + m.cost.AllocBase
+		words := (r.val + LineWords - 1) / LineWords * LineWords
+		rep.val = uint64(m.nextAddr)
+		m.nextAddr += Addr(words)
+	case opAllocLocal:
+		m.stats.Allocs++
+		// Per-thread arena or free pool: no shared metadata at all. Models
+		// structures that reuse memory from operation to operation (e.g. the
+		// Mound's descriptors).
+		cost += m.cost.L1Hit + m.cost.AllocLocal
+		words := (r.val + LineWords - 1) / LineWords * LineWords
+		rep.val = uint64(m.nextAddr)
+		m.nextAddr += Addr(words)
+	case opFree:
+		m.stats.Frees++
+		meta := m.allocLine[int(r.val)%len(m.allocLine)]
+		fc := m.access(t, meta, true)
+		if fc >= m.cost.Miss {
+			fc += m.cost.AllocContended
+		}
+		cost += fc + m.cost.CASExtra + m.cost.FreeBase
+	case opWork:
+		cost += r.val
+	case opTxBegin:
+		cost += m.cost.TxBegin
+		t.inTx = true
+		t.txAborted = false
+		t.readSet = make(map[uint64]struct{}, 32)
+		t.readFilter = make(map[uint64]struct{}, 32)
+		t.writeSet = make(map[uint64]struct{}, 16)
+		t.writeBuf = make(map[Addr]uint64, 16)
+		t.writeOrder = t.writeOrder[:0]
+	case opTxEnd:
+		if t.txAborted {
+			return m.finishAbort(t)
+		}
+		cost += m.cost.TxEnd
+		for _, a := range t.writeOrder {
+			*m.word(a) = t.writeBuf[a]
+		}
+		m.stats.TxCommits++
+		t.resetTx()
+	case opTxAbort:
+		t.txStatus = AbortExplicit
+		t.txAborted = true
+		rep := m.finishAbort(t)
+		return rep
+	}
+	m.charge(t, cost)
+	return rep
+}
+
+// finishAbort rolls a doomed transaction back and reports the abort.
+func (m *Machine) finishAbort(t *thread) reply {
+	st := t.txStatus
+	switch st {
+	case AbortConflict:
+		m.stats.TxConflicts++
+	case AbortCapacity:
+		m.stats.TxCapacity++
+	case AbortExplicit:
+		m.stats.TxExplicit++
+	}
+	t.resetTx()
+	m.charge(t, m.cost.Op+m.cost.TxAbort)
+	return reply{aborted: true, status: st}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

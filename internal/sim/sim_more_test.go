@@ -1,0 +1,195 @@
+package sim
+
+import "testing"
+
+// TestAllocatorContentionCost verifies the shared allocator's metadata line
+// charges the lock-handoff penalty when another core touched it last, the
+// mechanism behind Figure 4's growing in-place advantage.
+func TestAllocatorContentionCost(t *testing.T) {
+	m := New(DefaultConfig(2))
+	var solo, contended uint64
+	m.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			t0 := th.Now()
+			th.Alloc(1)
+			th.Alloc(1) // metadata line now hot in thread 0's cache
+			solo = th.Now() - t0
+			th.Work(100000)
+			return
+		}
+		th.Work(5000) // let thread 0's allocations land first
+		t0 := th.Now()
+		th.Alloc(1)
+		contended = th.Now() - t0
+	})
+	// solo covers two allocations (one cold, one hot); the single contended
+	// allocation must cost more than the hot half of solo.
+	if contended <= solo/2 {
+		t.Fatalf("contended alloc (%d) not costlier than hot alloc (~%d)", contended, solo/2)
+	}
+}
+
+// TestAllocLocalCheaperThanShared verifies the per-thread arena bypasses the
+// shared allocator entirely.
+func TestAllocLocalCheaperThanShared(t *testing.T) {
+	m := New(DefaultConfig(1))
+	var shared, local uint64
+	m.Run(func(th *Thread) {
+		th.Alloc(1) // warm the metadata line
+		t0 := th.Now()
+		th.Alloc(1)
+		shared = th.Now() - t0
+		t0 = th.Now()
+		th.AllocLocal(1)
+		local = th.Now() - t0
+	})
+	if local >= shared {
+		t.Fatalf("local alloc (%d) not cheaper than shared (%d)", local, shared)
+	}
+}
+
+// TestAllocatorIsHTMNeutral: allocation inside a transaction must not put
+// the shared metadata line into the transaction's footprint (real allocators
+// run from per-thread caches), so two transactions that only share the
+// allocator both commit.
+func TestAllocatorIsHTMNeutral(t *testing.T) {
+	m := New(DefaultConfig(2))
+	setup := m.Thread(0)
+	a := setup.Alloc(2 * LineWords) // one private line per thread
+	var st [2]Status
+	m.Run(func(th *Thread) {
+		mine := a + Addr(th.ID()*LineWords)
+		st[th.ID()] = th.Atomic(func() {
+			th.Load(mine)
+			th.Alloc(1)
+			th.Work(5000)
+			th.Alloc(1)
+			th.Store(mine, 1)
+		})
+	})
+	if st[0] != OK || st[1] != OK {
+		t.Fatalf("allocator caused transactional conflict: %v %v", st[0], st[1])
+	}
+}
+
+// TestImpreciseReadFilterFalseConflict: a write to a line whose filter
+// bucket collides with a transactional read's bucket aborts the reader even
+// though the lines differ — the false-abort behavior of filter-based read
+// sets.
+func TestImpreciseReadFilterFalseConflict(t *testing.T) {
+	m := New(DefaultConfig(2))
+	setup := m.Thread(0)
+	base := setup.Alloc((readFilterBuckets + 2) * LineWords)
+	// Two distinct lines whose hashed buckets collide: line and
+	// line+readFilterBuckets hash to the same bucket.
+	read := base
+	// Find a distinct line whose hashed filter bucket collides with read's
+	// (the multiplication wraps mod 2^64, so congruence mod the bucket count
+	// is not preserved; search for a genuine collision).
+	h := func(l uint64) uint64 { return (l * 0x9E3779B97F4A7C15) % readFilterBuckets }
+	var write Addr
+	for i := 1; ; i++ {
+		cand := base + Addr(i*LineWords)
+		if cand >= base+Addr((readFilterBuckets+2)*LineWords) {
+			t.Skip("no colliding line in range")
+		}
+		if h(lineOf(cand)) == h(lineOf(read)) {
+			write = cand
+			break
+		}
+	}
+	var st Status
+	m.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			st = th.Atomic(func() {
+				th.Load(read)
+				th.Work(20000)
+				th.Load(read)
+			})
+		} else {
+			th.Work(1000)
+			th.Store(write, 1)
+		}
+	})
+	if st != AbortConflict {
+		t.Fatalf("filter collision did not abort the reader: %v", st)
+	}
+}
+
+// TestWorkIsExact verifies Work charges exactly the requested cycles plus
+// the per-event overhead.
+func TestWorkIsExact(t *testing.T) {
+	m := New(DefaultConfig(1))
+	m.Run(func(th *Thread) {
+		th.Work(0)
+		base := th.Now()
+		th.Work(1000)
+		if got := th.Now() - base; got != 1000+m.cost.Op {
+			t.Errorf("Work(1000) charged %d, want %d", got, 1000+m.cost.Op)
+		}
+	})
+}
+
+// TestSequentialFIFOEviction verifies the L1 capacity model: streaming far
+// more lines than the cache holds makes early lines miss again.
+func TestSequentialFIFOEviction(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L1Lines = 16
+	m := New(cfg)
+	setup := m.Thread(0)
+	base := setup.Alloc(64 * LineWords)
+	var first, second uint64
+	m.Run(func(th *Thread) {
+		th.Load(base)
+		for i := 1; i < 64; i++ {
+			th.Load(base + Addr(i*LineWords)) // evict line 0
+		}
+		t0 := th.Now()
+		th.Load(base)
+		first = th.Now() - t0
+		t0 = th.Now()
+		th.Load(base)
+		second = th.Now() - t0
+	})
+	if first <= second {
+		t.Fatalf("evicted line did not miss: re-load %d vs hot load %d", first, second)
+	}
+}
+
+// TestMultipleRunsAccumulate verifies a machine can run several measurement
+// phases and clocks continue monotonically.
+func TestMultipleRunsAccumulate(t *testing.T) {
+	m := New(DefaultConfig(2))
+	a := m.Thread(0).Alloc(1)
+	m.Run(func(th *Thread) { th.Store(a, 1) })
+	c1 := m.Thread(0).Now()
+	m.Run(func(th *Thread) { th.Load(a) })
+	c2 := m.Thread(0).Now()
+	if c2 <= c1 {
+		t.Fatalf("clock did not advance across runs: %d then %d", c1, c2)
+	}
+	if m.Stats().Stores != 2 || m.Stats().Loads != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+// TestAbortedTxLeavesNoTrace: after an abort, a new transaction on the same
+// thread starts clean and can commit.
+func TestAbortedTxLeavesNoTrace(t *testing.T) {
+	m := New(DefaultConfig(1))
+	a := m.Thread(0).Alloc(1)
+	m.Run(func(th *Thread) {
+		if th.Atomic(func() {
+			th.Store(a, 1)
+			th.TxAbort(1)
+		}) != AbortExplicit {
+			panic("expected explicit abort")
+		}
+		if th.Atomic(func() { th.Store(a, 2) }) != OK {
+			panic("clean retry did not commit")
+		}
+	})
+	if got := m.Thread(0).Load(a); got != 2 {
+		t.Fatalf("a = %d, want 2", got)
+	}
+}

@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"testing"
+)
+
+func twoThreadCfg() Config {
+	c := DefaultConfig(2)
+	return c
+}
+
+func TestDirectSetupAndLoad(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(4)
+	if a == 0 || uint64(a)%LineWords != 0 {
+		t.Fatalf("alloc returned %d, want nonzero line-aligned", a)
+	}
+	th.Store(a, 42)
+	if th.Load(a) != 42 {
+		t.Fatal("direct store not visible")
+	}
+	b := th.Alloc(1)
+	if b == a {
+		t.Fatal("allocator reused an address")
+	}
+}
+
+func TestRunExecutesAndCharges(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(1)
+	var end uint64
+	m.Run(func(t *Thread) {
+		t.Store(a, 1)
+		t.Load(a)
+		t.Fence()
+		t.Work(100)
+		end = t.Now()
+	})
+	if end == 0 {
+		t.Fatal("clock did not advance")
+	}
+	s := m.Stats()
+	if s.Loads != 1 || s.Stores != 1 || s.Fences != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheHitCheaperThanMiss(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(1)
+	var first, second uint64
+	m.Run(func(t *Thread) {
+		t0 := t.Now()
+		t.Load(a)
+		first = t.Now() - t0
+		t0 = t.Now()
+		t.Load(a)
+		second = t.Now() - t0
+	})
+	if second >= first {
+		t.Fatalf("second load (%d) not cheaper than first (%d)", second, first)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, uint64) {
+		m := New(twoThreadCfg())
+		a := m.Thread(0).Alloc(8)
+		m.Run(func(t *Thread) {
+			for i := 0; i < 500; i++ {
+				idx := Addr(t.Rand() % 8)
+				if t.Rand()%2 == 0 {
+					t.Store(a+idx, t.Rand())
+				} else {
+					t.Load(a + idx)
+				}
+				if i%10 == 0 {
+					st := t.Atomic(func() {
+						v := t.Load(a)
+						t.Store(a, v+1)
+					})
+					_ = st
+				}
+			}
+		})
+		return m.Stats(), m.Thread(0).Now() + m.Thread(1).Now()
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 || c1 != c2 {
+		t.Fatalf("nondeterministic: %+v/%d vs %+v/%d", s1, c1, s2, c2)
+	}
+}
+
+func TestTxCommitPublishes(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(2)
+	var st Status
+	m.Run(func(t *Thread) {
+		st = t.Atomic(func() {
+			t.Store(a, 7)
+			t.Store(a+1, 8)
+			if t.Load(a) != 7 {
+				panic("read-own-write failed")
+			}
+		})
+	})
+	if st != OK {
+		t.Fatalf("status = %v", st)
+	}
+	if th.Load(a) != 7 || th.Load(a+1) != 8 {
+		t.Fatal("committed writes not visible")
+	}
+	if m.Stats().TxCommits != 1 {
+		t.Fatal("commit not counted")
+	}
+}
+
+func TestExplicitAbortRollsBack(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(1)
+	th.Store(a, 5)
+	var st Status
+	m.Run(func(t *Thread) {
+		st = t.Atomic(func() {
+			t.Store(a, 99)
+			t.TxAbort(3)
+		})
+	})
+	if st != AbortExplicit {
+		t.Fatalf("status = %v", st)
+	}
+	if th.Load(a) != 5 {
+		t.Fatal("aborted write leaked")
+	}
+	if th.AbortCode() != 3 {
+		t.Fatalf("abort code = %d", th.AbortCode())
+	}
+}
+
+// TestRequesterWinsConflict: thread 1's plain store to a line thread 0 has
+// transactionally read must abort thread 0 (strong atomicity).
+func TestRequesterWinsConflict(t *testing.T) {
+	m := New(twoThreadCfg())
+	setup := m.Thread(0)
+	a := setup.Alloc(1)
+	results := make([]Status, 2)
+	m.Run(func(t *Thread) {
+		if t.ID() == 0 {
+			results[0] = t.Atomic(func() {
+				t.Load(a)
+				t.Work(10000) // stay in the transaction while thread 1 writes
+				t.Load(a)
+			})
+		} else {
+			t.Work(100) // let thread 0 enter its transaction first
+			t.Store(a, 1)
+		}
+	})
+	if results[0] != AbortConflict {
+		t.Fatalf("status = %v, want conflict", results[0])
+	}
+}
+
+// TestBufferingInvisible: another thread must not observe a transaction's
+// buffered store before commit; the doomed-vs-committed ordering is decided
+// by the simulator's global event order.
+func TestBufferingInvisible(t *testing.T) {
+	m := New(twoThreadCfg())
+	setup := m.Thread(0)
+	a := setup.Alloc(1)
+	observed := uint64(99)
+	m.Run(func(t *Thread) {
+		if t.ID() == 0 {
+			t.Atomic(func() {
+				t.Store(a, 1)
+				t.Work(10000)
+			})
+		} else {
+			t.Work(100)
+			observed = t.Load(a) // mid-transaction: buffered write invisible
+		}
+	})
+	if observed != 0 {
+		t.Fatalf("observed %d mid-transaction, want 0", observed)
+	}
+}
+
+func TestWriteCapacityAbort(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.WriteSetLines = 4
+	m := New(cfg)
+	th := m.Thread(0)
+	a := th.Alloc(100 * LineWords)
+	var st Status
+	m.Run(func(t *Thread) {
+		st = t.Atomic(func() {
+			for i := 0; i < 10; i++ {
+				t.Store(a+Addr(i*LineWords), 1)
+			}
+		})
+	})
+	if st != AbortCapacity {
+		t.Fatalf("status = %v, want capacity", st)
+	}
+	for i := 0; i < 10; i++ {
+		if th.Load(a+Addr(i*LineWords)) != 0 {
+			t.Fatal("capacity-aborted write leaked")
+		}
+	}
+}
+
+func TestReadCapacityAbort(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.ReadSetLines = 4
+	m := New(cfg)
+	th := m.Thread(0)
+	a := th.Alloc(100 * LineWords)
+	var st Status
+	m.Run(func(t *Thread) {
+		st = t.Atomic(func() {
+			for i := 0; i < 10; i++ {
+				t.Load(a + Addr(i*LineWords))
+			}
+		})
+	})
+	if st != AbortCapacity {
+		t.Fatalf("status = %v, want capacity", st)
+	}
+}
+
+func TestL1EvictionCapacityAbort(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L1Lines = 8
+	cfg.WriteSetLines = 1000
+	m := New(cfg)
+	th := m.Thread(0)
+	a := th.Alloc(64 * LineWords)
+	var st Status
+	m.Run(func(t *Thread) {
+		st = t.Atomic(func() {
+			t.Store(a, 1)
+			// Blow the L1 with reads; the dirty line eventually evicts.
+			for i := 1; i < 64; i++ {
+				t.Load(a + Addr(i*LineWords))
+			}
+		})
+	})
+	if st != AbortCapacity {
+		t.Fatalf("status = %v, want capacity (write-set line evicted)", st)
+	}
+}
+
+func TestCASSemanticsAndPremium(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(2)
+	var casCost, storeCost uint64
+	m.Run(func(t *Thread) {
+		t.Load(a)
+		t.Load(a + 1)
+		t0 := t.Now()
+		if !t.CAS(a, 0, 5) {
+			panic("CAS failed")
+		}
+		casCost = t.Now() - t0
+		t0 = t.Now()
+		t.Store(a+1, 5)
+		storeCost = t.Now() - t0
+		if t.CAS(a, 0, 9) {
+			panic("stale CAS succeeded")
+		}
+	})
+	if th.Load(a) != 5 {
+		t.Fatal("CAS did not write")
+	}
+	if casCost <= storeCost {
+		t.Fatalf("CAS (%d) not costlier than store (%d)", casCost, storeCost)
+	}
+}
+
+func TestSMTSharingSlowsSiblings(t *testing.T) {
+	elapsed := func(threads int) uint64 {
+		cfg := DefaultConfig(threads)
+		m := New(cfg)
+		m.Run(func(t *Thread) {
+			if t.ID() != 0 {
+				// Keep siblings alive long enough to overlap thread 0.
+				t.Work(1000 * 1000)
+				return
+			}
+			for i := 0; i < 1000; i++ {
+				t.Work(1000)
+			}
+		})
+		return m.Thread(0).Now()
+	}
+	solo := elapsed(4)   // threads 0..3 on distinct cores
+	shared := elapsed(8) // thread 4 shares core 0 with thread 0
+	if shared <= solo {
+		t.Fatalf("SMT sharing did not slow thread 0: %d vs %d", shared, solo)
+	}
+}
+
+func TestRemoteDirtyCostsMore(t *testing.T) {
+	m := New(twoThreadCfg())
+	setup := m.Thread(0)
+	a := setup.Alloc(1)
+	b := setup.Alloc(1)
+	var remote, cold uint64
+	m.Run(func(t *Thread) {
+		if t.ID() == 0 {
+			t.Store(a, 1) // line becomes Modified in thread 0's cache
+			t.Work(100000)
+		} else {
+			t.Work(5000) // let thread 0's store land first
+			t0 := t.Now()
+			t.Load(a)
+			remote = t.Now() - t0
+			t0 = t.Now()
+			t.Load(b)
+			cold = t.Now() - t0
+		}
+	})
+	if remote <= cold {
+		t.Fatalf("remote-dirty load (%d) not costlier than cold load (%d)", remote, cold)
+	}
+}
+
+func TestTwoTxConflictOneAborts(t *testing.T) {
+	m := New(twoThreadCfg())
+	setup := m.Thread(0)
+	a := setup.Alloc(1)
+	var st [2]Status
+	m.Run(func(t *Thread) {
+		st[t.ID()] = t.Atomic(func() {
+			v := t.Load(a)
+			t.Work(5000)
+			t.Store(a, v+1)
+			t.Work(5000)
+		})
+	})
+	ok := 0
+	for _, s := range st {
+		if s == OK {
+			ok++
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("statuses = %v, want exactly one commit", st)
+	}
+	if setup.Load(a) != 1 {
+		t.Fatalf("counter = %d, want 1", setup.Load(a))
+	}
+}
+
+func TestNestedAtomicPanics(t *testing.T) {
+	m := New(DefaultConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Atomic did not panic")
+		}
+	}()
+	m.Run(func(t *Thread) {
+		t.Atomic(func() {
+			t.Atomic(func() {})
+		})
+	})
+}

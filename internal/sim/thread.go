@@ -1,0 +1,215 @@
+package sim
+
+// Thread is simulated code's handle to one hardware thread. During
+// Machine.Run each method is one simulated event; outside Run the methods
+// execute immediately and free of charge, which is how initial data
+// structure state is built.
+//
+// A Thread must only be used from the goroutine currently running its body.
+type Thread struct {
+	m         *Machine
+	id        int
+	rng       uint64
+	now       uint64
+	inTx      bool
+	abortCode int
+}
+
+// txSignal unwinds an aborted transaction to Atomic.
+type txSignal struct{ status Status }
+
+func (t *Thread) do(r request) reply {
+	if !t.m.running {
+		if r.kind == opTxAbort {
+			t.inTx = false
+			panic(txSignal{status: AbortExplicit})
+		}
+		return t.m.direct(&r)
+	}
+	r.tid = t.id
+	t.m.reqCh <- &r
+	rep := <-t.m.threads[t.id].replyCh
+	t.now = rep.now
+	if rep.aborted {
+		t.inTx = false
+		panic(txSignal{status: rep.status})
+	}
+	return rep
+}
+
+// direct executes an event immediately, with functional effects only (no
+// cost, no coherence, no conflicts). Setup-time transactions still buffer
+// their writes so TxAbort discards them correctly.
+func (m *Machine) direct(r *request) reply {
+	switch r.kind {
+	case opLoad:
+		if m.directBuf != nil {
+			if v, ok := m.directBuf[r.addr]; ok {
+				return reply{val: v}
+			}
+		}
+		return reply{val: *m.word(r.addr)}
+	case opStore:
+		if m.directBuf != nil {
+			if _, ok := m.directBuf[r.addr]; !ok {
+				m.directOrder = append(m.directOrder, r.addr)
+			}
+			m.directBuf[r.addr] = r.val
+			return reply{}
+		}
+		*m.word(r.addr) = r.val
+	case opCAS:
+		cur := *m.word(r.addr)
+		if m.directBuf != nil {
+			if v, ok := m.directBuf[r.addr]; ok {
+				cur = v
+			}
+		}
+		if cur != r.old {
+			return reply{ok: false}
+		}
+		if m.directBuf != nil {
+			if _, ok := m.directBuf[r.addr]; !ok {
+				m.directOrder = append(m.directOrder, r.addr)
+			}
+			m.directBuf[r.addr] = r.val
+			return reply{ok: true}
+		}
+		*m.word(r.addr) = r.val
+		return reply{ok: true}
+	case opAlloc, opAllocLocal:
+		words := (r.val + LineWords - 1) / LineWords * LineWords
+		a := m.nextAddr
+		m.nextAddr += Addr(words)
+		return reply{val: uint64(a)}
+	}
+	return reply{}
+}
+
+// ID returns the hardware thread index.
+func (t *Thread) ID() int { return t.id }
+
+// Now returns the thread's cycle clock as of its last event.
+func (t *Thread) Now() uint64 { return t.now }
+
+// Rand returns a deterministic per-thread pseudo-random value.
+func (t *Thread) Rand() uint64 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	return t.rng
+}
+
+// Load reads the word at a.
+func (t *Thread) Load(a Addr) uint64 {
+	return t.do(request{kind: opLoad, addr: a}).val
+}
+
+// Store writes v to the word at a. Inside a transaction the write is
+// buffered until commit.
+func (t *Thread) Store(a Addr, v uint64) {
+	t.do(request{kind: opStore, addr: a, val: v})
+}
+
+// CAS atomically compares-and-swaps the word at a, reporting success. It
+// carries the locked-instruction premium; transactional code should use
+// Load/Store instead (§2.3's strength reduction).
+func (t *Thread) CAS(a Addr, old, new uint64) bool {
+	return t.do(request{kind: opCAS, addr: a, old: old, val: new}).ok
+}
+
+// Fence charges an explicit memory fence (or the ordering cost of a
+// sequentially consistent store).
+func (t *Thread) Fence() {
+	t.do(request{kind: opFence})
+}
+
+// Alloc returns a fresh line-aligned block of the given number of words,
+// charging the shared allocator.
+func (t *Thread) Alloc(words int) Addr {
+	return Addr(t.do(request{kind: opAlloc, val: uint64(words)}).val)
+}
+
+// AllocLocal returns a fresh line-aligned block from the thread's own arena
+// or free pool — no shared allocator interaction. Models structures that
+// recycle memory from one operation to the next.
+func (t *Thread) AllocLocal(words int) Addr {
+	return Addr(t.do(request{kind: opAllocLocal, val: uint64(words)}).val)
+}
+
+// Free returns a block to the allocator (cost only; addresses are never
+// reused, so stale readers see stale values rather than recycled ones).
+func (t *Thread) Free(a Addr, words int) {
+	t.do(request{kind: opFree, addr: a, val: uint64(words)})
+}
+
+// Work charges the given cycles of pure computation.
+func (t *Thread) Work(cycles uint64) {
+	t.do(request{kind: opWork, val: cycles})
+}
+
+// TxAbort aborts the running transaction with AbortExplicit, recording code
+// for the fallback path. It must be called inside Atomic and does not return.
+func (t *Thread) TxAbort(code int) {
+	if !t.inTx {
+		panic("sim: TxAbort outside a transaction")
+	}
+	t.abortCode = code
+	t.do(request{kind: opTxAbort, code: code})
+	panic("unreachable") // the abort reply always panics with txSignal
+}
+
+// AbortCode returns the code passed to the last TxAbort on this thread.
+func (t *Thread) AbortCode() int { return t.abortCode }
+
+// Atomic runs body as one best-effort hardware transaction attempt and
+// reports how it ended. Exactly one attempt is made; retry policy belongs to
+// the caller, as with RTM. Nesting is not supported.
+func (t *Thread) Atomic(body func()) Status {
+	if t.inTx {
+		panic("sim: nested Atomic")
+	}
+	if !t.m.running {
+		// Setup is single-threaded; buffer writes so TxAbort rolls back.
+		t.inTx = true
+		t.m.directBuf = make(map[Addr]uint64, 8)
+		t.m.directOrder = t.m.directOrder[:0]
+		defer func() {
+			t.inTx = false
+			t.m.directBuf = nil
+		}()
+		return func() (st Status) {
+			defer func() {
+				if r := recover(); r != nil {
+					if sig, ok := r.(txSignal); ok {
+						st = sig.status
+						return
+					}
+					panic(r)
+				}
+			}()
+			body()
+			for _, a := range t.m.directOrder {
+				*t.m.word(a) = t.m.directBuf[a]
+			}
+			return OK
+		}()
+	}
+	t.inTx = true
+	defer func() { t.inTx = false }()
+	return func() (st Status) {
+		defer func() {
+			if r := recover(); r != nil {
+				if sig, ok := r.(txSignal); ok {
+					st = sig.status
+					return
+				}
+				panic(r)
+			}
+		}()
+		t.do(request{kind: opTxBegin})
+		body()
+		t.do(request{kind: opTxEnd})
+		return OK
+	}()
+}

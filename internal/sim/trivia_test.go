@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		OK: "ok", AbortConflict: "conflict", AbortCapacity: "capacity",
+		AbortExplicit: "explicit", Status(42): "Status(42)",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := DefaultConfig(3)
+	m := New(cfg)
+	if m.Config().Threads != 3 || m.Config().Cores != 4 {
+		t.Fatalf("config = %+v", m.Config())
+	}
+}
+
+func TestFreeChargesAndCounts(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(4)
+	m.Run(func(t *Thread) {
+		t0 := t.Now()
+		t.Free(a, 4)
+		if t.Now() == t0 {
+			panic("free charged nothing")
+		}
+	})
+	if m.Stats().Frees != 1 {
+		t.Fatalf("frees = %d", m.Stats().Frees)
+	}
+}
+
+func TestDirectModeBranches(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0)
+	a := th.Alloc(1)
+	th.Store(a, 7)
+	if !th.CAS(a, 7, 8) || th.CAS(a, 7, 9) {
+		t.Fatal("direct CAS semantics wrong")
+	}
+	th.Fence()    // cost-only no-ops in direct mode
+	th.Work(100)  //
+	th.Free(a, 1) //
+	b := th.AllocLocal(1)
+	if b == 0 || b == a {
+		t.Fatal("direct AllocLocal wrong")
+	}
+	// Direct-mode transaction: buffered reads/writes, CAS, and rollback.
+	st := th.Atomic(func() {
+		if th.Load(a) != 8 {
+			panic("direct tx read wrong")
+		}
+		th.Store(a, 100)
+		if th.Load(a) != 100 {
+			panic("direct tx read-own-write wrong")
+		}
+		if !th.CAS(a, 100, 101) || th.CAS(a, 100, 102) {
+			panic("direct tx CAS wrong")
+		}
+	})
+	if st != OK || th.Load(a) != 101 {
+		t.Fatalf("direct tx commit wrong: %v %d", st, th.Load(a))
+	}
+	st = th.Atomic(func() {
+		th.Store(a, 999)
+		th.TxAbort(5)
+	})
+	if st != AbortExplicit || th.Load(a) != 101 {
+		t.Fatalf("direct tx abort leaked: %v %d", st, th.Load(a))
+	}
+	if th.AbortCode() != 5 {
+		t.Fatalf("abort code = %d", th.AbortCode())
+	}
+}

@@ -1,0 +1,148 @@
+// Package simds hosts the paper's five data structures — Mindicator, Mound,
+// skiplist (set and priority queue), Ellen et al. BST, and the freezable-set
+// hash table — on the simulated machine of internal/sim, in their lock-free
+// baseline forms and their PTO-accelerated forms. These are the
+// implementations the benchmark harness measures to regenerate every figure
+// of the paper's evaluation; the real-concurrency counterparts live in the
+// sibling packages and carry the correctness test burden.
+//
+// Simulated code manipulates raw words at simulated addresses, so the
+// structures read like the paper's C/C++: tagged pointers, packed version
+// words, explicit fences, explicit allocation. Protocol structure mirrors
+// the real-Go implementations; where a protocol corner is simplified the
+// package documentation of the structure says so.
+package simds
+
+import "repro/internal/sim"
+
+// retryBackoff charges an exponentially growing pause after a failed
+// transaction attempt, desynchronizing contending retries as real PTO retry
+// loops do (cf. the retry-tuning guidance the paper cites from Yoo et al.).
+func retryBackoff(t *sim.Thread, attempt int) {
+	t.Work((128 + t.Rand()%384) << uint(attempt))
+}
+
+// retryBackoffShort is the variant for small transactions (a handful of
+// events, like the Mound's DCAS): the pause is scaled to the transaction
+// length, since a pause many times longer than the work it protects costs
+// more than the aborts it prevents.
+func retryBackoffShort(t *sim.Thread, attempt int) {
+	t.Work((24 + t.Rand()%48) << uint(attempt))
+}
+
+// throttle is per-hardware-thread adaptive speculation control, the other
+// half of Yoo et al.'s retry guidance: when a thread's transactions abort
+// persistently (sustained contention), speculation is switched off for a
+// while and the lock-free path runs directly, avoiding a fixed abort tax on
+// every operation. Each thread owns its slots, so no synchronization is
+// needed.
+type throttle struct {
+	fail [16]int
+	off  [16]int
+}
+
+// A failure adds throttleFailWeight to the thread's score and a success
+// subtracts one; crossing throttleScoreLimit switches speculation off for
+// throttleOffWindow operations. The asymmetry makes the throttle engage
+// whenever the failure fraction stays above ~1/(1+weight), not only on
+// unbroken failure streaks.
+const (
+	throttleFailWeight = 4
+	throttleScoreLimit = 12
+	throttleOffWindow  = 160
+)
+
+// allowed reports whether thread t should attempt speculation now.
+func (th *throttle) allowed(t *sim.Thread) bool {
+	id := t.ID()
+	if th.off[id] > 0 {
+		th.off[id]--
+		return false
+	}
+	return true
+}
+
+// report records whether the operation's speculation succeeded.
+func (th *throttle) report(t *sim.Thread, committed bool) {
+	id := t.ID()
+	if committed {
+		if th.fail[id] > 0 {
+			th.fail[id]--
+		}
+		return
+	}
+	th.fail[id] += throttleFailWeight
+	if th.fail[id] >= throttleScoreLimit {
+		th.off[id] = throttleOffWindow
+		th.fail[id] = 0
+	}
+}
+
+// Epoch models the cost surface of epoch-based reclamation exactly as the
+// paper charges it: every protected operation publishes its epoch with a
+// store and a fence on entry and clears it with a store and a fence on exit;
+// retirement batches periodically scan all slots and release to the shared
+// allocator. The PTO-transformed operations elide all of this (§4.5, §5).
+type Epoch struct {
+	global sim.Addr
+	slots  []sim.Addr
+}
+
+// NewEpoch allocates the reclaimer's state (one line per thread).
+func NewEpoch(t *sim.Thread, threads int) *Epoch {
+	e := &Epoch{global: t.Alloc(1)}
+	t.Store(e.global, 2)
+	for i := 0; i < threads; i++ {
+		e.slots = append(e.slots, t.Alloc(1))
+	}
+	return e
+}
+
+// Enter begins a protected operation on t.
+func (e *Epoch) Enter(t *sim.Thread) {
+	g := t.Load(e.global)
+	t.Store(e.slots[t.ID()], g<<1|1)
+	t.Fence()
+}
+
+// Exit ends a protected operation on t.
+func (e *Epoch) Exit(t *sim.Thread) {
+	t.Store(e.slots[t.ID()], 0)
+	t.Fence()
+}
+
+// retireBatch is how many retirements accumulate before a collection scan.
+const retireBatch = 64
+
+type retiredBlock struct {
+	addr  sim.Addr
+	words int
+}
+
+// Retirer is one thread's retirement buffer.
+type Retirer struct {
+	e     *Epoch
+	batch []retiredBlock
+}
+
+// NewRetirer returns a retirement buffer bound to e.
+func NewRetirer(e *Epoch) *Retirer { return &Retirer{e: e} }
+
+// Retire schedules a block for release; every retireBatch retirements it
+// performs the collection scan (read every slot, advance the global epoch)
+// and frees the batch.
+func (r *Retirer) Retire(t *sim.Thread, addr sim.Addr, words int) {
+	r.batch = append(r.batch, retiredBlock{addr, words})
+	if len(r.batch) < retireBatch {
+		return
+	}
+	for _, s := range r.e.slots {
+		t.Load(s)
+	}
+	g := t.Load(r.e.global)
+	t.CAS(r.e.global, g, g+1)
+	for _, b := range r.batch {
+		t.Free(b.addr, b.words)
+	}
+	r.batch = r.batch[:0]
+}

@@ -1,0 +1,110 @@
+package simds
+
+import (
+	"testing"
+
+	"repro/internal/linearize"
+	"repro/internal/sim"
+)
+
+// These tests record small concurrent histories on the simulated machine —
+// whose deterministic global event order gives every operation an exact
+// real-time window — and check them against the sequential set
+// specification with the Wing&Gong-style checker in internal/linearize.
+
+type simSet interface {
+	Insert(t *sim.Thread, k uint64) bool
+	Remove(t *sim.Thread, k uint64) bool
+	Contains(t *sim.Thread, k uint64) bool
+}
+
+// mindAdapter is excluded: the Mindicator is not a set. hash/skip/bst are.
+
+func recordHistory(t *testing.T, name string, build func(setup *sim.Thread, threads int) simSet, seed uint64) {
+	t.Helper()
+	const threads, opsPer = 3, 12
+	cfg := sim.DefaultConfig(threads)
+	cfg.Seed = seed
+	m := sim.New(cfg)
+	s := build(m.Thread(0), threads)
+	histories := make([][]linearize.Op, threads)
+	m.Run(func(th *sim.Thread) {
+		for i := 0; i < opsPer; i++ {
+			x := th.Rand()
+			key := x%3 + 1
+			start := th.Now()
+			var op linearize.Op
+			switch x >> 8 % 3 {
+			case 0:
+				op = linearize.Op{Kind: linearize.Insert, Key: int64(key),
+					Result: s.Insert(th, key)}
+			case 1:
+				op = linearize.Op{Kind: linearize.Remove, Key: int64(key),
+					Result: s.Remove(th, key)}
+			default:
+				op = linearize.Op{Kind: linearize.Contains, Key: int64(key),
+					Result: s.Contains(th, key)}
+			}
+			op.Start, op.End = start, th.Now()
+			histories[th.ID()] = append(histories[th.ID()], op)
+		}
+	})
+	var all []linearize.Op
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	if !linearize.Check(all) {
+		t.Fatalf("%s (seed %d): history not linearizable:\n%+v", name, seed, all)
+	}
+}
+
+func TestLinearizableSimBST(t *testing.T) {
+	for _, kind := range []BSTKind{BSTLockfree, BSTPTO1, BSTPTO2, BSTPTO12} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			kind := kind
+			recordHistory(t, "bst", func(setup *sim.Thread, threads int) simSet {
+				return bstAdapter{NewSimBST(setup, kind, false, threads)}
+			}, seed)
+		}
+	}
+}
+
+func TestLinearizableSimSkip(t *testing.T) {
+	for _, pto := range []bool{false, true} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			pto := pto
+			recordHistory(t, "skip", func(setup *sim.Thread, threads int) simSet {
+				return skipAdapter{NewSimSkip(setup, pto, threads)}
+			}, seed)
+		}
+	}
+}
+
+func TestLinearizableSimHash(t *testing.T) {
+	for _, kind := range []HashKind{HashLF, HashPTO, HashInplace} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			kind := kind
+			recordHistory(t, "hash", func(setup *sim.Thread, threads int) simSet {
+				return hashAdapter{NewSimHash(setup, kind, 4, threads)}
+			}, seed)
+		}
+	}
+}
+
+type bstAdapter struct{ b *SimBST }
+
+func (a bstAdapter) Insert(t *sim.Thread, k uint64) bool   { return a.b.Insert(t, k) }
+func (a bstAdapter) Remove(t *sim.Thread, k uint64) bool   { return a.b.Remove(t, k) }
+func (a bstAdapter) Contains(t *sim.Thread, k uint64) bool { return a.b.Contains(t, k) }
+
+type skipAdapter struct{ s *SimSkip }
+
+func (a skipAdapter) Insert(t *sim.Thread, k uint64) bool   { return a.s.Insert(t, k) }
+func (a skipAdapter) Remove(t *sim.Thread, k uint64) bool   { return a.s.Remove(t, k) }
+func (a skipAdapter) Contains(t *sim.Thread, k uint64) bool { return a.s.Contains(t, k) }
+
+type hashAdapter struct{ h *SimHash }
+
+func (a hashAdapter) Insert(t *sim.Thread, k uint64) bool   { return a.h.Insert(t, k) }
+func (a hashAdapter) Remove(t *sim.Thread, k uint64) bool   { return a.h.Remove(t, k) }
+func (a hashAdapter) Contains(t *sim.Thread, k uint64) bool { return a.h.Contains(t, k) }

@@ -1,0 +1,317 @@
+package skiplist
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+)
+
+// pbox is the PTO variant's immutable (successor, marked) pair.
+type pbox struct {
+	n      *pnode
+	marked bool
+}
+
+type pnode struct {
+	key  int64
+	top  int
+	next []htm.Var[*pbox]
+}
+
+// PTOSet is the PTO-accelerated skiplist set. Per §3.1, PTO is applied
+// locally: searches run outside any transaction; a prefix transaction
+// performs the multi-CAS linking step of insert, or marks all of a victim's
+// next pointers at once in remove, falling back to the original per-level
+// CAS sequence on abort.
+type PTOSet struct {
+	domain   *htm.Domain
+	head     *pnode
+	tail     *pnode
+	rstate   atomic.Uint64
+	attempts int
+	insStats *core.Stats
+	rmStats  *core.Stats
+}
+
+// DefaultAttempts is the per-operation transaction retry budget for the
+// skiplist PTO variants.
+const DefaultAttempts = 3
+
+// NewPTOSet returns an empty PTO-accelerated set. attempts ≤ 0 selects
+// DefaultAttempts.
+func NewPTOSet(attempts int) *PTOSet {
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	s := &PTOSet{domain: htm.NewDomain(0, 0), attempts: attempts,
+		insStats: core.NewStats(1), rmStats: core.NewStats(1)}
+	s.tail = s.newPNode(tailKey, MaxLevel-1)
+	s.head = s.newPNode(headKey, MaxLevel-1)
+	for l := 0; l < MaxLevel; l++ {
+		htm.Store(nil, &s.tail.next[l], &pbox{})
+		htm.Store(nil, &s.head.next[l], &pbox{n: s.tail})
+	}
+	s.rstate.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+func (s *PTOSet) newPNode(key int64, top int) *pnode {
+	n := &pnode{key: key, top: top, next: make([]htm.Var[*pbox], top+1)}
+	for l := range n.next {
+		n.next[l].Init(s.domain, nil)
+	}
+	return n
+}
+
+// Domain exposes the transactional domain (for tests).
+func (s *PTOSet) Domain() *htm.Domain { return s.domain }
+
+// InsertStats and RemoveStats expose PTO outcome counters.
+func (s *PTOSet) InsertStats() *core.Stats { return s.insStats }
+
+// RemoveStats exposes PTO outcome counters for removals.
+func (s *PTOSet) RemoveStats() *core.Stats { return s.rmStats }
+
+func (s *PTOSet) randomLevel() int {
+	x := s.rstate.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return bits.TrailingZeros64(x | (1 << (MaxLevel - 1)))
+}
+
+// find mirrors Set.find over transactional Vars, using the direct (non-
+// speculative) access path.
+func (s *PTOSet) find(key int64, preds, succs []*pnode, predBoxes []*pbox) bool {
+retry:
+	for {
+		pred := s.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			pb := htm.Load(nil, &pred.next[level])
+			if pb.marked {
+				continue retry
+			}
+			curr := pb.n
+			for {
+				cb := htm.Load(nil, &curr.next[level])
+				for cb.marked {
+					if !htm.CAS(nil, &pred.next[level], pb, &pbox{n: cb.n}) {
+						continue retry
+					}
+					pb = htm.Load(nil, &pred.next[level])
+					if pb.marked {
+						continue retry
+					}
+					curr = pb.n
+					cb = htm.Load(nil, &curr.next[level])
+				}
+				if curr.key < key {
+					pred = curr
+					pb = cb
+					curr = cb.n
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+			if predBoxes != nil {
+				predBoxes[level] = pb
+			}
+		}
+		return succs[0].key == key
+	}
+}
+
+// Contains reports whether key is in the set (pure traversal, no writes).
+func (s *PTOSet) Contains(key int64) bool {
+	pred := s.head
+	var curr *pnode
+	for level := MaxLevel - 1; level >= 0; level-- {
+		curr = htm.Load(nil, &pred.next[level]).n
+		for {
+			cb := htm.Load(nil, &curr.next[level])
+			if cb.marked {
+				curr = cb.n
+				continue
+			}
+			if curr.key < key {
+				pred = curr
+				curr = cb.n
+			} else {
+				break
+			}
+		}
+	}
+	if curr.key != key {
+		return false
+	}
+	return !htm.Load(nil, &curr.next[0]).marked
+}
+
+// Insert adds key, reporting false if present. The prefix transaction
+// validates every predecessor link observed by the search and swings all of
+// them to the new node in one atomic step — the coalescing of up to
+// top+1 CASes that §3.1 describes. Each attempt re-runs the (non-
+// transactional) search so the transaction always validates a fresh view;
+// after the attempt budget is spent, the original per-level CAS sequence
+// runs.
+func (s *PTOSet) Insert(key int64) bool {
+	var preds, succs [MaxLevel]*pnode
+	var pboxes [MaxLevel]*pbox
+	top := s.randomLevel()
+	n := s.newPNode(key, top)
+	for attempt := 0; ; attempt++ {
+		if s.find(key, preds[:], succs[:], pboxes[:]) {
+			return false
+		}
+		if attempt == s.attempts {
+			break // budget spent; preds/succs/pboxes hold a fresh view
+		}
+		for l := 0; l <= top; l++ {
+			htm.Store(nil, &n.next[l], &pbox{n: succs[l]})
+		}
+		st := s.domain.Atomically(func(tx *htm.Tx) {
+			for l := 0; l <= top; l++ {
+				if htm.Load(tx, &preds[l].next[l]) != pboxes[l] {
+					// View changed since the search: abort and re-search
+					// rather than help the conflicting operation (§2.4).
+					tx.Abort(1)
+				}
+			}
+			for l := 0; l <= top; l++ {
+				htm.Store(tx, &preds[l].next[l], &pbox{n: n})
+			}
+		})
+		if st == htm.Committed {
+			s.insStats.CommitsByLevel[0].Add(1)
+			return true
+		}
+		s.insStats.Aborts.Add(1)
+	}
+	for l := 0; l <= top; l++ {
+		htm.Store(nil, &n.next[l], &pbox{n: succs[l]})
+	}
+	s.insStats.Fallbacks.Add(1)
+	return s.insertFallback(n, top, &preds, &succs, &pboxes)
+}
+
+// insertFallback performs the original lock-free insert of node n. Returns
+// false if key was found present so the insert did not happen.
+func (s *PTOSet) insertFallback(n *pnode, top int, preds, succs *[MaxLevel]*pnode, pboxes *[MaxLevel]*pbox) bool {
+	for {
+		if !htm.CAS(nil, &preds[0].next[0], pboxes[0], &pbox{n: n}) {
+			if s.find(n.key, preds[:], succs[:], pboxes[:]) {
+				return false
+			}
+			for l := 0; l <= top; l++ {
+				htm.Store(nil, &n.next[l], &pbox{n: succs[l]})
+			}
+			continue
+		}
+		break
+	}
+	for l := 1; l <= top; l++ {
+		for {
+			if htm.CAS(nil, &preds[l].next[l], pboxes[l], &pbox{n: n}) {
+				break
+			}
+			nb := htm.Load(nil, &n.next[l])
+			if nb.marked || htm.Load(nil, &n.next[0]).marked {
+				return true
+			}
+			s.find(n.key, preds[:], succs[:], pboxes[:])
+			nb = htm.Load(nil, &n.next[l])
+			if nb.marked {
+				return true
+			}
+			if nb.n != succs[l] {
+				if !htm.CAS(nil, &n.next[l], nb, &pbox{n: succs[l]}) {
+					return true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Remove deletes key, reporting false if absent. The prefix transaction
+// marks every level of the victim in one atomic step instead of a top-down
+// CAS sequence.
+func (s *PTOSet) Remove(key int64) bool {
+	var preds, succs [MaxLevel]*pnode
+	if !s.find(key, preds[:], succs[:], nil) {
+		return false
+	}
+	victim := succs[0]
+	removed := false
+	st := core.Run(s.domain, s.attempts, func(tx *htm.Tx) {
+		b0 := htm.Load(tx, &victim.next[0])
+		if b0.marked {
+			removed = false // lost the race: linearized as "absent"
+			return
+		}
+		for l := victim.top; l >= 0; l-- {
+			b := htm.Load(tx, &victim.next[l])
+			if !b.marked {
+				htm.Store(tx, &victim.next[l], &pbox{n: b.n, marked: true})
+			}
+		}
+		removed = true
+	}, func() {
+		removed = s.removeFallback(victim)
+	}, s.rmStats)
+	_ = st
+	if removed {
+		s.find(key, preds[:], succs[:], nil) // physical unlink
+	}
+	return removed
+}
+
+// removeFallback is the original top-down marking sequence.
+func (s *PTOSet) removeFallback(victim *pnode) bool {
+	for l := victim.top; l >= 1; l-- {
+		b := htm.Load(nil, &victim.next[l])
+		for !b.marked {
+			htm.CAS(nil, &victim.next[l], b, &pbox{n: b.n, marked: true})
+			b = htm.Load(nil, &victim.next[l])
+		}
+	}
+	for {
+		b := htm.Load(nil, &victim.next[0])
+		if b.marked {
+			return false
+		}
+		if htm.CAS(nil, &victim.next[0], b, &pbox{n: b.n, marked: true}) {
+			return true
+		}
+	}
+}
+
+// Len counts unmarked level-0 nodes. O(n); for tests and examples.
+func (s *PTOSet) Len() int {
+	n := 0
+	for curr := htm.Load(nil, &s.head.next[0]).n; curr != s.tail; {
+		b := htm.Load(nil, &curr.next[0])
+		if !b.marked {
+			n++
+		}
+		curr = b.n
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in order. O(n); for tests and examples.
+func (s *PTOSet) Keys() []int64 {
+	var out []int64
+	for curr := htm.Load(nil, &s.head.next[0]).n; curr != s.tail; {
+		b := htm.Load(nil, &curr.next[0])
+		if !b.marked {
+			out = append(out, curr.key)
+		}
+		curr = b.n
+	}
+	return out
+}

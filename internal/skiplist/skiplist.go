@@ -1,0 +1,257 @@
+// Package skiplist implements the lock-free skiplist of §3.1/§4.3: an
+// ordered set with insert, remove, and contains (after Fraser's lock-free
+// skiplist, in the formulation of Herlihy & Shavit), a Lotan–Shavit style
+// priority queue built on it, and PTO-accelerated variants of both.
+//
+// Go cannot tag pointer low bits, so each (next, marked) pair is boxed in an
+// immutable cell behind an atomic pointer — the standard Go idiom for marked
+// pointers. Box identity also rules out ABA on the snip CASes. The level-0
+// list is the authoritative set; higher levels are shortcut lists that are
+// repaired lazily by find.
+//
+// The PTO variants follow the paper's finding that only local application is
+// profitable for skiplists: the search phase stays outside the transaction,
+// and a prefix transaction performs just the multi-CAS linking (insert) or
+// marking (remove) step, falling back to the original CAS sequence.
+package skiplist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// MaxLevel bounds tower height; 2^20 expected elements is ample for the
+// paper's workloads (range ≤ 64K).
+const MaxLevel = 20
+
+const (
+	headKey = -1 << 63
+	tailKey = 1<<63 - 1
+)
+
+// box is an immutable (successor, marked) pair.
+type box struct {
+	n      *node
+	marked bool
+}
+
+type node struct {
+	key  int64
+	top  int // index of highest valid level
+	next []atomic.Pointer[box]
+}
+
+func newNode(key int64, top int) *node {
+	n := &node{key: key, top: top, next: make([]atomic.Pointer[box], top+1)}
+	return n
+}
+
+// Set is the lock-free baseline skiplist set.
+type Set struct {
+	head   *node
+	tail   *node
+	rstate atomic.Uint64
+	// casOps counts successful+failed CAS attempts, one axis of the latency
+	// PTO removes; read by the benchmark harness.
+	casOps atomic.Uint64
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set {
+	s := &Set{}
+	s.tail = newNode(tailKey, MaxLevel-1)
+	s.head = newNode(headKey, MaxLevel-1)
+	for l := 0; l < MaxLevel; l++ {
+		s.tail.next[l].Store(&box{})
+		s.head.next[l].Store(&box{n: s.tail})
+	}
+	s.rstate.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+// randomLevel draws a geometric(1/2) tower height in [0, MaxLevel).
+func (s *Set) randomLevel() int {
+	x := s.rstate.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	l := bits.TrailingZeros64(x | (1 << (MaxLevel - 1)))
+	return l
+}
+
+// find locates key's predecessors and successors at every level, snipping
+// marked nodes it passes. It reports whether key is present (unmarked) at
+// level 0. predBoxes, when non-nil, receives the box observed in each
+// pred's next pointer, for identity-validated CAS by the caller.
+func (s *Set) find(key int64, preds, succs []*node, predBoxes []*box) bool {
+retry:
+	for {
+		pred := s.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			pb := pred.next[level].Load()
+			if pb.marked {
+				continue retry
+			}
+			curr := pb.n
+			for {
+				cb := curr.next[level].Load()
+				for cb.marked {
+					s.casOps.Add(1)
+					if !pred.next[level].CompareAndSwap(pb, &box{n: cb.n}) {
+						continue retry
+					}
+					pb = pred.next[level].Load()
+					if pb.marked {
+						continue retry
+					}
+					curr = pb.n
+					cb = curr.next[level].Load()
+				}
+				if curr.key < key {
+					pred = curr
+					pb = cb
+					curr = cb.n
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = curr
+			if predBoxes != nil {
+				predBoxes[level] = pb
+			}
+		}
+		return succs[0].key == key
+	}
+}
+
+// Contains reports whether key is in the set. It is wait-free: a pure
+// traversal that skips marked nodes without writing.
+func (s *Set) Contains(key int64) bool {
+	pred := s.head
+	var curr *node
+	for level := MaxLevel - 1; level >= 0; level-- {
+		curr = pred.next[level].Load().n
+		for {
+			cb := curr.next[level].Load()
+			if cb.marked {
+				curr = cb.n
+				continue
+			}
+			if curr.key < key {
+				pred = curr
+				curr = cb.n
+			} else {
+				break
+			}
+		}
+	}
+	if curr.key != key {
+		return false
+	}
+	return !curr.next[0].Load().marked
+}
+
+// Insert adds key, reporting false if it was already present.
+func (s *Set) Insert(key int64) bool {
+	var preds, succs [MaxLevel]*node
+	var pboxes [MaxLevel]*box
+	top := s.randomLevel()
+	for {
+		if s.find(key, preds[:], succs[:], pboxes[:]) {
+			return false
+		}
+		n := newNode(key, top)
+		for l := 0; l <= top; l++ {
+			n.next[l].Store(&box{n: succs[l]})
+		}
+		s.casOps.Add(1)
+		if !preds[0].next[0].CompareAndSwap(pboxes[0], &box{n: n}) {
+			continue
+		}
+		for l := 1; l <= top; l++ {
+			for {
+				s.casOps.Add(1)
+				if preds[l].next[l].CompareAndSwap(pboxes[l], &box{n: n}) {
+					break
+				}
+				// Refresh the view; if the new node was meanwhile marked,
+				// stop linking — find will snip whatever was linked.
+				if n.next[l].Load().marked || n.next[0].Load().marked {
+					return true
+				}
+				s.find(key, preds[:], succs[:], pboxes[:])
+				nb := n.next[l].Load()
+				if nb.marked {
+					return true
+				}
+				if nb.n != succs[l] {
+					if !n.next[l].CompareAndSwap(nb, &box{n: succs[l]}) {
+						return true // only a marker can beat us here
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Remove deletes key, reporting false if it was absent. Marking proceeds
+// top-down with level 0 last; the successful level-0 mark linearizes the
+// removal, and a final find physically unlinks the node.
+func (s *Set) Remove(key int64) bool {
+	var preds, succs [MaxLevel]*node
+	if !s.find(key, preds[:], succs[:], nil) {
+		return false
+	}
+	victim := succs[0]
+	for l := victim.top; l >= 1; l-- {
+		b := victim.next[l].Load()
+		for !b.marked {
+			s.casOps.Add(1)
+			victim.next[l].CompareAndSwap(b, &box{n: b.n, marked: true})
+			b = victim.next[l].Load()
+		}
+	}
+	for {
+		b := victim.next[0].Load()
+		if b.marked {
+			return false
+		}
+		s.casOps.Add(1)
+		if victim.next[0].CompareAndSwap(b, &box{n: b.n, marked: true}) {
+			s.find(key, preds[:], succs[:], nil) // physical unlink
+			return true
+		}
+	}
+}
+
+// CASCount returns the cumulative number of CAS attempts the set has issued
+// (a latency diagnostic; the quantity PTO coalesces into transactions).
+func (s *Set) CASCount() uint64 { return s.casOps.Load() }
+
+// Len counts unmarked level-0 nodes. O(n); for tests and examples.
+func (s *Set) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load().n; curr != s.tail; {
+		b := curr.next[0].Load()
+		if !b.marked {
+			n++
+		}
+		curr = b.n
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in order. O(n); for tests and examples.
+func (s *Set) Keys() []int64 {
+	var out []int64
+	for curr := s.head.next[0].Load().n; curr != s.tail; {
+		b := curr.next[0].Load()
+		if !b.marked {
+			out = append(out, curr.key)
+		}
+		curr = b.n
+	}
+	return out
+}
