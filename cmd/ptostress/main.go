@@ -8,34 +8,69 @@
 //
 //	ptostress [-structure all|bst|skiplist|hashtable|list|msqueue|mound]
 //	          [-variant pto|lockfree] [-threads 8] [-ops 20000] [-keys 256]
+//	          [-policy fixed|adaptive] [-readcap N] [-writecap N]
+//	          [-metrics] [-json] [-metrics-addr :8321] [-hold 2s]
+//
+// -policy selects the speculation policy installed into every PTO structure:
+// "fixed" is the historical behavior (a fixed attempt budget, no adaptation),
+// "adaptive" enables backoff on conflicts, fail-fast on deterministic
+// aborts, and the per-site adaptive disable. -readcap/-writecap retune every
+// structure's transactional capacity before the run (useful to force
+// capacity aborts and watch the adaptive policy react). -metrics prints a
+// per-site telemetry table; -json emits one machine-readable result object
+// on stdout (human progress moves to stderr). -metrics-addr serves the same
+// telemetry over HTTP at /metrics (Prometheus text format) and /debug/vars
+// (expvar) for the duration of the run plus -hold.
 //
 // Exit status 0 means every check passed.
 package main
 
 import (
+	"encoding/json"
+	_ "expvar" // registers /debug/vars on the default mux
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bst"
 	"repro/internal/hashtable"
+	"repro/internal/htm"
 	"repro/internal/list"
 	"repro/internal/mound"
 	"repro/internal/msqueue"
 	"repro/internal/skiplist"
+	"repro/internal/speculate"
+	"repro/internal/telemetry"
 )
 
 var (
-	structure = flag.String("structure", "all", "which structure to stress")
-	variant   = flag.String("variant", "pto", "pto or lockfree")
-	threads   = flag.Int("threads", 8, "concurrent goroutines")
-	ops       = flag.Int("ops", 20000, "operations per goroutine")
-	keys      = flag.Int("keys", 256, "key range")
-	seed      = flag.Int64("seed", 1, "base RNG seed")
+	structure   = flag.String("structure", "all", "which structure to stress")
+	variant     = flag.String("variant", "pto", "pto or lockfree")
+	threads     = flag.Int("threads", 8, "concurrent goroutines")
+	ops         = flag.Int("ops", 20000, "operations per goroutine")
+	keys        = flag.Int("keys", 256, "key range")
+	seed        = flag.Int64("seed", 1, "base RNG seed")
+	policyName  = flag.String("policy", "fixed", "speculation policy: fixed or adaptive")
+	readCap     = flag.Int("readcap", 0, "transactional read capacity (0 = default)")
+	writeCap    = flag.Int("writecap", 0, "transactional write capacity (0 = default)")
+	metrics     = flag.Bool("metrics", false, "print the per-site speculation telemetry table")
+	jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON result on stdout")
+	metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address during the run")
+	hold        = flag.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
 )
+
+// out is where human-readable progress goes: stdout normally, stderr under
+// -json so stdout carries exactly one JSON object.
+var out io.Writer = os.Stdout
+
+// registry collects speculation telemetry for every stressed structure.
+var registry = telemetry.NewRegistry()
 
 type set interface {
 	Insert(k int64) bool
@@ -48,6 +83,14 @@ func xorshift(s *uint64) uint64 {
 	*s ^= *s >> 7
 	*s ^= *s << 17
 	return *s
+}
+
+// applyCaps retunes a structure's transactional capacity per the flags.
+// Safe on a nil domain (lock-free variants).
+func applyCaps(d *htm.Domain) {
+	if d != nil && (*readCap > 0 || *writeCap > 0) {
+		d.SetCapacity(*readCap, *writeCap)
+	}
 }
 
 // stressSet churns a set and verifies per-key balance against membership.
@@ -83,16 +126,16 @@ func stressSet(name string, s set) bool {
 	for k := 0; k < *keys; k++ {
 		diff := ins[k].Load() - rem[k].Load()
 		if diff != 0 && diff != 1 {
-			fmt.Printf("  FAIL %s: key %d balance %d\n", name, k, diff)
+			fmt.Fprintf(out, "  FAIL %s: key %d balance %d\n", name, k, diff)
 			bad++
 			continue
 		}
 		if (diff == 1) != s.Contains(int64(k)) {
-			fmt.Printf("  FAIL %s: key %d membership disagrees with balance %d\n", name, k, diff)
+			fmt.Fprintf(out, "  FAIL %s: key %d membership disagrees with balance %d\n", name, k, diff)
 			bad++
 		}
 	}
-	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name,
+	fmt.Fprintf(out, "  %-22s %d ops x %d threads: %s\n", name,
 		*ops, *threads, verdict(bad == 0))
 	return bad == 0
 }
@@ -129,16 +172,16 @@ func stressQueue(name string, enq func(int64), deq func() (int64, bool)) bool {
 	}
 	bad := 0
 	if count.Load() != int64(total) {
-		fmt.Printf("  FAIL %s: %d values out, want %d\n", name, count.Load(), total)
+		fmt.Fprintf(out, "  FAIL %s: %d values out, want %d\n", name, count.Load(), total)
 		bad++
 	}
 	for v := range seen {
 		if c := seen[v].Load(); c != 1 {
-			fmt.Printf("  FAIL %s: value %d seen %d times\n", name, v, c)
+			fmt.Fprintf(out, "  FAIL %s: value %d seen %d times\n", name, v, c)
 			bad++
 		}
 	}
-	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
+	fmt.Fprintf(out, "  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
 	return bad == 0
 }
 
@@ -173,15 +216,15 @@ func stressPQ(name string, push func(int64), pop func() (int64, bool)) bool {
 	}
 	bad := 0
 	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
-		fmt.Printf("  FAIL %s: quiescent drain not sorted\n", name)
+		fmt.Fprintf(out, "  FAIL %s: quiescent drain not sorted\n", name)
 		bad++
 	}
 	if pushes.Load() != pops.Load()+int64(len(drained)) {
-		fmt.Printf("  FAIL %s: %d pushes, %d pops + %d drained\n",
+		fmt.Fprintf(out, "  FAIL %s: %d pushes, %d pops + %d drained\n",
 			name, pushes.Load(), pops.Load(), len(drained))
 		bad++
 	}
-	fmt.Printf("  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
+	fmt.Fprintf(out, "  %-22s %d ops x %d threads: %s\n", name, *ops, *threads, verdict(bad == 0))
 	return bad == 0
 }
 
@@ -192,37 +235,108 @@ func verdict(ok bool) string {
 	return "FAILED"
 }
 
+// buildPolicy maps -policy to a speculate.Policy wired to the registry.
+func buildPolicy() (speculate.Policy, bool) {
+	switch *policyName {
+	case "fixed":
+		return speculate.Fixed(0).WithMetrics(registry), true
+	case "adaptive":
+		return speculate.Adaptive().WithMetrics(registry), true
+	}
+	return speculate.Policy{}, false
+}
+
+// printMetricsTable renders the per-site telemetry in a fixed-width table.
+func printMetricsTable(snap telemetry.Snapshot) {
+	fmt.Fprintf(out, "\n  %-22s %10s %10s %7s %9s %9s %9s %9s %8s %8s\n",
+		"site", "attempts", "commits", "ratio",
+		"conflict", "capacity", "explicit", "fallback", "disables", "skipped")
+	for _, s := range snap.Sites {
+		fmt.Fprintf(out, "  %-22s %10d %10d %7.3f %9d %9d %9d %9d %8d %8d\n",
+			s.Name, s.Attempts, s.Commits, s.CommitRatio(),
+			s.Conflicts, s.Capacity, s.Explicit, s.Fallbacks, s.Disables, s.Skipped)
+	}
+}
+
+// structResult is one structure's verdict in the JSON output.
+type structResult struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+}
+
+// jsonResult is the machine-readable run summary emitted under -json.
+type jsonResult struct {
+	Variant    string             `json:"variant"`
+	Policy     string             `json:"policy"`
+	Threads    int                `json:"threads"`
+	Ops        int                `json:"ops"`
+	Keys       int                `json:"keys"`
+	Seed       int64              `json:"seed"`
+	ReadCap    int                `json:"readcap,omitempty"`
+	WriteCap   int                `json:"writecap,omitempty"`
+	Structures []structResult     `json:"structures"`
+	Pass       bool               `json:"pass"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+}
+
 func main() {
 	flag.Parse()
+	if *jsonOut {
+		out = os.Stderr
+	}
+	pol, ok := buildPolicy()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (want fixed or adaptive)\n", *policyName)
+		os.Exit(2)
+	}
+	registry.PublishExpvar("pto_speculation")
+	if *metricsAddr != "" {
+		http.Handle("/metrics", registry.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", err)
+			}
+		}()
+	}
+
 	pto := *variant == "pto"
 	run := map[string]func() bool{
 		"bst": func() bool {
 			if pto {
-				return stressSet("bst/pto1+pto2", bst.NewPTO12())
+				t := bst.NewPTO12().WithPolicy(pol)
+				applyCaps(t.Domain())
+				return stressSet("bst/pto1+pto2", t)
 			}
 			return stressSet("bst/lockfree", bst.New())
 		},
 		"skiplist": func() bool {
 			if pto {
-				return stressSet("skiplist/pto", skiplist.NewPTOSet(0))
+				s := skiplist.NewPTOSet(0).WithPolicy(pol)
+				applyCaps(s.Domain())
+				return stressSet("skiplist/pto", s)
 			}
 			return stressSet("skiplist/lockfree", skiplist.NewSet())
 		},
 		"hashtable": func() bool {
 			if pto {
-				return stressSet("hashtable/pto+inplace", hashtable.NewInplaceTable(4, 0))
+				t := hashtable.NewInplaceTable(4, 0).WithPolicy(pol)
+				applyCaps(t.Domain())
+				return stressSet("hashtable/pto+inplace", t)
 			}
 			return stressSet("hashtable/lockfree", hashtable.NewTable(4))
 		},
 		"list": func() bool {
 			if pto {
-				return stressSet("list/pto", list.NewPTO(0))
+				s := list.NewPTO(0).WithPolicy(pol)
+				applyCaps(s.Domain())
+				return stressSet("list/pto", s)
 			}
 			return stressSet("list/lockfree", list.New())
 		},
 		"msqueue": func() bool {
 			if pto {
-				q := msqueue.NewPTO(0)
+				q := msqueue.NewPTO(0).WithPolicy(pol)
+				applyCaps(q.Domain())
 				return stressQueue("msqueue/pto", q.Enqueue, q.Dequeue)
 			}
 			q := msqueue.New()
@@ -230,7 +344,8 @@ func main() {
 		},
 		"mound": func() bool {
 			if pto {
-				q := mound.NewPTO(0, 0)
+				q := mound.NewPTO(0, 0).WithPolicy(pol)
+				applyCaps(q.Domain())
 				return stressPQ("mound/pto", q.Insert, q.RemoveMin)
 			}
 			q := mound.New(0)
@@ -246,13 +361,36 @@ func main() {
 		}
 		selected = []string{*structure}
 	}
-	fmt.Printf("ptostress: variant=%s threads=%d ops=%d keys=%d seed=%d\n",
-		*variant, *threads, *ops, *keys, *seed)
+	fmt.Fprintf(out, "ptostress: variant=%s policy=%s threads=%d ops=%d keys=%d seed=%d\n",
+		*variant, *policyName, *threads, *ops, *keys, *seed)
 	allOK := true
+	var results []structResult
 	for _, n := range selected {
-		if !run[n]() {
+		ok := run[n]()
+		results = append(results, structResult{Name: n, OK: ok})
+		if !ok {
 			allOK = false
 		}
+	}
+	snap := registry.Snapshot()
+	if *metrics {
+		printMetricsTable(snap)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult{
+			Variant: *variant, Policy: *policyName,
+			Threads: *threads, Ops: *ops, Keys: *keys, Seed: *seed,
+			ReadCap: *readCap, WriteCap: *writeCap,
+			Structures: results, Pass: allOK, Telemetry: snap,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+		}
+	}
+	if *hold > 0 {
+		fmt.Fprintf(out, "holding metrics endpoint for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 	if !allOK {
 		os.Exit(1)

@@ -179,5 +179,6 @@ func Ablations(scale float64) []Figure {
 		AblationBSTBudgets(scale),
 		AblationCapacity(scale),
 		AblationSMT(scale),
+		AblationAdaptivePolicy(scale),
 	}
 }

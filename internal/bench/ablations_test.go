@@ -81,6 +81,22 @@ func TestAblationSMTKnee(t *testing.T) {
 	}
 }
 
+func TestAblationAdaptivePolicy(t *testing.T) {
+	f := AblationAdaptivePolicy(ablationTestScale)
+	allPositive(t, f)
+	// Four policy/capacity configurations, three thread counts each. No
+	// throughput-relation assertions: A6 is wall-clock and this may be a
+	// single-CPU box.
+	if len(f.Series) != 4 {
+		t.Fatalf("unexpected table shape: %+v", f)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q: %d points, want 3", s.Name, len(s.Points))
+		}
+	}
+}
+
 func TestExtensionList(t *testing.T) {
 	f := ExtList(34, ablationTestScale)
 	allPositive(t, f)

@@ -3,6 +3,7 @@ package bst
 import (
 	"repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // This file implements the PTO-accelerated BST of §3.2/§4.4.
@@ -67,10 +68,15 @@ type PTOTree struct {
 	pto1   int
 	pto2   int
 	stats  *core.Stats
+
+	conSite *speculate.Site
+	insSite *speculate.Site
+	rmSite  *speculate.Site
 }
 
 // NewPTO returns an empty PTO tree with the given attempt budgets; negative
-// values select the paper's defaults (2 and 16).
+// values select the paper's defaults (2 and 16). The tree runs under the
+// default fixed speculation policy; use WithPolicy to change it.
 func NewPTO(pto1, pto2 int) *PTOTree {
 	if pto1 < 0 {
 		pto1 = DefaultPTO1Attempts
@@ -80,7 +86,24 @@ func NewPTO(pto1, pto2 int) *PTOTree {
 	}
 	t := &PTOTree{domain: htm.NewDomain(0, 0), pto1: pto1, pto2: pto2,
 		stats: core.NewStats(2)}
+	t.WithPolicy(speculate.Fixed(0))
 	t.root = t.newInternal(inf2, t.newLeaf(inf1), t.newLeaf(inf2))
+	return t
+}
+
+// WithPolicy installs the speculation policy governing the tree's attempt
+// loops. Call before the tree is shared between goroutines.
+func (t *PTOTree) WithPolicy(p speculate.Policy) *PTOTree {
+	// Contains runs only the whole-operation (PTO1) level and the
+	// historical loop recorded no statistics for it, hence the nil legacy.
+	t.conSite = p.NewSite("bst/contains", nil,
+		speculate.Level{Name: "pto1", Attempts: t.pto1, RetryOnExplicit: true})
+	t.insSite = p.NewSite("bst/insert", t.stats,
+		speculate.Level{Name: "pto1", Attempts: t.pto1},
+		speculate.Level{Name: "pto2", Attempts: t.pto2, RetryOnExplicit: true})
+	t.rmSite = p.NewSite("bst/remove", t.stats,
+		speculate.Level{Name: "pto1", Attempts: t.pto1},
+		speculate.Level{Name: "pto2", Attempts: t.pto2, RetryOnExplicit: true})
 	return t
 }
 
@@ -139,15 +162,17 @@ func (t *PTOTree) search(tx *htm.Tx, key int64) (gp, p, l *pnode, pupd, gpupd *p
 // a read-only transaction (eliding the double-checks the original needs);
 // on abort it falls back to the plain wait-free traversal.
 func (t *PTOTree) Contains(key int64) bool {
-	for a := 0; a < t.pto1; a++ {
+	r := t.conSite.Begin(t.domain)
+	for r.Next(0) {
 		var found bool
-		if t.domain.Atomically(func(tx *htm.Tx) {
+		if r.Try(func(tx *htm.Tx) {
 			_, _, l, _, _ := t.search(tx, key)
 			found = l.key == key
 		}) == htm.Committed {
 			return found
 		}
 	}
+	r.Fallback()
 	_, _, l, _, _ := t.search(nil, key)
 	return l.key == key
 }
@@ -179,10 +204,11 @@ func (t *PTOTree) Insert(key int64) bool {
 	if key > MaxKey {
 		panic("bst: key out of range")
 	}
+	r := t.insSite.Begin(t.domain)
 	// PTO1: whole operation in one transaction.
-	for a := 0; a < t.pto1; a++ {
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		if r.Try(func(tx *htm.Tx) {
 			_, p, l, pu, _ := t.search(tx, key)
 			if l.key == key {
 				result = false
@@ -198,27 +224,22 @@ func (t *PTOTree) Insert(key int64) bool {
 			// changes" invariant the fallback protocol validates against.
 			htm.Store(tx, &p.update, &pupdate{state: stateClean})
 			result = true
-		})
-		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
+		}) == htm.Committed {
 			return result
-		}
-		t.stats.Aborts.Add(1)
-		if st == htm.AbortExplicit {
-			break
 		}
 	}
 	// PTO2: non-transactional search, transactional update phase.
-	for a := 0; a < t.pto2; a++ {
+	for r.Next(1) {
 		_, p, l, pupd, _ := t.search(nil, key)
 		if l.key == key {
 			return false
 		}
 		if pupd.state != stateClean {
-			continue // would need helping; burn an attempt instead (§2.4)
+			r.Skip() // would need helping; burn an attempt instead (§2.4)
+			continue
 		}
 		ni := t.buildInsert(key, l)
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		if r.Try(func(tx *htm.Tx) {
 			if htm.Load(tx, &p.update) != pupd {
 				tx.Abort(abortWouldHelp)
 			}
@@ -233,14 +254,11 @@ func (t *PTOTree) Insert(key int64) bool {
 			}
 			storeChild(tx, p, l, ni)
 			htm.Store(tx, &p.update, &pupdate{state: stateClean})
-		})
-		if st == htm.Committed {
-			t.stats.CommitsByLevel[1].Add(1)
+		}) == htm.Committed {
 			return true
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.insertFallback(key)
 }
 
@@ -249,10 +267,11 @@ func (t *PTOTree) Remove(key int64) bool {
 	if key > MaxKey {
 		return false // sentinels are never removable
 	}
+	r := t.rmSite.Begin(t.domain)
 	// PTO1: whole operation in one transaction.
-	for a := 0; a < t.pto1; a++ {
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		if r.Try(func(tx *htm.Tx) {
 			gp, p, l, pu, gpu := t.search(tx, key)
 			if l.key != key {
 				result = false
@@ -263,26 +282,21 @@ func (t *PTOTree) Remove(key int64) bool {
 			}
 			t.txSplice(tx, gp, p, l)
 			result = true
-		})
-		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
+		}) == htm.Committed {
 			return result
-		}
-		t.stats.Aborts.Add(1)
-		if st == htm.AbortExplicit {
-			break
 		}
 	}
 	// PTO2: non-transactional search, transactional update phase.
-	for a := 0; a < t.pto2; a++ {
+	for r.Next(1) {
 		gp, p, l, pupd, gpupd := t.search(nil, key)
 		if l.key != key {
 			return false
 		}
 		if gpupd.state != stateClean || pupd.state != stateClean {
+			r.Skip()
 			continue
 		}
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			if htm.Load(tx, &gp.update) != gpupd || htm.Load(tx, &p.update) != pupd {
 				tx.Abort(abortWouldHelp)
 			}
@@ -307,12 +321,10 @@ func (t *PTOTree) Remove(key int64) bool {
 			t.txSplice(tx, gp, p, l)
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[1].Add(1)
 			return true
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.removeFallback(key)
 }
 

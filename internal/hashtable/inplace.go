@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // InplaceTable is the algorithm-modified "PTO+Inplace" hash table of
@@ -36,6 +37,10 @@ type InplaceTable struct {
 	resizes  atomic.Uint64
 	// inplaceHits counts updates that committed without allocation.
 	inplaceHits atomic.Uint64
+
+	insSite *speculate.Site
+	rmSite  *speculate.Site
+	conSite *speculate.Site
 }
 
 // ipnode is a bucket's element storage. A live node's slots are mutated in
@@ -106,8 +111,21 @@ func NewInplaceTable(buckets, attempts int) *InplaceTable {
 	t := &InplaceTable{domain: htm.NewDomain(0, 0), mgr: epoch.NewManager(),
 		attempts: attempts, stats: core.NewStats(1)}
 	t.handles.New = func() any { return t.mgr.Register() }
+	t.WithPolicy(speculate.Fixed(0))
 	t.head.Init(t.domain, nil)
 	htm.Store(nil, &t.head, t.newHNode(buckets, nil))
+	return t
+}
+
+// WithPolicy replaces the speculation policy governing the retry loops. The
+// default, speculate.Fixed(0), reproduces the historical behavior: every
+// operation makes exactly `attempts` tries — explicit aborts included — then
+// falls back. Returns t for chaining.
+func (t *InplaceTable) WithPolicy(p speculate.Policy) *InplaceTable {
+	lvl := speculate.Level{Name: "pto", Attempts: t.attempts, RetryOnExplicit: true}
+	t.insSite = p.NewSite("inplace/insert", t.stats, lvl)
+	t.rmSite = p.NewSite("inplace/remove", t.stats, lvl)
+	t.conSite = p.NewSite("inplace/contains", t.stats, lvl)
 	return t
 }
 
@@ -136,9 +154,10 @@ func scanTx(tx *htm.Tx, node *ipnode, key int64) int {
 // writes the element into a free slot of the existing array and bumps the
 // bucket counter — no allocation, no copy.
 func (t *InplaceTable) Insert(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.insSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			s := htm.Load(tx, &hd.buckets[i])
@@ -162,25 +181,24 @@ func (t *InplaceTable) Insert(key int64) bool {
 			result = true
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			t.inplaceHits.Add(1)
 			if result {
 				t.bump(1)
 			}
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.insertFallback(key)
 }
 
 // Remove deletes key, reporting false if absent. The speculative path swaps
 // the last element into the hole in place.
 func (t *InplaceTable) Remove(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.rmSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			s := htm.Load(tx, &hd.buckets[i])
@@ -204,16 +222,14 @@ func (t *InplaceTable) Remove(key int64) bool {
 			result = true
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			t.inplaceHits.Add(1)
 			if result {
 				t.count.Add(-1)
 			}
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.removeFallback(key)
 }
 
@@ -221,9 +237,10 @@ func (t *InplaceTable) Remove(key int64) bool {
 // degraded, lock-free lookup: scan, then double-check the (pointer, counter)
 // pair and re-scan if it moved.
 func (t *InplaceTable) Contains(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.conSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			s := htm.Load(tx, &hd.buckets[i])
@@ -237,12 +254,10 @@ func (t *InplaceTable) Contains(key int64) bool {
 			result = scanTx(tx, s.node, key) >= 0
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	h := t.handles.Get().(*epoch.Handle)
 	h.Enter()
 	defer func() { h.Exit(); t.handles.Put(h) }()

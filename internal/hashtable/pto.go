@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // PTOTable is the straightforward PTO application of §4.5: each operation is
@@ -27,6 +28,10 @@ type PTOTable struct {
 	attempts int
 	stats    *core.Stats
 	resizes  atomic.Uint64
+
+	insSite *speculate.Site
+	rmSite  *speculate.Site
+	conSite *speculate.Site
 }
 
 type pthnode struct {
@@ -64,8 +69,21 @@ func NewPTOTable(buckets, attempts int) *PTOTable {
 	t := &PTOTable{domain: htm.NewDomain(0, 0), mgr: epoch.NewManager(),
 		attempts: attempts, stats: core.NewStats(1)}
 	t.handles.New = func() any { return t.mgr.Register() }
+	t.WithPolicy(speculate.Fixed(0))
 	t.head.Init(t.domain, nil)
 	htm.Store(nil, &t.head, t.newHNode(buckets, nil))
+	return t
+}
+
+// WithPolicy replaces the speculation policy governing the retry loops. The
+// default, speculate.Fixed(0), reproduces the historical behavior: every
+// operation makes exactly `attempts` tries — explicit aborts included — then
+// falls back. Returns t for chaining.
+func (t *PTOTable) WithPolicy(p speculate.Policy) *PTOTable {
+	lvl := speculate.Level{Name: "pto", Attempts: t.attempts, RetryOnExplicit: true}
+	t.insSite = p.NewSite("hashtable/insert", t.stats, lvl)
+	t.rmSite = p.NewSite("hashtable/remove", t.stats, lvl)
+	t.conSite = p.NewSite("hashtable/contains", t.stats, lvl)
 	return t
 }
 
@@ -84,9 +102,10 @@ const (
 
 // Insert adds key, reporting false if already present.
 func (t *PTOTable) Insert(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.insSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			b := htm.Load(tx, &hd.buckets[i])
@@ -107,23 +126,22 @@ func (t *PTOTable) Insert(key int64) bool {
 			result = true
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			if result {
 				t.bump(1)
 			}
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.insertFallback(key)
 }
 
 // Remove deletes key, reporting false if absent.
 func (t *PTOTable) Remove(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.rmSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			b := htm.Load(tx, &hd.buckets[i])
@@ -147,15 +165,13 @@ func (t *PTOTable) Remove(key int64) bool {
 			result = true
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			if result {
 				t.count.Add(-1)
 			}
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return t.removeFallback(key)
 }
 
@@ -163,9 +179,10 @@ func (t *PTOTable) Remove(key int64) bool {
 // reclaimer state at all; the fallback is the original wait-free lookup
 // inside an epoch bracket.
 func (t *PTOTable) Contains(key int64) bool {
-	for a := 0; a < t.attempts; a++ {
+	r := t.conSite.Begin(t.domain)
+	for r.Next(0) {
 		var result bool
-		st := t.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			hd := htm.Load(tx, &t.head)
 			i := index(key, hd.size)
 			b := htm.Load(tx, &hd.buckets[i])
@@ -191,12 +208,10 @@ func (t *PTOTable) Contains(key int64) bool {
 			result = b.contains(key)
 		})
 		if st == htm.Committed {
-			t.stats.CommitsByLevel[0].Add(1)
 			return result
 		}
-		t.stats.Aborts.Add(1)
 	}
-	t.stats.Fallbacks.Add(1)
+	r.Fallback()
 	h := t.handles.Get().(*epoch.Handle)
 	h.Enter()
 	defer func() { h.Exit(); t.handles.Put(h) }()

@@ -95,9 +95,10 @@ type Domain struct {
 	explicit  atomic.Uint64
 
 	// readCap and writeCap bound the transactional footprint; zero means the
-	// package defaults. They model HTM capacity limits.
-	readCap  int
-	writeCap int
+	// package defaults. They model HTM capacity limits and are stored
+	// atomically so they can be retuned while transactions are in flight.
+	readCap  atomic.Int64
+	writeCap atomic.Int64
 }
 
 // Default capacity limits, chosen to approximate an L1-bounded write set and
@@ -110,23 +111,21 @@ const (
 // NewDomain returns a Domain with the given footprint limits. Passing zero
 // for either limit selects the package default.
 func NewDomain(readCap, writeCap int) *Domain {
-	if readCap <= 0 {
-		readCap = DefaultReadCap
-	}
-	if writeCap <= 0 {
-		writeCap = DefaultWriteCap
-	}
-	return &Domain{readCap: readCap, writeCap: writeCap}
+	d := &Domain{}
+	d.SetCapacity(readCap, writeCap)
+	return d
 }
 
 // SetCapacity changes the domain's footprint limits (≤ 0 selects the
 // package defaults). It is intended for tests and tuning experiments — e.g.
 // a read capacity of 1 makes every multi-read transaction abort with
-// AbortCapacity, forcing all operations down their fallback paths. It must
-// not be called concurrently with transactions.
+// AbortCapacity, forcing all operations down their fallback paths. It is
+// safe to call concurrently with transactions: each attempt reads the
+// limits once at start, so in-flight attempts finish under whichever limits
+// they began with.
 func (d *Domain) SetCapacity(readCap, writeCap int) {
-	d.readCap = readCap
-	d.writeCap = writeCap
+	d.readCap.Store(int64(readCap))
+	d.writeCap.Store(int64(writeCap))
 }
 
 // Stats returns a snapshot of the domain's cumulative transaction outcomes.
@@ -140,7 +139,7 @@ func (d *Domain) Stats() Stats {
 }
 
 func (d *Domain) caps() (int, int) {
-	r, w := d.readCap, d.writeCap
+	r, w := int(d.readCap.Load()), int(d.writeCap.Load())
 	if r <= 0 {
 		r = DefaultReadCap
 	}

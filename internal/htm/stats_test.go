@@ -1,0 +1,90 @@
+package htm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsPartitionAttempts checks the accounting identity the telemetry
+// subsystem depends on: every Atomically call ends in exactly one of the
+// four outcomes, so Commits+Conflicts+Capacity+Explicit must equal the
+// total number of attempts across all goroutines — under real contention,
+// with all four outcome kinds occurring, and with capacity retuned
+// mid-flight.
+func TestStatsPartitionAttempts(t *testing.T) {
+	d := NewDomain(0, 0)
+	const goroutines = 8
+	const opsPer = 3000
+	vars := make([]*Var[int], 8)
+	for i := range vars {
+		vars[i] = NewVar(d, 0)
+	}
+
+	var attempts atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < opsPer; i++ {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				v := vars[rnd%uint64(len(vars))]
+				attempts.Add(1)
+				switch rnd >> 60 % 4 {
+				case 0: // read-modify-write: commits or conflicts
+					d.Atomically(func(tx *Tx) {
+						Store(tx, v, Load(tx, v)+1)
+					})
+				case 1: // explicit abort
+					d.Atomically(func(tx *Tx) { tx.Abort(1) })
+				case 2: // wide read set: capacity abort when crushed
+					d.Atomically(func(tx *Tx) {
+						for _, w := range vars {
+							Load(tx, w)
+						}
+					})
+				default: // non-transactional interference + read-only tx
+					Store(nil, v, int(rnd))
+					d.Atomically(func(tx *Tx) { Load(tx, v) })
+				}
+				if i == opsPer/2 && g == 0 {
+					d.SetCapacity(2, 2) // retune mid-run: must not race
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := d.Stats()
+	total := s.Commits + s.Conflicts + s.Capacity + s.Explicit
+	if total != attempts.Load() {
+		t.Fatalf("outcome sum %d != attempts %d (stats: %+v)", total, attempts.Load(), s)
+	}
+	if s.Commits == 0 || s.Explicit == 0 || s.Capacity == 0 {
+		t.Fatalf("workload failed to exercise all outcome kinds: %+v", s)
+	}
+}
+
+// TestSetCapacityTakesEffect checks both directions of a concurrent-safe
+// retune: crushing the capacity makes multi-read transactions abort,
+// restoring it makes them commit again.
+func TestSetCapacityTakesEffect(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	two := func(tx *Tx) { Load(tx, a); Load(tx, b) }
+	if st := d.Atomically(two); st != Committed {
+		t.Fatalf("default capacity: %v", st)
+	}
+	d.SetCapacity(1, 1)
+	if st := d.Atomically(two); st != AbortCapacity {
+		t.Fatalf("crushed capacity: %v, want capacity abort", st)
+	}
+	d.SetCapacity(0, 0)
+	if st := d.Atomically(two); st != Committed {
+		t.Fatalf("restored capacity: %v", st)
+	}
+}

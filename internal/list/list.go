@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 const (
@@ -184,6 +185,9 @@ type PTOSet struct {
 	head     *pnode
 	attempts int
 	stats    *core.Stats
+
+	insSite *speculate.Site
+	rmSite  *speculate.Site
 }
 
 type pbox struct {
@@ -203,11 +207,24 @@ func NewPTO(attempts int) *PTOSet {
 		attempts = DefaultAttempts
 	}
 	s := &PTOSet{domain: htm.NewDomain(0, 0), attempts: attempts, stats: core.NewStats(1)}
+	s.WithPolicy(speculate.Fixed(0))
 	tail := &pnode{key: tailKey}
 	tail.next.Init(s.domain, nil)
 	htm.Store(nil, &tail.next, &pbox{})
 	s.head = &pnode{key: headKey}
 	s.head.next.Init(s.domain, &pbox{n: tail})
+	return s
+}
+
+// WithPolicy replaces the speculation policy governing the retry loops. The
+// default, speculate.Fixed(0), reproduces the historical behavior: every
+// attempt re-searches, explicit (view-changed) aborts consume an attempt,
+// and the original single-CAS / mark-then-snip protocol runs after
+// `attempts` tries. Returns s for chaining.
+func (s *PTOSet) WithPolicy(p speculate.Policy) *PTOSet {
+	lvl := speculate.Level{Name: "pto", Attempts: s.attempts, RetryOnExplicit: true}
+	s.insSite = p.NewSite("list/insert", s.stats, lvl)
+	s.rmSite = p.NewSite("list/remove", s.stats, lvl)
 	return s
 }
 
@@ -269,31 +286,30 @@ func (s *PTOSet) Insert(key int64) bool {
 	}
 	n := &pnode{key: key}
 	n.next.Init(s.domain, nil)
-	for a := 0; ; a++ {
+	r := s.insSite.Begin(s.domain)
+	for {
 		pred, curr, pb := s.search(key)
 		if curr.key == key {
 			return false
 		}
 		htm.Store(nil, &n.next, &pbox{n: curr})
-		if a >= s.attempts {
+		if !r.Next(0) {
 			// Fallback: the original single-CAS link.
 			if htm.CAS(nil, &pred.next, pb, &pbox{n: n}) {
-				s.stats.Fallbacks.Add(1)
+				r.Fallback()
 				return true
 			}
 			continue
 		}
-		st := s.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			if htm.Load(tx, &pred.next) != pb {
 				tx.Abort(1)
 			}
 			htm.Store(tx, &pred.next, &pbox{n: n})
 		})
 		if st == htm.Committed {
-			s.stats.CommitsByLevel[0].Add(1)
 			return true
 		}
-		s.stats.Aborts.Add(1)
 	}
 }
 
@@ -301,17 +317,18 @@ func (s *PTOSet) Insert(key int64) bool {
 // marks and unlinks in one atomic step: the marked-but-linked intermediate
 // state of the original protocol never exists, so no traversal ever helps.
 func (s *PTOSet) Remove(key int64) bool {
-	for a := 0; ; a++ {
+	r := s.rmSite.Begin(s.domain)
+	for {
 		pred, curr, pb := s.search(key)
 		if curr.key != key {
 			return false
 		}
-		if a >= s.attempts {
-			s.stats.Fallbacks.Add(1)
+		if !r.Next(0) {
+			r.Fallback()
 			return s.removeFallback(key, pred, curr, pb)
 		}
 		var removed bool
-		st := s.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			if htm.Load(tx, &pred.next) != pb {
 				tx.Abort(1)
 			}
@@ -325,10 +342,8 @@ func (s *PTOSet) Remove(key int64) bool {
 			removed = true
 		})
 		if st == htm.Committed {
-			s.stats.CommitsByLevel[0].Add(1)
 			return removed
 		}
-		s.stats.Aborts.Add(1)
 	}
 }
 

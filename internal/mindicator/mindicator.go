@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // Infinity is the encoded "no value" sentinel. Values passed to Arrive must
@@ -169,6 +170,7 @@ type PTO struct {
 	nodes   []htm.Var[uint64]
 	stats   *core.Stats
 	retries int
+	site    *speculate.Site
 }
 
 // DefaultAttempts is the retry threshold the paper settled on for the
@@ -191,9 +193,20 @@ func NewPTO(leaves, attempts int) *PTO {
 		stats:   core.NewStats(1),
 		retries: attempts,
 	}
+	p.WithPolicy(speculate.Fixed(0))
 	for i := range p.nodes {
 		p.nodes[i].Init(p.domain, pack(0, infEnc))
 	}
+	return p
+}
+
+// WithPolicy replaces the speculation policy governing the update retry
+// loop. The default, speculate.Fixed(0), reproduces the historical behavior:
+// up to `attempts` tries, then the baseline fallback. Returns p for
+// chaining.
+func (p *PTO) WithPolicy(pol speculate.Policy) *PTO {
+	p.site = pol.NewSite("mindicator/update", p.stats,
+		speculate.Level{Name: "pto", Attempts: p.retries})
 	return p
 }
 
@@ -208,29 +221,35 @@ func (p *PTO) Domain() *htm.Domain { return p.domain }
 
 func (p *PTO) update(slot int, val uint32) {
 	leaf := p.leaves - 1 + slot
-	core.Run(p.domain, p.retries, func(tx *htm.Tx) {
-		// Prefix transaction: one pass, one plain store per node, version
-		// advanced by two (coalesced mark+unmark), no downward traversal.
-		w := htm.Load(tx, &p.nodes[leaf])
-		ver, _ := unpack(w)
-		htm.Store(tx, &p.nodes[leaf], pack(ver+2, val))
-		for i := parent(leaf); ; i = parent(i) {
-			_, lv := unpack(htm.Load(tx, &p.nodes[2*i+1]))
-			_, rv := unpack(htm.Load(tx, &p.nodes[2*i+2]))
-			m := min(lv, rv)
-			cur := htm.Load(tx, &p.nodes[i])
-			cver, cval := unpack(cur)
-			if cval == m {
-				break
+	r := p.site.Begin(p.domain)
+	for r.Next(0) {
+		st := r.Try(func(tx *htm.Tx) {
+			// Prefix transaction: one pass, one plain store per node, version
+			// advanced by two (coalesced mark+unmark), no downward traversal.
+			w := htm.Load(tx, &p.nodes[leaf])
+			ver, _ := unpack(w)
+			htm.Store(tx, &p.nodes[leaf], pack(ver+2, val))
+			for i := parent(leaf); ; i = parent(i) {
+				_, lv := unpack(htm.Load(tx, &p.nodes[2*i+1]))
+				_, rv := unpack(htm.Load(tx, &p.nodes[2*i+2]))
+				m := min(lv, rv)
+				cur := htm.Load(tx, &p.nodes[i])
+				cver, cval := unpack(cur)
+				if cval == m {
+					break
+				}
+				htm.Store(tx, &p.nodes[i], pack(cver+2, m))
+				if i == 0 {
+					break
+				}
 			}
-			htm.Store(tx, &p.nodes[i], pack(cver+2, m))
-			if i == 0 {
-				break
-			}
+		})
+		if st == htm.Committed {
+			return
 		}
-	}, func() {
-		p.fallback(slot, val)
-	}, p.stats)
+	}
+	r.Fallback()
+	p.fallback(slot, val)
 }
 
 // fallback is the original baseline protocol expressed over the transactional
@@ -304,6 +323,7 @@ type TLE struct {
 	nodes   []htm.Var[uint64] // sequential representation: encoded values only
 	stats   *core.Stats
 	retries int
+	site    *speculate.Site
 }
 
 // NewTLE returns a TLE-protected sequential Mindicator.
@@ -321,10 +341,21 @@ func NewTLE(leaves, attempts int) *TLE {
 		stats:   core.NewStats(1),
 		retries: attempts,
 	}
+	t.WithPolicy(speculate.Fixed(0))
 	t.lock.Init(t.domain, 0)
 	for i := range t.nodes {
 		t.nodes[i].Init(t.domain, uint64(infEnc))
 	}
+	return t
+}
+
+// WithPolicy replaces the speculation policy governing the elision retry
+// loop. The default, speculate.Fixed(0), reproduces the historical behavior:
+// up to `attempts` tries — stopping early when the lock is observed held —
+// then the lock is acquired. Returns t for chaining.
+func (t *TLE) WithPolicy(pol speculate.Policy) *TLE {
+	t.site = pol.NewSite("mindicator-tle/update", t.stats,
+		speculate.Level{Name: "elide", Attempts: t.retries})
 	return t
 }
 
@@ -347,17 +378,23 @@ func (t *TLE) seqUpdate(tx *htm.Tx, slot int, val uint32) {
 }
 
 func (t *TLE) update(slot int, val uint32) {
-	core.Run(t.domain, t.retries, func(tx *htm.Tx) {
-		if htm.Load(tx, &t.lock) != 0 {
-			tx.Abort(1) // lock held: elision impossible right now
+	r := t.site.Begin(t.domain)
+	for r.Next(0) {
+		st := r.Try(func(tx *htm.Tx) {
+			if htm.Load(tx, &t.lock) != 0 {
+				tx.Abort(1) // lock held: elision impossible right now
+			}
+			t.seqUpdate(tx, slot, val)
+		})
+		if st == htm.Committed {
+			return
 		}
-		t.seqUpdate(tx, slot, val)
-	}, func() {
-		for !htm.CAS(nil, &t.lock, 0, 1) {
-		}
-		t.seqUpdate(nil, slot, val)
-		htm.Store(nil, &t.lock, 0)
-	}, t.stats)
+	}
+	r.Fallback()
+	for !htm.CAS(nil, &t.lock, 0, 1) {
+	}
+	t.seqUpdate(nil, slot, val)
+	htm.Store(nil, &t.lock, 0)
 }
 
 // Arrive offers v as the calling thread's value.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/htm"
 	"repro/internal/mcas"
+	"repro/internal/speculate"
 )
 
 // mcasBackend is the baseline substrate: node words are mcas.Words and the
@@ -75,6 +76,7 @@ type ptoBackend struct {
 	words    []htm.Var[mword]
 	attempts int
 	stats    *core.Stats
+	site     *speculate.Site
 }
 
 func newPTOBackend(size, attempts int) *ptoBackend {
@@ -83,10 +85,16 @@ func newPTOBackend(size, attempts int) *ptoBackend {
 	}
 	b := &ptoBackend{domain: htm.NewDomain(0, 0), words: make([]htm.Var[mword], size),
 		attempts: attempts, stats: core.NewStats(1)}
+	b.withPolicy(speculate.Fixed(0))
 	for i := range b.words {
 		b.words[i].Init(b.domain, mword{})
 	}
 	return b
+}
+
+func (b *ptoBackend) withPolicy(p speculate.Policy) {
+	b.site = p.NewSite("mound/dcas", b.stats,
+		speculate.Level{Name: "pto", Attempts: b.attempts, RetryOnExplicit: true})
 }
 
 // NewPTO returns an empty PTO-accelerated mound (≤ 0 arguments select the
@@ -94,6 +102,18 @@ func newPTOBackend(size, attempts int) *ptoBackend {
 func NewPTO(maxDepth, attempts int) *Mound {
 	m := newMound(maxDepth)
 	m.be = newPTOBackend(m.size, attempts)
+	return m
+}
+
+// WithPolicy replaces the speculation policy governing the DCAS retry loop
+// of a PTO-backed mound; it is a no-op for the baseline. The default,
+// speculate.Fixed(0), reproduces the historical behavior: every DCAS makes
+// exactly `attempts` tries — explicit aborts included — then falls back to
+// the descriptor protocol. Returns m for chaining.
+func (m *Mound) WithPolicy(p speculate.Policy) *Mound {
+	if b, ok := m.be.(*ptoBackend); ok {
+		b.withPolicy(p)
+	}
 	return m
 }
 
@@ -149,9 +169,10 @@ func (b *ptoBackend) dcss(cmp int, expect uint64, tgt int, old, new uint64) bool
 func (b *ptoBackend) dcas(id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
 	// Prefix transaction: the whole double-word update as plain loads,
 	// branches, and buffered stores (§2.3's strength reduction).
-	for a := 0; a < b.attempts; a++ {
+	r := b.site.Begin(b.domain)
+	for r.Next(0) {
 		var result bool
-		st := b.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			w1 := htm.Load(tx, &b.words[id1])
 			w2 := htm.Load(tx, &b.words[id2])
 			if w1.desc != nil || w2.desc != nil {
@@ -169,12 +190,10 @@ func (b *ptoBackend) dcas(id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
 			result = true
 		})
 		if st == htm.Committed {
-			b.stats.CommitsByLevel[0].Add(1)
 			return result
 		}
-		b.stats.Aborts.Add(1)
 	}
-	b.stats.Fallbacks.Add(1)
+	r.Fallback()
 	return b.dcasFallback(id1, o1, n1, id2, o2, n2)
 }
 

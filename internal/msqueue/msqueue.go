@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // DefaultAttempts is the transaction retry budget for the PTO variant.
@@ -111,6 +112,9 @@ type PTOQueue struct {
 	attempts int
 	enqStats *core.Stats
 	deqStats *core.Stats
+
+	enqSite *speculate.Site
+	deqSite *speculate.Site
 }
 
 type pnode struct {
@@ -126,10 +130,23 @@ func NewPTO(attempts int) *PTOQueue {
 	}
 	q := &PTOQueue{domain: htm.NewDomain(0, 0), attempts: attempts,
 		enqStats: core.NewStats(1), deqStats: core.NewStats(1)}
+	q.WithPolicy(speculate.Fixed(0))
 	dummy := &pnode{}
 	dummy.next.Init(q.domain, nil)
 	q.head.Init(q.domain, dummy)
 	q.tail.Init(q.domain, dummy)
+	return q
+}
+
+// WithPolicy replaces the speculation policy governing the retry loops. The
+// default, speculate.Fixed(0), reproduces the historical behavior: up to
+// `attempts` tries, stopping early on an explicit (lagging-tail) abort, then
+// the original two-CAS protocol. Returns q for chaining.
+func (q *PTOQueue) WithPolicy(p speculate.Policy) *PTOQueue {
+	q.enqSite = p.NewSite("msqueue/enqueue", q.enqStats,
+		speculate.Level{Name: "pto", Attempts: q.attempts})
+	q.deqSite = p.NewSite("msqueue/dequeue", q.deqStats,
+		speculate.Level{Name: "pto", Attempts: q.attempts})
 	return q
 }
 
@@ -147,8 +164,9 @@ func (q *PTOQueue) DequeueStats() *core.Stats { return q.deqStats }
 func (q *PTOQueue) Enqueue(v int64) {
 	n := &pnode{val: v}
 	n.next.Init(q.domain, nil)
-	for a := 0; a < q.attempts; a++ {
-		st := q.domain.Atomically(func(tx *htm.Tx) {
+	r := q.enqSite.Begin(q.domain)
+	for r.Next(0) {
+		st := r.Try(func(tx *htm.Tx) {
 			t := htm.Load(tx, &q.tail)
 			if htm.Load(tx, &t.next) != nil {
 				tx.Abort(1) // a fallback enqueue left the tail lagging
@@ -157,15 +175,10 @@ func (q *PTOQueue) Enqueue(v int64) {
 			htm.Store(tx, &q.tail, n)
 		})
 		if st == htm.Committed {
-			q.enqStats.CommitsByLevel[0].Add(1)
 			return
 		}
-		q.enqStats.Aborts.Add(1)
-		if st == htm.AbortExplicit {
-			break
-		}
 	}
-	q.enqStats.Fallbacks.Add(1)
+	r.Fallback()
 	q.enqueueFallback(n)
 }
 
@@ -190,10 +203,11 @@ func (q *PTOQueue) enqueueFallback(n *pnode) {
 
 // Dequeue removes and returns the oldest value, reporting false when empty.
 func (q *PTOQueue) Dequeue() (int64, bool) {
-	for a := 0; a < q.attempts; a++ {
+	r := q.deqSite.Begin(q.domain)
+	for r.Next(0) {
 		var v int64
 		var ok bool
-		st := q.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			h := htm.Load(tx, &q.head)
 			t := htm.Load(tx, &q.tail)
 			next := htm.Load(tx, &h.next)
@@ -208,15 +222,10 @@ func (q *PTOQueue) Dequeue() (int64, bool) {
 			htm.Store(tx, &q.head, next)
 		})
 		if st == htm.Committed {
-			q.deqStats.CommitsByLevel[0].Add(1)
 			return v, ok
 		}
-		q.deqStats.Aborts.Add(1)
-		if st == htm.AbortExplicit {
-			break
-		}
 	}
-	q.deqStats.Fallbacks.Add(1)
+	r.Fallback()
 	return q.dequeueFallback()
 }
 

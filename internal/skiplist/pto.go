@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/htm"
+	"repro/internal/speculate"
 )
 
 // pbox is the PTO variant's immutable (successor, marked) pair.
@@ -33,6 +34,9 @@ type PTOSet struct {
 	attempts int
 	insStats *core.Stats
 	rmStats  *core.Stats
+
+	insSite *speculate.Site
+	rmSite  *speculate.Site
 }
 
 // DefaultAttempts is the per-operation transaction retry budget for the
@@ -47,6 +51,7 @@ func NewPTOSet(attempts int) *PTOSet {
 	}
 	s := &PTOSet{domain: htm.NewDomain(0, 0), attempts: attempts,
 		insStats: core.NewStats(1), rmStats: core.NewStats(1)}
+	s.WithPolicy(speculate.Fixed(0))
 	s.tail = s.newPNode(tailKey, MaxLevel-1)
 	s.head = s.newPNode(headKey, MaxLevel-1)
 	for l := 0; l < MaxLevel; l++ {
@@ -63,6 +68,19 @@ func (s *PTOSet) newPNode(key int64, top int) *pnode {
 		n.next[l].Init(s.domain, nil)
 	}
 	return n
+}
+
+// WithPolicy replaces the speculation policy governing the retry loops. The
+// default, speculate.Fixed(0), reproduces the historical behavior: Insert
+// retries explicit (view-changed) aborts with a fresh search, Remove stops
+// retrying on explicit aborts, both fall back after `attempts` tries.
+// Returns s for chaining.
+func (s *PTOSet) WithPolicy(p speculate.Policy) *PTOSet {
+	s.insSite = p.NewSite("skiplist/insert", s.insStats,
+		speculate.Level{Name: "pto", Attempts: s.attempts, RetryOnExplicit: true})
+	s.rmSite = p.NewSite("skiplist/remove", s.rmStats,
+		speculate.Level{Name: "pto", Attempts: s.attempts})
+	return s
 }
 
 // Domain exposes the transactional domain (for tests).
@@ -163,17 +181,18 @@ func (s *PTOSet) Insert(key int64) bool {
 	var pboxes [MaxLevel]*pbox
 	top := s.randomLevel()
 	n := s.newPNode(key, top)
-	for attempt := 0; ; attempt++ {
+	r := s.insSite.Begin(s.domain)
+	for {
 		if s.find(key, preds[:], succs[:], pboxes[:]) {
 			return false
 		}
-		if attempt == s.attempts {
+		if !r.Next(0) {
 			break // budget spent; preds/succs/pboxes hold a fresh view
 		}
 		for l := 0; l <= top; l++ {
 			htm.Store(nil, &n.next[l], &pbox{n: succs[l]})
 		}
-		st := s.domain.Atomically(func(tx *htm.Tx) {
+		st := r.Try(func(tx *htm.Tx) {
 			for l := 0; l <= top; l++ {
 				if htm.Load(tx, &preds[l].next[l]) != pboxes[l] {
 					// View changed since the search: abort and re-search
@@ -186,15 +205,13 @@ func (s *PTOSet) Insert(key int64) bool {
 			}
 		})
 		if st == htm.Committed {
-			s.insStats.CommitsByLevel[0].Add(1)
 			return true
 		}
-		s.insStats.Aborts.Add(1)
 	}
 	for l := 0; l <= top; l++ {
 		htm.Store(nil, &n.next[l], &pbox{n: succs[l]})
 	}
-	s.insStats.Fallbacks.Add(1)
+	r.Fallback()
 	return s.insertFallback(n, top, &preds, &succs, &pboxes)
 }
 
@@ -247,23 +264,32 @@ func (s *PTOSet) Remove(key int64) bool {
 	}
 	victim := succs[0]
 	removed := false
-	st := core.Run(s.domain, s.attempts, func(tx *htm.Tx) {
-		b0 := htm.Load(tx, &victim.next[0])
-		if b0.marked {
-			removed = false // lost the race: linearized as "absent"
-			return
-		}
-		for l := victim.top; l >= 0; l-- {
-			b := htm.Load(tx, &victim.next[l])
-			if !b.marked {
-				htm.Store(tx, &victim.next[l], &pbox{n: b.n, marked: true})
+	committed := false
+	r := s.rmSite.Begin(s.domain)
+	for r.Next(0) {
+		st := r.Try(func(tx *htm.Tx) {
+			b0 := htm.Load(tx, &victim.next[0])
+			if b0.marked {
+				removed = false // lost the race: linearized as "absent"
+				return
 			}
+			for l := victim.top; l >= 0; l-- {
+				b := htm.Load(tx, &victim.next[l])
+				if !b.marked {
+					htm.Store(tx, &victim.next[l], &pbox{n: b.n, marked: true})
+				}
+			}
+			removed = true
+		})
+		if st == htm.Committed {
+			committed = true
+			break
 		}
-		removed = true
-	}, func() {
+	}
+	if !committed {
+		r.Fallback()
 		removed = s.removeFallback(victim)
-	}, s.rmStats)
-	_ = st
+	}
 	if removed {
 		s.find(key, preds[:], succs[:], nil) // physical unlink
 	}

@@ -1,0 +1,420 @@
+// Package speculate is the shared speculation runtime for every
+// PTO-accelerated structure: it owns the retry policy between a prefix
+// transaction and its nonblocking fallback, which the paper leaves as a
+// per-structure tuning knob (§3.1, §4.2, §4.4) and which Brown's HTM
+// template work shows dominates end-to-end performance.
+//
+// The pieces:
+//
+//   - Policy is the configuration: attempt budgets, exponential backoff on
+//     conflict aborts, fail-fast on deterministic aborts, and glibc-style
+//     adaptive disabling driven by a per-site commit-ratio window. Fixed(n)
+//     reproduces the bounded attempt loops the structures historically
+//     hardcoded — bit-for-bit, so the paper's figures are unchanged by
+//     default — while Adaptive() enables the full runtime.
+//
+//   - Site is the per-(structure, operation) instantiation of a Policy: the
+//     level budgets of the PTO composition, the adaptive state, and hooks
+//     into telemetry (internal/telemetry) and the structure's legacy
+//     core.Stats counters.
+//
+//   - Run is the per-operation iterator a structure drives instead of its
+//     own for-loop:
+//
+//     r := site.Begin(domain)
+//     for r.Next(0) {
+//         st := r.Try(func(tx *htm.Tx) { ... })
+//         if st == htm.Committed { return ... }
+//     }
+//     r.Fallback()
+//     ... run the original nonblocking algorithm ...
+//
+//     Run is a value type: Begin does not allocate, so the engine adds no
+//     per-operation garbage to the hot path.
+//
+// Retry semantics per htm abort status:
+//
+//   - AbortConflict is transient: the attempt is retried while budget
+//     remains, with exponential jittered backoff when Policy.Backoff is set
+//     (under contention, retrying immediately re-collides; glibc's lock
+//     elision applies the same remedy).
+//
+//   - AbortCapacity is deterministic for a given footprint: the same body
+//     will overflow again. Under FailFast the remaining attempts of the
+//     level are skipped and control moves to the next (smaller) level or
+//     the fallback immediately.
+//
+//   - AbortExplicit means the speculative body itself chose to bail out
+//     (observed state it would have to help resolve, §2.4). Each Level
+//     declares whether that should burn remaining attempts
+//     (RetryOnExplicit) exactly as the historical loops did; FailFast
+//     additionally short-circuits the level.
+//
+// Adaptive disabling: every attempt outcome feeds a sliding window of
+// Policy.Window attempts. When a window closes with a commit ratio below
+// Policy.MinCommitRatio, the site disables speculation for the next
+// Policy.SkipOps operations — Begin hands those straight to the fallback —
+// then re-probes with a fresh window. This is the glibc lock-elision
+// adaptation scheme applied per PTO site.
+package speculate
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/telemetry"
+)
+
+// Defaults for the adaptive policy.
+const (
+	// DefaultWindow is the number of attempts per adaptation window.
+	DefaultWindow = 64
+	// DefaultMinCommitRatio is the commit ratio below which a closing
+	// window disables speculation.
+	DefaultMinCommitRatio = 0.2
+	// DefaultSkipOps is how many operations run non-speculatively after an
+	// adaptive disable, before the site re-probes.
+	DefaultSkipOps = 256
+	// DefaultBackoffBase and DefaultBackoffMax bound the exponential
+	// backoff, in scheduler-yield units.
+	DefaultBackoffBase = 1
+	DefaultBackoffMax  = 64
+)
+
+// Policy configures the attempt loop run at every speculation site it is
+// handed to. The zero value is the default policy: the site's own attempt
+// budgets, no backoff, no adaptation, no telemetry — exactly the behavior
+// of the historical hardcoded loops.
+type Policy struct {
+	// Attempts, when positive, overrides the default attempt budget of
+	// every level of every site using this policy.
+	Attempts int
+
+	// Backoff enables exponential jittered backoff before retrying a
+	// conflict-aborted attempt. BackoffBase/BackoffMax bound the spin in
+	// scheduler-yield units; zero selects the package defaults.
+	Backoff     bool
+	BackoffBase int
+	BackoffMax  int
+
+	// FailFast skips a level's remaining attempts after a capacity or
+	// explicit abort: both are deterministic for the observed state, so
+	// retrying the identical attempt cannot succeed.
+	FailFast bool
+
+	// Adapt enables per-site adaptive disabling: when a sliding window of
+	// Window attempts closes with a commit ratio below MinCommitRatio, the
+	// next SkipOps operations bypass speculation entirely, then the site
+	// re-probes. Zero values select the package defaults.
+	Adapt          bool
+	Window         int
+	MinCommitRatio float64
+	SkipOps        int
+
+	// Metrics, when non-nil, is the registry sites record into. Leave nil
+	// to keep the hot path free of telemetry entirely.
+	Metrics *telemetry.Registry
+}
+
+// Fixed returns the static policy: up to attempts tries per level (≤ 0
+// keeps each site's own default budgets), no backoff, no adaptation. This
+// reproduces the historical behavior of every structure's private loop.
+func Fixed(attempts int) Policy { return Policy{Attempts: attempts} }
+
+// Adaptive returns the full adaptive policy with package defaults: jittered
+// conflict backoff, fail-fast on deterministic aborts, and commit-ratio
+// driven disabling.
+func Adaptive() Policy {
+	return Policy{Backoff: true, FailFast: true, Adapt: true}
+}
+
+// WithMetrics returns a copy of the policy recording into r.
+func (p Policy) WithMetrics(r *telemetry.Registry) Policy {
+	p.Metrics = r
+	return p
+}
+
+// window returns the resolved adaptation window size.
+func (p Policy) window() uint64 {
+	if p.Window > 0 {
+		return uint64(p.Window)
+	}
+	return DefaultWindow
+}
+
+func (p Policy) minRatio() float64 {
+	if p.MinCommitRatio > 0 {
+		return p.MinCommitRatio
+	}
+	return DefaultMinCommitRatio
+}
+
+func (p Policy) skipOps() int64 {
+	if p.SkipOps > 0 {
+		return int64(p.SkipOps)
+	}
+	return DefaultSkipOps
+}
+
+func (p Policy) backoffBase() int {
+	if p.BackoffBase > 0 {
+		return p.BackoffBase
+	}
+	return DefaultBackoffBase
+}
+
+func (p Policy) backoffMax() int {
+	if p.BackoffMax > 0 {
+		return p.BackoffMax
+	}
+	return DefaultBackoffMax
+}
+
+// Level describes one speculative tier of a site's PTO composition,
+// outermost first (level 0 is the whole-operation prefix transaction).
+type Level struct {
+	// Name labels the level (e.g. "pto1").
+	Name string
+	// Attempts is the level's default budget; zero disables the level.
+	// Policy.Attempts overrides it when positive.
+	Attempts int
+	// RetryOnExplicit, when false, treats an explicit abort as exhausting
+	// the level (the historical break-on-explicit loops); when true an
+	// explicit abort merely consumes an attempt.
+	RetryOnExplicit bool
+}
+
+// Site is the per-(structure instance, operation kind) speculation state: a
+// Policy bound to the operation's level budgets, its adaptive-disable
+// state, and its metric destinations.
+type Site struct {
+	pol    Policy
+	levels []Level
+	legacy *core.Stats     // historical per-structure counters; may be nil
+	tel    *telemetry.Site // nil when the policy has no registry
+
+	// Adaptive state. winAttempts/winCommits fill the current window;
+	// skip counts down the operations remaining in a disable period. The
+	// counters are racy by design — adjacent windows may bleed a few
+	// attempts into each other under contention — which only perturbs
+	// *when* adaptation triggers, never correctness.
+	winAttempts atomic.Uint64
+	winCommits  atomic.Uint64
+	skip        atomic.Int64
+
+	// rng seeds the backoff jitter.
+	rng atomic.Uint64
+}
+
+// NewSite binds the policy to one speculation site. name keys the site's
+// telemetry (shared across instances registering the same name); legacy is
+// the structure's historical core.Stats to keep updated (may be nil);
+// levels are the PTO composition's tiers, outermost first.
+func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site {
+	s := &Site{pol: p, levels: levels, legacy: legacy}
+	if p.Metrics != nil {
+		s.tel = p.Metrics.Site(name)
+	}
+	s.rng.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+// Telemetry returns the site's metric destination, or nil when the policy
+// carries no registry.
+func (s *Site) Telemetry() *telemetry.Site { return s.tel }
+
+// budget returns the attempt budget for the given level.
+func (s *Site) budget(level int) int {
+	if level >= len(s.levels) {
+		return 0
+	}
+	if s.pol.Attempts > 0 {
+		return s.pol.Attempts
+	}
+	return s.levels[level].Attempts
+}
+
+// recordAttempt feeds one attempt outcome into the adaptive window and, on
+// window close, disables the site if the commit ratio fell below threshold.
+func (s *Site) recordAttempt(committed bool) {
+	if !s.pol.Adapt {
+		return
+	}
+	if committed {
+		s.winCommits.Add(1)
+	}
+	a := s.winAttempts.Add(1)
+	w := s.pol.window()
+	if a < w {
+		return
+	}
+	c := s.winCommits.Load()
+	// One closer wins the CAS and resets the window; concurrent attempts
+	// simply land in the next window.
+	if !s.winAttempts.CompareAndSwap(a, 0) {
+		return
+	}
+	s.winCommits.Store(0)
+	if float64(c) < s.pol.minRatio()*float64(a) {
+		s.skip.Store(s.pol.skipOps())
+		if s.tel != nil {
+			s.tel.Disables.Add(1)
+		}
+	}
+}
+
+// jitter advances the site's xorshift state and returns a pseudo-random
+// value for backoff jitter.
+func (s *Site) jitter() uint64 {
+	x := s.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+// Run tracks one operation's passage through a site's attempt loop. It is a
+// value type created by Site.Begin; it must not be shared between
+// goroutines.
+type Run struct {
+	s       *Site
+	d       *htm.Domain
+	level   int
+	used    int // attempts consumed at the current level
+	backoff int // pending backoff units before the next Try
+	skipped bool
+	startNs int64 // telemetry only; 0 when disabled
+}
+
+// Begin starts one operation at the site against domain d. If the site is
+// adaptively disabled the returned Run yields no speculative attempts and
+// the caller proceeds straight to its fallback.
+func (s *Site) Begin(d *htm.Domain) Run {
+	r := Run{s: s, d: d}
+	if s.pol.Adapt && s.skip.Load() > 0 && s.skip.Add(-1) >= 0 {
+		r.skipped = true
+		if s.tel != nil {
+			s.tel.Skipped.Add(1)
+		}
+	}
+	if s.tel != nil {
+		r.startNs = time.Now().UnixNano()
+	}
+	return r
+}
+
+// Next reports whether another speculative attempt is allowed at the given
+// level (levels are tried outermost-first; moving to a new level resets the
+// attempt count). It consumes nothing itself: budget is spent by Try and
+// Skip.
+func (r *Run) Next(level int) bool {
+	if r.skipped {
+		return false
+	}
+	if level != r.level {
+		r.level = level
+		r.used = 0
+		r.backoff = 0
+	}
+	return r.used < r.s.budget(level)
+}
+
+// Skip burns one attempt of the current level without running a
+// transaction. Structures use it when per-attempt preparation observed a
+// state not worth speculating on (e.g. a flagged node, §2.4).
+func (r *Run) Skip() { r.used++ }
+
+// Try runs one speculative attempt of the current level: waits out any
+// pending backoff, executes body as a transaction against the Run's
+// domain, and records the outcome in the site's adaptive window, its
+// telemetry, and the structure's legacy counters. The caller is responsible
+// for acting on the returned status (returning the operation's result on
+// htm.Committed).
+func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
+	s := r.s
+	if r.backoff > 0 {
+		spins := r.backoff/2 + int(s.jitter()%uint64(r.backoff+1))
+		for i := 0; i < spins; i++ {
+			runtime.Gosched()
+		}
+	}
+	st := r.d.Atomically(body)
+	r.used++
+	s.recordAttempt(st == htm.Committed)
+	if s.tel != nil {
+		s.tel.Attempts.Add(1)
+		switch st {
+		case htm.Committed:
+			s.tel.Commits.Add(1)
+		case htm.AbortConflict:
+			s.tel.Conflicts.Add(1)
+		case htm.AbortCapacity:
+			s.tel.Capacity.Add(1)
+		case htm.AbortExplicit:
+			s.tel.Explicit.Add(1)
+		}
+	}
+	if st == htm.Committed {
+		if s.legacy != nil && r.level < len(s.legacy.CommitsByLevel) {
+			s.legacy.CommitsByLevel[r.level].Add(1)
+		}
+		r.observeLatency()
+		return st
+	}
+	if s.legacy != nil {
+		s.legacy.Aborts.Add(1)
+	}
+	switch st {
+	case htm.AbortConflict:
+		if s.pol.Backoff {
+			if r.backoff == 0 {
+				r.backoff = s.pol.backoffBase()
+			} else if r.backoff < s.pol.backoffMax() {
+				r.backoff *= 2
+			}
+		}
+	case htm.AbortCapacity:
+		if s.pol.FailFast {
+			r.used = r.s.budget(r.level) // deterministic: exhaust the level
+		}
+	case htm.AbortExplicit:
+		if s.pol.FailFast || !r.levelRetryOnExplicit() {
+			r.used = r.s.budget(r.level)
+		}
+	}
+	return st
+}
+
+func (r *Run) levelRetryOnExplicit() bool {
+	if r.level < len(r.s.levels) {
+		return r.s.levels[r.level].RetryOnExplicit
+	}
+	return false
+}
+
+// Fallback records that the operation is completing on the nonblocking
+// fallback path. Call it exactly once, at the point the historical loops
+// counted a fallback.
+func (r *Run) Fallback() {
+	if r.s.legacy != nil {
+		r.s.legacy.Fallbacks.Add(1)
+	}
+	if r.s.tel != nil {
+		r.s.tel.Fallbacks.Add(1)
+	}
+	r.observeLatency()
+}
+
+// observeLatency closes the speculative phase in the latency histogram.
+func (r *Run) observeLatency() {
+	if r.startNs == 0 {
+		return
+	}
+	if d := time.Now().UnixNano() - r.startNs; d >= 0 {
+		r.s.tel.SpecNanos.Observe(uint64(d))
+	}
+	r.startNs = 0
+}

@@ -1,0 +1,265 @@
+package speculate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/telemetry"
+)
+
+// capacityBody returns a transaction body that always aborts with
+// AbortCapacity on the given crushed-capacity domain.
+func capacityDomain() (*htm.Domain, *htm.Var[int], func(tx *htm.Tx)) {
+	d := htm.NewDomain(1, 1)
+	a := htm.NewVar(d, 0)
+	b := htm.NewVar(d, 0)
+	return d, a, func(tx *htm.Tx) {
+		htm.Load(tx, a)
+		htm.Load(tx, b) // second read exceeds readCap=1
+	}
+}
+
+func TestFixedBudgetAndFallbackCounting(t *testing.T) {
+	d, _, body := capacityDomain()
+	legacy := core.NewStats(1)
+	site := Fixed(0).NewSite("t/fixed", legacy, Level{Name: "l0", Attempts: 3})
+	r := site.Begin(d)
+	tries := 0
+	for r.Next(0) {
+		if st := r.Try(body); st != htm.AbortCapacity {
+			t.Fatalf("status = %v, want capacity abort", st)
+		}
+		tries++
+	}
+	r.Fallback()
+	if tries != 3 {
+		t.Fatalf("tries = %d, want 3", tries)
+	}
+	commits, fallbacks, aborts := legacy.Snapshot()
+	if commits[0] != 0 || fallbacks != 1 || aborts != 3 {
+		t.Fatalf("legacy stats: commits=%v fallbacks=%d aborts=%d", commits, fallbacks, aborts)
+	}
+}
+
+func TestAttemptsOverride(t *testing.T) {
+	d, _, body := capacityDomain()
+	site := Fixed(5).NewSite("t/override", nil, Level{Name: "l0", Attempts: 2})
+	r := site.Begin(d)
+	tries := 0
+	for r.Next(0) {
+		r.Try(body)
+		tries++
+	}
+	if tries != 5 {
+		t.Fatalf("tries = %d, want the policy override of 5", tries)
+	}
+}
+
+func TestZeroBudgetLevelNeverSpeculates(t *testing.T) {
+	d, _, _ := capacityDomain()
+	site := Fixed(0).NewSite("t/zero", nil, Level{Name: "l0", Attempts: 0})
+	r := site.Begin(d)
+	if r.Next(0) {
+		t.Fatal("zero-budget level yielded an attempt")
+	}
+}
+
+func TestExplicitAbortExhaustsLevelByDefault(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	explicit := func(tx *htm.Tx) { tx.Abort(7) }
+	site := Fixed(0).NewSite("t/explicit", nil, Level{Name: "l0", Attempts: 4})
+	r := site.Begin(d)
+	tries := 0
+	for r.Next(0) {
+		if st := r.Try(explicit); st != htm.AbortExplicit {
+			t.Fatalf("status = %v", st)
+		}
+		tries++
+	}
+	if tries != 1 {
+		t.Fatalf("tries = %d; explicit abort must break a non-retrying level", tries)
+	}
+
+	// RetryOnExplicit levels burn the whole budget instead.
+	site = Fixed(0).NewSite("t/explicit-retry", nil,
+		Level{Name: "l0", Attempts: 4, RetryOnExplicit: true})
+	r = site.Begin(d)
+	tries = 0
+	for r.Next(0) {
+		r.Try(explicit)
+		tries++
+	}
+	if tries != 4 {
+		t.Fatalf("tries = %d; RetryOnExplicit must consume the budget", tries)
+	}
+}
+
+func TestFailFastShortCircuitsDeterministicAborts(t *testing.T) {
+	d, _, body := capacityDomain()
+	pol := Policy{FailFast: true}
+	site := pol.NewSite("t/failfast", nil, Level{Name: "l0", Attempts: 8, RetryOnExplicit: true})
+	r := site.Begin(d)
+	tries := 0
+	for r.Next(0) {
+		r.Try(body)
+		tries++
+	}
+	if tries != 1 {
+		t.Fatalf("tries = %d; capacity abort must fail fast", tries)
+	}
+
+	// Explicit aborts fail fast too, even on a RetryOnExplicit level.
+	r = site.Begin(d)
+	tries = 0
+	for r.Next(0) {
+		r.Try(func(tx *htm.Tx) { tx.Abort(1) })
+		tries++
+	}
+	if tries != 1 {
+		t.Fatalf("tries = %d; explicit abort must fail fast", tries)
+	}
+}
+
+func TestMultiLevelCompositionAndCommitAccounting(t *testing.T) {
+	d, _, capBody := capacityDomain()
+	legacy := core.NewStats(2)
+	reg := telemetry.NewRegistry()
+	site := Fixed(0).WithMetrics(reg).NewSite("t/levels", legacy,
+		Level{Name: "pto1", Attempts: 2},
+		Level{Name: "pto2", Attempts: 3})
+
+	r := site.Begin(d)
+	for r.Next(0) {
+		r.Try(capBody) // level 0 always overflows
+	}
+	committed := false
+	for r.Next(1) {
+		if r.Try(func(tx *htm.Tx) {}) == htm.Committed {
+			committed = true
+			break
+		}
+	}
+	if !committed {
+		t.Fatal("empty transaction failed to commit at level 1")
+	}
+	commits, fallbacks, aborts := legacy.Snapshot()
+	if commits[0] != 0 || commits[1] != 1 || fallbacks != 0 || aborts != 2 {
+		t.Fatalf("legacy stats: commits=%v fallbacks=%d aborts=%d", commits, fallbacks, aborts)
+	}
+	ts := reg.Site("t/levels").Snapshot()
+	if ts.Attempts != 3 || ts.Commits != 1 || ts.Capacity != 2 {
+		t.Fatalf("telemetry: %+v", ts)
+	}
+	if ts.SpecNanos.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1 (on commit)", ts.SpecNanos.Count)
+	}
+}
+
+func TestSkipBurnsBudgetWithoutTransaction(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	reg := telemetry.NewRegistry()
+	site := Fixed(0).WithMetrics(reg).NewSite("t/skip", nil, Level{Name: "l0", Attempts: 3})
+	r := site.Begin(d)
+	iters := 0
+	for r.Next(0) {
+		r.Skip()
+		iters++
+	}
+	if iters != 3 {
+		t.Fatalf("iters = %d, want 3", iters)
+	}
+	if got := reg.Site("t/skip").Snapshot().Attempts; got != 0 {
+		t.Fatalf("Skip recorded %d attempts, want 0", got)
+	}
+}
+
+func TestConflictAbortRetriesWithBackoff(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	v := htm.NewVar(d, 0)
+	other := htm.NewVar(d, 0)
+	// The body bumps the domain clock non-transactionally before its
+	// transactional read, so validation always fails: a deterministic
+	// conflict abort.
+	conflict := func(tx *htm.Tx) {
+		htm.Store(nil, other, 1)
+		htm.Load(tx, v)
+	}
+	pol := Policy{Backoff: true, BackoffBase: 1, BackoffMax: 4}
+	site := pol.NewSite("t/conflict", nil, Level{Name: "l0", Attempts: 5})
+	r := site.Begin(d)
+	tries := 0
+	for r.Next(0) {
+		if st := r.Try(conflict); st != htm.AbortConflict {
+			t.Fatalf("status = %v, want conflict", st)
+		}
+		tries++
+	}
+	if tries != 5 {
+		t.Fatalf("tries = %d; conflicts must consume the whole budget", tries)
+	}
+}
+
+func TestAdaptiveDisableAndReprobe(t *testing.T) {
+	d, _, body := capacityDomain()
+	reg := telemetry.NewRegistry()
+	pol := Policy{Adapt: true, Window: 8, MinCommitRatio: 0.5, SkipOps: 5, FailFast: false}
+	site := pol.WithMetrics(reg).NewSite("t/adapt", nil, Level{Name: "l0", Attempts: 2})
+
+	speculated, skipped := 0, 0
+	for op := 0; op < 50; op++ {
+		r := site.Begin(d)
+		any := false
+		for r.Next(0) {
+			r.Try(body)
+			any = true
+		}
+		r.Fallback()
+		if any {
+			speculated++
+		} else {
+			skipped++
+		}
+	}
+	ts := reg.Site("t/adapt").Snapshot()
+	if ts.Disables == 0 {
+		t.Fatalf("0%% commit ratio never tripped the adaptive disable: %+v", ts)
+	}
+	if ts.Skipped == 0 || skipped == 0 {
+		t.Fatalf("no operation skipped speculation: %+v", ts)
+	}
+	if speculated == 0 {
+		t.Fatal("site never re-probed after a disable period")
+	}
+	if ts.Fallbacks != 50 {
+		t.Fatalf("fallbacks = %d, want 50", ts.Fallbacks)
+	}
+	// Every disable period must skip exactly SkipOps operations, so the
+	// skip count is a multiple bounded by the op count.
+	if ts.Skipped%5 != 0 && ts.Skipped < 45 {
+		t.Logf("skipped = %d (tail period may be in progress)", ts.Skipped)
+	}
+}
+
+func TestHealthySiteNeverDisables(t *testing.T) {
+	d := htm.NewDomain(0, 0)
+	reg := telemetry.NewRegistry()
+	pol := Adaptive().WithMetrics(reg)
+	pol.Window = 8
+	site := pol.NewSite("t/healthy", nil, Level{Name: "l0", Attempts: 3})
+	for op := 0; op < 100; op++ {
+		r := site.Begin(d)
+		for r.Next(0) {
+			if r.Try(func(tx *htm.Tx) {}) == htm.Committed {
+				break
+			}
+		}
+	}
+	ts := reg.Site("t/healthy").Snapshot()
+	if ts.Disables != 0 || ts.Skipped != 0 {
+		t.Fatalf("healthy site adapted away its speculation: %+v", ts)
+	}
+	if ts.Commits != 100 {
+		t.Fatalf("commits = %d, want 100", ts.Commits)
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// Prometheus metric names emitted by WritePrometheus. Counters carry a
+// {site="..."} label; aborts additionally carry {reason="conflict|capacity|
+// explicit"}; the latency histogram follows the standard _bucket/_sum/_count
+// convention with cumulative le bounds in seconds.
+const (
+	MetricAttempts  = "pto_speculation_attempts_total"
+	MetricCommits   = "pto_speculation_commits_total"
+	MetricAborts    = "pto_speculation_aborts_total"
+	MetricFallbacks = "pto_speculation_fallbacks_total"
+	MetricDisables  = "pto_speculation_adaptive_disables_total"
+	MetricSkipped   = "pto_speculation_skipped_ops_total"
+	MetricLatency   = "pto_speculation_latency_seconds"
+)
+
+// WritePrometheus renders every site of the registry in Prometheus text
+// exposition format (version 0.0.4). Sites are emitted in name order so the
+// output is stable for diffing and scraping tests.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	snap := r.Snapshot().Sites
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name })
+
+	fmt.Fprintf(w, "# HELP %s Speculative transaction attempts per site.\n", MetricAttempts)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricAttempts)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricAttempts, s.Name, s.Attempts)
+	}
+	fmt.Fprintf(w, "# HELP %s Committed speculative transactions per site.\n", MetricCommits)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricCommits)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricCommits, s.Name, s.Commits)
+	}
+	fmt.Fprintf(w, "# HELP %s Aborted speculative attempts per site, by abort reason.\n", MetricAborts)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricAborts)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict\"} %d\n", MetricAborts, s.Name, s.Conflicts)
+		fmt.Fprintf(w, "%s{site=%q,reason=\"capacity\"} %d\n", MetricAborts, s.Name, s.Capacity)
+		fmt.Fprintf(w, "%s{site=%q,reason=\"explicit\"} %d\n", MetricAborts, s.Name, s.Explicit)
+	}
+	fmt.Fprintf(w, "# HELP %s Operations completed by the nonblocking fallback per site.\n", MetricFallbacks)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricFallbacks)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricFallbacks, s.Name, s.Fallbacks)
+	}
+	fmt.Fprintf(w, "# HELP %s Adaptive-disable events per site.\n", MetricDisables)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricDisables)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricDisables, s.Name, s.Disables)
+	}
+	fmt.Fprintf(w, "# HELP %s Operations that skipped speculation while adaptively disabled.\n", MetricSkipped)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricSkipped)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricSkipped, s.Name, s.Skipped)
+	}
+	fmt.Fprintf(w, "# HELP %s Speculative-phase latency per site.\n", MetricLatency)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", MetricLatency)
+	for _, s := range snap {
+		var cum uint64
+		for i, c := range s.SpecNanos.Buckets {
+			cum += c
+			if ub := BucketUpperBound(i); ub != 0 {
+				fmt.Fprintf(w, "%s_bucket{site=%q,le=\"%g\"} %d\n",
+					MetricLatency, s.Name, float64(ub)/1e9, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricLatency, s.Name, cum)
+		fmt.Fprintf(w, "%s_sum{site=%q} %g\n", MetricLatency, s.Name, float64(s.SpecNanos.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricLatency, s.Name, s.SpecNanos.Count)
+	}
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// exposition format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
