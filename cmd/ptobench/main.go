@@ -32,7 +32,7 @@ func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A6; A6 is wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A7; A6 and A7 are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
 	flag.Parse()
 

@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	ptostress [-structure all|bst|skiplist|hashtable|list|msqueue|mound]
+//	ptostress [-structure all|bst|skiplist|hashtable|list|msqueue|mound|compose]
 //	          [-variant pto|lockfree] [-threads 8] [-ops 20000] [-keys 256]
 //	          [-policy fixed|adaptive] [-readcap N] [-writecap N]
+//	          [-compose] [-lincheck 4] [-sample 1s]
 //	          [-metrics] [-json] [-metrics-addr :8321] [-hold 2s]
 //
 // -policy selects the speculation policy installed into every PTO structure:
@@ -16,11 +17,26 @@
 // "adaptive" enables backoff on conflicts, fail-fast on deterministic
 // aborts, and the per-site adaptive disable. -readcap/-writecap retune every
 // structure's transactional capacity before the run (useful to force
-// capacity aborts and watch the adaptive policy react). -metrics prints a
+// capacity aborts and watch the adaptive policy react; negative values force
+// every composed transaction down the MultiCAS fallback). -metrics prints a
 // per-site telemetry table; -json emits one machine-readable result object
 // on stdout (human progress moves to stderr). -metrics-addr serves the same
 // telemetry over HTTP at /metrics (Prometheus text format) and /debug/vars
 // (expvar) for the duration of the run plus -hold.
+//
+// -compose adds the composed-transaction workload (requires -variant pto):
+// txn.Move between set pairs of every structure kind, txn.Transfer between
+// queues, and composed read-only snapshots asserting each key lives in
+// exactly one set of its pair, with key-count conservation verified at
+// quiescence. -lincheck N runs N online linearizability spot-check windows
+// per stressed structure, concurrent with the main churn: each window
+// hammers one fresh reserved key from several goroutines, records the
+// operations' real-time windows, and checks the small history against the
+// sequential set specification (internal/linearize); under -compose the
+// checked operations run through the transactional composition layer.
+// -sample logs interval-rate telemetry deltas (per-site commit ratio and
+// abort/fallback rates, composed-path rates) at the given period for the
+// whole run including -hold, turning long runs into a rate time series.
 //
 // Exit status 0 means every check passed.
 package main
@@ -41,12 +57,14 @@ import (
 	"repro/internal/bst"
 	"repro/internal/hashtable"
 	"repro/internal/htm"
+	"repro/internal/linearize"
 	"repro/internal/list"
 	"repro/internal/mound"
 	"repro/internal/msqueue"
 	"repro/internal/skiplist"
 	"repro/internal/speculate"
 	"repro/internal/telemetry"
+	"repro/internal/txn"
 )
 
 var (
@@ -63,6 +81,9 @@ var (
 	jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON result on stdout")
 	metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address during the run")
 	hold        = flag.Duration("hold", 0, "keep the metrics endpoint up this long after the run")
+	compose     = flag.Bool("compose", false, "add the composed-transaction workload (pto variant only)")
+	linWindows  = flag.Int("lincheck", 4, "online linearizability spot-check windows per structure (0 = off)")
+	sample      = flag.Duration("sample", 0, "log interval-rate telemetry deltas at this period (0 = off)")
 )
 
 // out is where human-readable progress goes: stdout normally, stderr under
@@ -93,10 +114,88 @@ func applyCaps(d *htm.Domain) {
 	}
 }
 
-// stressSet churns a set and verifies per-key balance against membership.
+// linClock is the global logical clock stamping linearizability-check
+// operation windows. A strictly monotone shared counter is all the checker
+// needs: the increment on each side of an operation brackets its
+// linearization point in real time.
+var linClock atomic.Uint64
+
+// linSpotCheck runs the online linearizability spot-check: *linWindows small
+// windows, each hammering one fresh reserved key (above the workload key
+// range, so the key's history starts from the empty set and is complete)
+// from several goroutines while the main churn runs. Every operation records
+// its [Start, End] window from linClock; each window's history — at most
+// 16 operations, far under the checker's limit — is then verified against
+// the sequential set specification.
+func linSpotCheck(name string, s set) bool {
+	par := *threads
+	if par > 4 {
+		par = 4
+	}
+	if par < 2 {
+		par = 2
+	}
+	const opsPer = 4
+	base := int64(*keys) + 1<<20
+	for w := 0; w < *linWindows; w++ {
+		key := base + int64(w)
+		hist := make([]linearize.Op, 0, par*opsPer)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < par; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rnd := uint64(*seed)*31 + uint64(w)*131 + uint64(g)*977 + 5
+				for i := 0; i < opsPer; i++ {
+					var kind linearize.Kind
+					switch xorshift(&rnd) % 3 {
+					case 0:
+						kind = linearize.Insert
+					case 1:
+						kind = linearize.Remove
+					default:
+						kind = linearize.Contains
+					}
+					start := linClock.Add(1)
+					var res bool
+					switch kind {
+					case linearize.Insert:
+						res = s.Insert(key)
+					case linearize.Remove:
+						res = s.Remove(key)
+					default:
+						res = s.Contains(key)
+					}
+					end := linClock.Add(1)
+					mu.Lock()
+					hist = append(hist, linearize.Op{Start: start, End: end, Kind: kind, Key: key, Result: res})
+					mu.Unlock()
+				}
+			}(g)
+		}
+		wg.Wait()
+		s.Remove(key) // leave the structure as the window found it
+		if !linearize.Check(hist) {
+			fmt.Fprintf(out, "  FAIL %s: lincheck window %d not linearizable: %+v\n", name, w, hist)
+			return false
+		}
+	}
+	return true
+}
+
+// stressSet churns a set and verifies per-key balance against membership,
+// with the linearizability spot-check running concurrently.
 func stressSet(name string, s set) bool {
 	ins := make([]atomic.Int64, *keys)
 	rem := make([]atomic.Int64, *keys)
+	linOK := true
+	linDone := make(chan struct{})
+	if *linWindows > 0 {
+		go func() { defer close(linDone); linOK = linSpotCheck(name, s) }()
+	} else {
+		close(linDone)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < *threads; g++ {
 		wg.Add(1)
@@ -122,7 +221,11 @@ func stressSet(name string, s set) bool {
 		}(g)
 	}
 	wg.Wait()
+	<-linDone
 	bad := 0
+	if !linOK {
+		bad++
+	}
 	for k := 0; k < *keys; k++ {
 		diff := ins[k].Load() - rem[k].Load()
 		if diff != 0 && diff != 1 {
@@ -228,6 +331,159 @@ func stressPQ(name string, push func(int64), pop func() (int64, bool)) bool {
 	return bad == 0
 }
 
+// txnSet adapts a composable structure to the plain set interface by running
+// every operation through the transactional composition layer, so the
+// linearizability spot-check exercises composed operations end to end (fast
+// HTM path and MultiCAS fallback alike, depending on the capacity flags).
+type txnSet struct {
+	m *txn.Manager
+	s txn.Set
+}
+
+func (t txnSet) Insert(k int64) bool {
+	var r bool
+	t.m.Atomic(func(c *txn.Ctx) { r = t.s.TxInsert(c, k) })
+	return r
+}
+
+func (t txnSet) Remove(k int64) bool {
+	var r bool
+	t.m.Atomic(func(c *txn.Ctx) { r = t.s.TxRemove(c, k) })
+	return r
+}
+
+func (t txnSet) Contains(k int64) bool {
+	var r bool
+	t.m.ReadOnly(func(c *txn.Ctx) { r = t.s.TxContains(c, k) })
+	return r
+}
+
+// stressCompose drives the transactional composition layer: concurrent
+// txn.Move traffic over a src/dst pair of every composable set kind plus
+// txn.Transfer traffic between two queues, with composed read-only snapshots
+// asserting online that each key lives in exactly one set of its pair, and
+// key-count/value conservation verified at quiescence. The linearizability
+// spot-check runs concurrently through the txn layer.
+func stressCompose(pol speculate.Policy) bool {
+	m := txn.New(0).WithPolicy(pol)
+	if *readCap != 0 || *writeCap != 0 {
+		// Unlike applyCaps, negative values pass through: they force every
+		// composed transaction down the MultiCAS fallback.
+		m.Domain().SetCapacity(*readCap, *writeCap)
+	}
+	b1, b2 := bst.NewPTOIn(m.Domain(), -1, -1), bst.NewPTOIn(m.Domain(), -1, -1)
+	h1, h2 := hashtable.NewPTOTableIn(m.Domain(), 16, 0), hashtable.NewPTOTableIn(m.Domain(), 16, 0)
+	s1, s2 := skiplist.NewPTOSetIn(m.Domain(), 0), skiplist.NewPTOSetIn(m.Domain(), 0)
+	type cpair struct {
+		name     string
+		src, dst txn.Set
+		total    func() int
+	}
+	pairs := []cpair{
+		{"bst", b1, b2, func() int { return b1.Len() + b2.Len() }},
+		{"hashtable", h1, h2, func() int { return h1.Len() + h2.Len() }},
+		{"skiplist", s1, s2, func() int { return s1.Len() + s2.Len() }},
+	}
+	q1 := msqueue.NewPTOIn(m.Domain(), 0)
+	q2 := msqueue.NewPTOIn(m.Domain(), 0)
+	for _, p := range pairs {
+		for k := int64(0); k < int64(*keys); k++ {
+			m.Atomic(func(c *txn.Ctx) { p.src.TxInsert(c, k) })
+		}
+	}
+	for v := int64(0); v < int64(*keys); v++ {
+		m.Atomic(func(c *txn.Ctx) { q1.TxEnqueue(c, v) })
+	}
+
+	linOK := true
+	linDone := make(chan struct{})
+	if *linWindows > 0 {
+		go func() { defer close(linDone); linOK = linSpotCheck("compose/bst", txnSet{m, b1}) }()
+	} else {
+		close(linDone)
+	}
+
+	var invariantBad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < *threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(*seed)*2654435761 + uint64(g)*977 + 3
+			for i := 0; i < *ops; i++ {
+				x := xorshift(&rnd)
+				p := pairs[(x>>8)%uint64(len(pairs))]
+				k := int64(x >> 16 % uint64(*keys))
+				switch x % 8 {
+				case 0, 1, 2, 3:
+					if x&(1<<40) != 0 {
+						txn.Move(m, p.src, p.dst, k)
+					} else {
+						txn.Move(m, p.dst, p.src, k)
+					}
+				case 4, 5:
+					n := 1 + int(x>>48%3)
+					if x&(1<<40) != 0 {
+						txn.Transfer(m, q1, q2, n)
+					} else {
+						txn.Transfer(m, q2, q1, n)
+					}
+				default:
+					var inSrc, inDst bool
+					m.ReadOnly(func(c *txn.Ctx) {
+						inSrc = p.src.TxContains(c, k)
+						inDst = p.dst.TxContains(c, k)
+					})
+					if inSrc == inDst {
+						invariantBad.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-linDone
+
+	bad := 0
+	if !linOK {
+		bad++
+	}
+	if n := invariantBad.Load(); n != 0 {
+		fmt.Fprintf(out, "  FAIL compose: %d snapshots saw a key in zero or two sets\n", n)
+		bad++
+	}
+	for _, p := range pairs {
+		if got := p.total(); got != *keys {
+			fmt.Fprintf(out, "  FAIL compose: %s pair holds %d keys, want %d\n", p.name, got, *keys)
+			bad++
+		}
+	}
+	// Queue conservation: every enqueued value is in exactly one queue.
+	seen := make([]int, *keys)
+	drain := func(q *msqueue.PTOQueue) {
+		for {
+			var v int64
+			var ok bool
+			m.Atomic(func(c *txn.Ctx) { v, ok = q.TxDequeue(c) })
+			if !ok {
+				return
+			}
+			seen[v]++
+		}
+	}
+	drain(q1)
+	drain(q2)
+	for v, c := range seen {
+		if c != 1 {
+			fmt.Fprintf(out, "  FAIL compose: queue value %d seen %d times\n", v, c)
+			bad++
+		}
+	}
+	fmt.Fprintf(out, "  %-22s %d ops x %d threads: %s\n", "compose/txn",
+		*ops, *threads, verdict(bad == 0))
+	return bad == 0
+}
+
 func verdict(ok bool) string {
 	if ok {
 		return "OK"
@@ -255,6 +511,20 @@ func printMetricsTable(snap telemetry.Snapshot) {
 		fmt.Fprintf(out, "  %-22s %10d %10d %7.3f %9d %9d %9d %9d %8d %8d\n",
 			s.Name, s.Attempts, s.Commits, s.CommitRatio(),
 			s.Conflicts, s.Capacity, s.Explicit, s.Fallbacks, s.Disables, s.Skipped)
+	}
+	if len(snap.Composed) > 0 {
+		fmt.Fprintf(out, "\n  %-22s %10s %10s %10s %10s %10s %9s %9s %7s\n",
+			"composed site", "ops", "fast", "fallback", "readonly",
+			"mcas", "mcasfail", "restarts", "width")
+		for _, c := range snap.Composed {
+			mean := 0.0
+			if c.Width.Count > 0 {
+				mean = float64(c.Width.Sum) / float64(c.Width.Count)
+			}
+			fmt.Fprintf(out, "  %-22s %10d %10d %10d %10d %10d %9d %9d %7.1f\n",
+				c.Name, c.Ops, c.FastCommits, c.FallbackCommits, c.ReadOnlyCommits,
+				c.MCASAttempts, c.MCASFailures, c.Restarts, mean)
+		}
 	}
 }
 
@@ -290,6 +560,10 @@ func main() {
 		os.Exit(2)
 	}
 	registry.PublishExpvar("pto_speculation")
+	if *sample > 0 {
+		smp := telemetry.StartSampler(registry, *sample, nil)
+		defer smp.Stop()
+	}
 	if *metricsAddr != "" {
 		http.Handle("/metrics", registry.Handler())
 		go func() {
@@ -351,15 +625,25 @@ func main() {
 			q := mound.New(0)
 			return stressPQ("mound/lockfree", q.Insert, q.RemoveMin)
 		},
+		"compose": func() bool {
+			if !pto {
+				fmt.Fprintf(out, "  %-22s skipped (requires -variant pto)\n", "compose/txn")
+				return true
+			}
+			return stressCompose(pol)
+		},
 	}
 	names := []string{"bst", "skiplist", "hashtable", "list", "msqueue", "mound"}
 	selected := names
 	if *structure != "all" {
 		if _, ok := run[*structure]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown structure %q (want one of %v)\n", *structure, names)
+			fmt.Fprintf(os.Stderr, "unknown structure %q (want one of %v or compose)\n", *structure, names)
 			os.Exit(2)
 		}
 		selected = []string{*structure}
+	}
+	if *compose && *structure != "compose" {
+		selected = append(append([]string{}, selected...), "compose")
 	}
 	fmt.Fprintf(out, "ptostress: variant=%s policy=%s threads=%d ops=%d keys=%d seed=%d\n",
 		*variant, *policyName, *threads, *ops, *keys, *seed)

@@ -180,5 +180,6 @@ func Ablations(scale float64) []Figure {
 		AblationCapacity(scale),
 		AblationSMT(scale),
 		AblationAdaptivePolicy(scale),
+		AblationComposedMove(scale),
 	}
 }

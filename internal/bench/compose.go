@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bst"
+	"repro/internal/txn"
+)
+
+// AblationComposedMove (A7) measures the transactional composition layer on
+// a wall clock: concurrent cross-set Moves between two real BSTs, completed
+// three different ways.
+//
+//   - "Composed (HTM fast path)": ample transactional capacity, so nearly
+//     every Move commits inside one prefix transaction spanning both trees.
+//   - "Composed (MultiCAS fallback)": capacity forced to zero, so every Move
+//     runs the capture pass and publishes its write set through the N-word
+//     MultiCAS — the lock-free progress floor of the composition layer.
+//   - "Two-mutex locking": the composition baseline NBTC argues against —
+//     each structure guarded by a mutex, a Move holding both. Coarse and
+//     blocking, but with no capture, validation, or descriptor traffic.
+//
+// The expected shape mirrors the paper's single-structure claim lifted to
+// composition: the HTM fast path beats the MultiCAS fallback everywhere
+// (that gap is the acceleration), and the fallback's cost is the price of
+// keeping lock-freedom rather than of the abstraction itself. Wall-clock
+// numbers vary run to run, so like A6 this is only emitted under -ablations.
+func AblationComposedMove(scale float64) Figure {
+	opsPer := int(10000 * scale)
+	if opsPer < 500 {
+		opsPer = 500
+	}
+	f := Figure{
+		ID:     "Ablation A7",
+		Title:  "Composed cross-set Move: HTM fast path vs MultiCAS fallback vs locking (wall clock)",
+		YLabel: "ops/ms",
+	}
+	modes := []struct {
+		name string
+		mode composeMode
+	}{
+		{"Composed (HTM fast path)", composeFast},
+		{"Composed (MultiCAS fallback)", composeFallback},
+		{"Two-mutex locking", composeLocked},
+	}
+	for _, m := range modes {
+		s := Series{Name: m.name}
+		for _, threads := range []int{2, 4, 8} {
+			tput := measureComposedMove(threads, opsPer, m.mode)
+			s.Points = append(s.Points, Point{Threads: threads, Throughput: tput})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+type composeMode int
+
+const (
+	composeFast composeMode = iota
+	composeFallback
+	composeLocked
+)
+
+// measureComposedMove runs opsPer random-direction Moves per thread between
+// two trees prefilled with half the key range each, returning ops/ms.
+func measureComposedMove(threads, opsPer int, mode composeMode) float64 {
+	const keyRange = 256
+	var move func(rnd uint64)
+	switch mode {
+	case composeLocked:
+		src, dst := bst.New(), bst.New()
+		// One mutex per structure, always acquired in the same global order
+		// (src's before dst's) regardless of Move direction, so the baseline
+		// is deadlock-free without an ordering protocol.
+		var muA, muB sync.Mutex
+		lockedMove := func(from, to *bst.Tree, k int64) {
+			muA.Lock()
+			muB.Lock()
+			defer muB.Unlock()
+			defer muA.Unlock()
+			if to.Contains(k) || !from.Remove(k) {
+				return
+			}
+			to.Insert(k)
+		}
+		for i := 0; i < keyRange/2; i++ {
+			src.Insert(int64(splitmixRand(uint64(i)) % keyRange))
+		}
+		move = func(rnd uint64) {
+			k := int64(rnd % keyRange)
+			if rnd&(1<<40) != 0 {
+				lockedMove(src, dst, k)
+			} else {
+				lockedMove(dst, src, k)
+			}
+		}
+	default:
+		m := txn.New(0)
+		if mode == composeFallback {
+			m.Domain().SetCapacity(-1, -1)
+		}
+		src := bst.NewPTOIn(m.Domain(), -1, -1)
+		dst := bst.NewPTOIn(m.Domain(), -1, -1)
+		for i := 0; i < keyRange/2; i++ {
+			k := int64(splitmixRand(uint64(i)) % keyRange)
+			m.Atomic(func(c *txn.Ctx) { src.TxInsert(c, k) })
+		}
+		move = func(rnd uint64) {
+			k := int64(rnd % keyRange)
+			if rnd&(1<<40) != 0 {
+				txn.Move(m, src, dst, k)
+			} else {
+				txn.Move(m, dst, src, k)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	var ready, start sync.WaitGroup
+	ready.Add(threads)
+	start.Add(1)
+	var total atomic.Int64
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*0x9E3779B97F4A7C15 + 1
+			ready.Done()
+			start.Wait()
+			for i := 0; i < opsPer; i++ {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				move(rnd)
+			}
+			total.Add(int64(opsPer))
+		}(g)
+	}
+	ready.Wait()
+	begin := time.Now()
+	start.Done()
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(total.Load()) / (float64(elapsed.Nanoseconds()) / 1e6)
+}

@@ -78,17 +78,7 @@ type PTOTree struct {
 // values select the paper's defaults (2 and 16). The tree runs under the
 // default fixed speculation policy; use WithPolicy to change it.
 func NewPTO(pto1, pto2 int) *PTOTree {
-	if pto1 < 0 {
-		pto1 = DefaultPTO1Attempts
-	}
-	if pto2 < 0 {
-		pto2 = DefaultPTO2Attempts
-	}
-	t := &PTOTree{domain: htm.NewDomain(0, 0), pto1: pto1, pto2: pto2,
-		stats: core.NewStats(2)}
-	t.WithPolicy(speculate.Fixed(0))
-	t.root = t.newInternal(inf2, t.newLeaf(inf1), t.newLeaf(inf2))
-	return t
+	return NewPTOIn(htm.NewDomain(0, 0), pto1, pto2)
 }
 
 // WithPolicy installs the speculation policy governing the tree's attempt

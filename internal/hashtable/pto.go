@@ -1,7 +1,6 @@
 package hashtable
 
 import (
-	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -56,23 +55,7 @@ func (t *PTOTable) newHNode(size int, pred *pthnode) *pthnode {
 // NewPTOTable returns an empty PTO-accelerated table. attempts ≤ 0 selects
 // DefaultAttempts.
 func NewPTOTable(buckets, attempts int) *PTOTable {
-	if buckets <= 0 {
-		buckets = DefaultBuckets
-	}
-	buckets = 1 << bits.Len(uint(buckets-1))
-	if buckets < 2 {
-		buckets = 2
-	}
-	if attempts <= 0 {
-		attempts = DefaultAttempts
-	}
-	t := &PTOTable{domain: htm.NewDomain(0, 0), mgr: epoch.NewManager(),
-		attempts: attempts, stats: core.NewStats(1)}
-	t.handles.New = func() any { return t.mgr.Register() }
-	t.WithPolicy(speculate.Fixed(0))
-	t.head.Init(t.domain, nil)
-	htm.Store(nil, &t.head, t.newHNode(buckets, nil))
-	return t
+	return NewPTOTableIn(htm.NewDomain(0, 0), buckets, attempts)
 }
 
 // WithPolicy replaces the speculation policy governing the retry loops. The

@@ -116,13 +116,16 @@ func NewDomain(readCap, writeCap int) *Domain {
 	return d
 }
 
-// SetCapacity changes the domain's footprint limits (≤ 0 selects the
-// package defaults). It is intended for tests and tuning experiments — e.g.
-// a read capacity of 1 makes every multi-read transaction abort with
-// AbortCapacity, forcing all operations down their fallback paths. It is
-// safe to call concurrently with transactions: each attempt reads the
-// limits once at start, so in-flight attempts finish under whichever limits
-// they began with.
+// SetCapacity changes the domain's footprint limits. Zero selects the
+// package default; a negative value selects a zero-capacity domain in which
+// every transactional read or write aborts with AbortCapacity, forcing all
+// operations (including composed transactions) down their fallback paths —
+// the software analogue of running on a machine without HTM. It is intended
+// for tests and tuning experiments — e.g. a read capacity of 1 makes every
+// multi-read transaction abort with AbortCapacity. It is safe to call
+// concurrently with transactions: each attempt reads the limits once at
+// start, so in-flight attempts finish under whichever limits they began
+// with.
 func (d *Domain) SetCapacity(readCap, writeCap int) {
 	d.readCap.Store(int64(readCap))
 	d.writeCap.Store(int64(writeCap))
@@ -140,11 +143,17 @@ func (d *Domain) Stats() Stats {
 
 func (d *Domain) caps() (int, int) {
 	r, w := int(d.readCap.Load()), int(d.writeCap.Load())
-	if r <= 0 {
+	switch {
+	case r == 0:
 		r = DefaultReadCap
+	case r < 0:
+		r = 0
 	}
-	if w <= 0 {
+	switch {
+	case w == 0:
 		w = DefaultWriteCap
+	case w < 0:
+		w = 0
 	}
 	return r, w
 }
@@ -166,14 +175,29 @@ func (d *Domain) unlock(s uint64) {
 	d.clock.Store(s + 2)
 }
 
+// cell is the immutable box a Var points at. desc == nil means the Var holds
+// the plain value val; otherwise the Var is claimed by an in-flight MultiCAS
+// and val is the (already validated) old value, which remains the logical
+// value until the operation decides. Mirrors the box of internal/mcas.
+type cell[T comparable] struct {
+	val  T
+	desc *MultiDesc
+}
+
+// varIDs issues the global order MultiCAS claims follow; ids are assigned
+// lazily so Vars that never participate in a MultiCAS pay nothing.
+var varIDs atomic.Uint64
+
 // Var is a transactional cell holding a value of comparable type T. Vars must
-// be created by MakeVar (or NewVar) so they are bound to a Domain; the zero
+// be created by Init (or NewVar) so they are bound to a Domain; the zero
 // Var is not usable. All access goes through Load, Store, CAS, and Add, which
 // take an optional transaction: a nil *Tx selects the direct, non-speculative
-// path used by fallback code.
+// path used by fallback code. Vars additionally participate in MultiCAS, the
+// lock-free multi-Var publication primitive of the composition layer.
 type Var[T comparable] struct {
-	d *Domain
-	p atomic.Pointer[T]
+	d  *Domain
+	id atomic.Uint64
+	p  atomic.Pointer[cell[T]]
 }
 
 // Init binds an embedded Var to domain d and sets its initial value. It must
@@ -181,7 +205,16 @@ type Var[T comparable] struct {
 // initializing Var fields of freshly allocated nodes.
 func (v *Var[T]) Init(d *Domain, init T) {
 	v.d = d
-	v.p.Store(&init)
+	v.p.Store(&cell[T]{val: init})
+}
+
+// ensureID returns the Var's MultiCAS ordering id, assigning it on first use.
+func (v *Var[T]) ensureID() uint64 {
+	if id := v.id.Load(); id != 0 {
+		return id
+	}
+	v.id.CompareAndSwap(0, varIDs.Add(1))
+	return v.id.Load()
 }
 
 // NewVar allocates a Var bound to domain d holding init.
@@ -334,7 +367,7 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 		if tx.reads > tx.readCap {
 			panic(abortSignal{status: AbortCapacity})
 		}
-		x := *v.p.Load()
+		x := loadResolved(v)
 		tx.validate()
 		return x
 	}
@@ -345,9 +378,45 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 			runtime.Gosched()
 			continue
 		}
-		x := *v.p.Load()
+		x := loadResolved(v)
 		if d.clock.Load() == s {
 			return x
+		}
+	}
+}
+
+// loadResolved reads v's cell, finishing the release phase of any completed
+// MultiCAS it encounters. An undecided or failed descriptor is transparent:
+// the claimed cell still carries the logical (old) value, and if the
+// operation later succeeds its decision bumps the clock, which the caller's
+// validation catches.
+func loadResolved[T comparable](v *Var[T]) T {
+	for {
+		c := v.p.Load()
+		if c.desc != nil && c.desc.status.Load() == mwSucceeded {
+			c.desc.releaseAll()
+			continue
+		}
+		return c.val
+	}
+}
+
+// storeLocked installs x in v's cell. It must be called with v's domain
+// sequence lock held: an undecided MultiCAS descriptor found on the cell is
+// killed (it cannot reach its decision while we hold the lock, so the status
+// CAS cannot race with a commit), and a decided one — whose clock bump
+// necessarily preceded our lock acquisition — is released before we
+// overwrite.
+func storeLocked[T comparable](v *Var[T], x T) {
+	for {
+		c := v.p.Load()
+		if c.desc != nil {
+			c.desc.status.CompareAndSwap(mwUndecided, mwFailed)
+			c.desc.releaseAll()
+			continue
+		}
+		if v.p.CompareAndSwap(c, &cell[T]{val: x}) {
+			return
 		}
 	}
 }
@@ -369,15 +438,14 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 			key:   v,
 			boxed: x,
 			apply: func(boxed any) {
-				val := boxed.(T)
-				v.p.Store(&val)
+				storeLocked(v, boxed.(T))
 			},
 		})
 		return
 	}
 	d := v.d
 	s := d.lock()
-	v.p.Store(&x)
+	storeLocked(v, x)
 	d.unlock(s)
 }
 
@@ -396,9 +464,21 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 	}
 	d := v.d
 	s := d.lock()
-	ok := *v.p.Load() == old
-	if ok {
-		v.p.Store(&new)
+	ok := false
+	for {
+		c := v.p.Load()
+		if c.desc != nil {
+			c.desc.status.CompareAndSwap(mwUndecided, mwFailed)
+			c.desc.releaseAll()
+			continue
+		}
+		if c.val != old {
+			break
+		}
+		if v.p.CompareAndSwap(c, &cell[T]{val: new}) {
+			ok = true
+			break
+		}
 	}
 	d.unlock(s)
 	return ok
@@ -413,8 +493,19 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 	}
 	d := v.d
 	s := d.lock()
-	x := *v.p.Load() + delta
-	v.p.Store(&x)
+	var x uint64
+	for {
+		c := v.p.Load()
+		if c.desc != nil {
+			c.desc.status.CompareAndSwap(mwUndecided, mwFailed)
+			c.desc.releaseAll()
+			continue
+		}
+		x = c.val + delta
+		if v.p.CompareAndSwap(c, &cell[uint64]{val: x}) {
+			break
+		}
+	}
 	d.unlock(s)
 	return x
 }

@@ -1,0 +1,253 @@
+package htm
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// This file implements a lock-free multi-word CAS over Var cells — the
+// internal/mcas algorithm (Harris-Fraser-Pratt style claims with helping)
+// lifted from raw 64-bit words to typed transactional Vars, and made
+// interoperable with the domain's sequence-lock STM. It is the publication
+// primitive for the transactional composition layer (internal/txn): when the
+// HTM fast path is unavailable, a composed operation's validated read-set and
+// staged write-set are installed in one MultiCAS.
+//
+// Interoperation protocol with the STM (the part raw MCAS does not need):
+//
+//   - Claim phase is fully lock-free: each entry's cell is CASed from
+//     {val: old} to {val: old, desc} in global Var-id order, helping any
+//     foreign descriptor encountered. A claimed cell still carries the old
+//     value, so readers never block on an undecided operation.
+//   - The decision (undecided → succeeded) happens while holding the
+//     domain's sequence lock. Acquiring and releasing the lock bumps the
+//     domain clock, which aborts every overlapping transaction — exactly the
+//     conflict a committed MCAS must signal — and, symmetrically, a
+//     transaction that commits first makes the MCAS decision wait.
+//   - A committing transaction or direct writer that finds an *undecided*
+//     descriptor on a cell it writes kills it (undecided → failed): the
+//     descriptor cannot reach its decision while the writer holds the lock,
+//     so the kill is race-free, and the failed MCAS simply re-captures and
+//     retries. Every kill is paid for by a successful commit, so the system
+//     as a whole remains lock-free (the Theorem 2 analogue for composition).
+//   - Readers (transactional or direct) that find a *succeeded* descriptor
+//     finish its release phase and re-read; undecided and failed descriptors
+//     are transparent (the cell's value is still the logical value).
+//
+// On real RTM none of this is needed — the fallback MCAS and hardware
+// transactions conflict through the cache-coherence protocol. The
+// sequence-lock choreography is the software-emulation analogue, and it
+// inherits the package's documented caveat that a preempted lock holder can
+// delay (but not block) the decision of concurrent MCASes.
+
+// MultiCAS descriptor statuses.
+const (
+	mwUndecided uint32 = iota
+	mwSucceeded
+	mwFailed
+)
+
+// claim results.
+type claimResult int
+
+const (
+	claimOK claimResult = iota
+	claimForeign
+	claimMismatch
+)
+
+// MultiDesc is the descriptor for an in-flight MultiCAS. Cells claimed by the
+// operation point at it until the release phase returns them to plain values.
+type MultiDesc struct {
+	status  atomic.Uint32
+	d       *Domain
+	entries []Entry
+}
+
+// Entry is one leg of a MultiCAS: a typed Var, the value it must still hold,
+// and the value to install. Entries are created with NewUpdate; Old == New
+// makes the leg a pure validation (a DCSS read-guard generalized to N legs).
+type Entry interface {
+	varID() uint64
+	dom() *Domain
+	claim(m *MultiDesc) (claimResult, *MultiDesc)
+	release(m *MultiDesc, success bool)
+	holds() bool
+}
+
+// Update is the concrete Entry for a Var[T]. The exported accessors exist for
+// the composition layer's capture buffers (read-own-writes and staging).
+type Update[T comparable] struct {
+	v        *Var[T]
+	old, new T
+}
+
+// NewUpdate stages a MultiCAS leg replacing old with new on v.
+func NewUpdate[T comparable](v *Var[T], old, new T) *Update[T] {
+	v.ensureID()
+	return &Update[T]{v: v, old: old, new: new}
+}
+
+// Old returns the leg's expected prior value.
+func (u *Update[T]) Old() T { return u.old }
+
+// Pending returns the value the leg will install (the staged write).
+func (u *Update[T]) Pending() T { return u.new }
+
+// SetNew replaces the staged value, for write-after-write in a capture
+// buffer. It must not be called once the Update has been passed to MultiCAS.
+func (u *Update[T]) SetNew(x T) { u.new = x }
+
+// IsWrite reports whether the leg changes the value.
+func (u *Update[T]) IsWrite() bool { return u.old != u.new }
+
+func (u *Update[T]) varID() uint64 { return u.v.ensureID() }
+func (u *Update[T]) dom() *Domain  { return u.v.d }
+
+func (u *Update[T]) claim(m *MultiDesc) (claimResult, *MultiDesc) {
+	for {
+		c := u.v.p.Load()
+		if c.desc == m {
+			return claimOK, nil
+		}
+		if c.desc != nil {
+			return claimForeign, c.desc
+		}
+		if c.val != u.old {
+			return claimMismatch, nil
+		}
+		if u.v.p.CompareAndSwap(c, &cell[T]{val: u.old, desc: m}) {
+			return claimOK, nil
+		}
+	}
+}
+
+func (u *Update[T]) release(m *MultiDesc, success bool) {
+	c := u.v.p.Load()
+	if c.desc != m {
+		return
+	}
+	val := u.old
+	if success {
+		val = u.new
+	}
+	u.v.p.CompareAndSwap(c, &cell[T]{val: val})
+}
+
+// holds reports whether the Var currently contains the leg's old value,
+// resolving any completed MultiCAS first. It is only meaningful inside a
+// stable clock window (see MultiValidate).
+func (u *Update[T]) holds() bool {
+	for {
+		c := u.v.p.Load()
+		if c.desc != nil && c.desc.status.Load() == mwSucceeded {
+			c.desc.releaseAll()
+			continue
+		}
+		return c.val == u.old
+	}
+}
+
+// MultiCAS atomically installs every entry's new value provided every entry
+// still holds its old value, reporting whether the update happened. All Vars
+// must belong to the same Domain and be distinct; an empty set trivially
+// succeeds. Any thread that encounters the descriptor helps complete it.
+func MultiCAS(entries ...Entry) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].varID() < entries[j].varID() })
+	d := entries[0].dom()
+	for i, e := range entries {
+		if e.dom() != d {
+			panic("htm: MultiCAS entries span domains")
+		}
+		if i > 0 && e.varID() == entries[i-1].varID() {
+			panic("htm: duplicate Var in MultiCAS entry set")
+		}
+	}
+	m := &MultiDesc{d: d, entries: entries}
+	m.help()
+	return m.status.Load() == mwSucceeded
+}
+
+// help drives the descriptor to completion; safe to call from any number of
+// threads.
+func (m *MultiDesc) help() {
+	// Phase 1: claim each cell in Var-id order, helping foreign descriptors.
+claim:
+	for _, e := range m.entries {
+		for {
+			if m.status.Load() != mwUndecided {
+				break claim
+			}
+			res, foreign := e.claim(m)
+			switch res {
+			case claimOK:
+			case claimForeign:
+				foreign.help()
+				continue
+			case claimMismatch:
+				m.status.CompareAndSwap(mwUndecided, mwFailed)
+				break claim
+			}
+			break
+		}
+	}
+	m.decide()
+	m.releaseAll()
+}
+
+// decide moves an undecided descriptor to succeeded under the domain's
+// sequence lock. Holding the lock serializes the decision against committing
+// transactions (which kill undecided descriptors they collide with), and the
+// clock bump aborts every transaction whose snapshot predates the MCAS.
+func (m *MultiDesc) decide() {
+	if m.status.Load() != mwUndecided {
+		return
+	}
+	s := m.d.lock()
+	m.status.CompareAndSwap(mwUndecided, mwSucceeded)
+	m.d.unlock(s)
+}
+
+// releaseAll returns every claimed cell to a plain value: the new value if
+// the operation succeeded, the old value otherwise. Idempotent.
+func (m *MultiDesc) releaseAll() {
+	success := m.status.Load() == mwSucceeded
+	for _, e := range m.entries {
+		e.release(m, success)
+	}
+}
+
+// MultiValidate reports whether every entry holds its old value at a single
+// instant: the checks run inside one even-clock window, so no transaction or
+// MultiCAS committed while they ran. It is the read-only commit of the
+// composition layer's fallback path — validation without publication.
+func MultiValidate(entries ...Entry) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	d := entries[0].dom()
+	for {
+		s := d.clock.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		ok := true
+		for _, e := range entries {
+			if e.dom() != d {
+				panic("htm: MultiValidate entries span domains")
+			}
+			if !e.holds() {
+				ok = false
+				break
+			}
+		}
+		if d.clock.Load() == s {
+			return ok
+		}
+	}
+}

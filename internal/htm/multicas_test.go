@@ -1,0 +1,207 @@
+package htm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMultiCASBasic(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b, c := NewVar(d, 1), NewVar(d, 2), NewVar(d, 3)
+	if !MultiCAS(NewUpdate(a, 1, 10), NewUpdate(b, 2, 20), NewUpdate(c, 3, 30)) {
+		t.Fatal("matching MultiCAS failed")
+	}
+	if Load(nil, a) != 10 || Load(nil, b) != 20 || Load(nil, c) != 30 {
+		t.Fatalf("got %d %d %d", Load(nil, a), Load(nil, b), Load(nil, c))
+	}
+	// One stale leg: nothing changes.
+	if MultiCAS(NewUpdate(a, 10, 11), NewUpdate(b, 99, 21)) {
+		t.Fatal("stale MultiCAS succeeded")
+	}
+	if Load(nil, a) != 10 || Load(nil, b) != 20 {
+		t.Fatalf("failed MultiCAS mutated vars: %d %d", Load(nil, a), Load(nil, b))
+	}
+}
+
+func TestMultiCASReadGuard(t *testing.T) {
+	d := NewDomain(0, 0)
+	guard, w := NewVar(d, 7), NewVar(d, 1)
+	if !MultiCAS(NewUpdate(guard, 7, 7), NewUpdate(w, 1, 2)) {
+		t.Fatal("guarded MultiCAS failed")
+	}
+	if Load(nil, guard) != 7 || Load(nil, w) != 2 {
+		t.Fatalf("guard=%d w=%d", Load(nil, guard), Load(nil, w))
+	}
+}
+
+func TestMultiCASBumpsClockAbortsOverlappingTx(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	status := d.Atomically(func(tx *Tx) {
+		if Load(tx, a) != 1 {
+			t.Error("tx read wrong initial value")
+		}
+		// A MultiCAS committing mid-transaction must doom this tx.
+		if !MultiCAS(NewUpdate(a, 1, 5), NewUpdate(b, 2, 6)) {
+			t.Error("MultiCAS failed")
+		}
+		Load(tx, b) // must observe the clock bump and abort
+		t.Error("transactional read survived a committed MultiCAS")
+	})
+	if status != AbortConflict {
+		t.Fatalf("status = %v, want AbortConflict", status)
+	}
+	if Load(nil, a) != 5 || Load(nil, b) != 6 {
+		t.Fatalf("a=%d b=%d after MultiCAS", Load(nil, a), Load(nil, b))
+	}
+}
+
+func TestCommitKillsUndecidedDescriptor(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	// Stage an undecided descriptor claiming both vars, as a stalled MCAS
+	// initiator would leave it.
+	ua, ub := NewUpdate(a, 1, 10), NewUpdate(b, 2, 20)
+	m := &MultiDesc{d: d, entries: []Entry{ua, ub}}
+	for _, e := range m.entries {
+		if res, _ := e.claim(m); res != claimOK {
+			t.Fatal("staging claim failed")
+		}
+	}
+	// A transaction writing var a must kill the stalled operation and win.
+	status := d.Atomically(func(tx *Tx) {
+		Store(tx, a, 99)
+	})
+	if status != Committed {
+		t.Fatalf("status = %v, want Committed", status)
+	}
+	if m.status.Load() != mwFailed {
+		t.Fatalf("stalled descriptor status = %d, want failed", m.status.Load())
+	}
+	if Load(nil, a) != 99 {
+		t.Fatalf("a = %d, want 99", Load(nil, a))
+	}
+	if Load(nil, b) != 2 {
+		t.Fatalf("b = %d, want 2 (failed MCAS must restore old)", Load(nil, b))
+	}
+}
+
+func TestDirectStoreKillsUndecidedDescriptor(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	ua, ub := NewUpdate(a, 1, 10), NewUpdate(b, 2, 20)
+	m := &MultiDesc{d: d, entries: []Entry{ua, ub}}
+	for _, e := range m.entries {
+		if res, _ := e.claim(m); res != claimOK {
+			t.Fatal("staging claim failed")
+		}
+	}
+	Store(nil, b, 42)
+	if m.status.Load() != mwFailed {
+		t.Fatalf("descriptor status = %d, want failed", m.status.Load())
+	}
+	if Load(nil, a) != 1 || Load(nil, b) != 42 {
+		t.Fatalf("a=%d b=%d", Load(nil, a), Load(nil, b))
+	}
+}
+
+func TestLoadResolvesDecidedDescriptor(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	ua, ub := NewUpdate(a, 1, 10), NewUpdate(b, 2, 20)
+	m := &MultiDesc{d: d, entries: []Entry{ua, ub}}
+	for _, e := range m.entries {
+		if res, _ := e.claim(m); res != claimOK {
+			t.Fatal("staging claim failed")
+		}
+	}
+	m.decide() // succeeded, but release phase not yet run
+	if got := Load(nil, a); got != 10 {
+		t.Fatalf("a = %d, want 10 (reader must resolve decided MCAS)", got)
+	}
+	if got := Load(nil, b); got != 20 {
+		t.Fatalf("b = %d, want 20", got)
+	}
+}
+
+func TestMultiValidate(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, 1), NewVar(d, 2)
+	if !MultiValidate(NewUpdate(a, 1, 1), NewUpdate(b, 2, 2)) {
+		t.Fatal("validation of current values failed")
+	}
+	if MultiValidate(NewUpdate(a, 1, 1), NewUpdate(b, 9, 9)) {
+		t.Fatal("validation with stale value succeeded")
+	}
+	if !MultiValidate() {
+		t.Fatal("empty validation must succeed")
+	}
+}
+
+func TestNegativeCapacityForcesFallback(t *testing.T) {
+	d := NewDomain(-1, -1)
+	v := NewVar(d, uint64(0))
+	if st := d.Atomically(func(tx *Tx) { Load(tx, v) }); st != AbortCapacity {
+		t.Fatalf("read under zero capacity: %v, want AbortCapacity", st)
+	}
+	if st := d.Atomically(func(tx *Tx) { Store(tx, v, 1) }); st != AbortCapacity {
+		t.Fatalf("write under zero capacity: %v, want AbortCapacity", st)
+	}
+	// Direct access is unaffected.
+	Store(nil, v, 7)
+	if Load(nil, v) != 7 {
+		t.Fatal("direct path broken under zero capacity")
+	}
+}
+
+// TestMultiCASConcurrentWithTransactions hammers two vars with transactional
+// increments, direct CAS increments, and two-var MultiCAS increments; the
+// pair must always move in lockstep (a+const == b) and totals must match.
+func TestMultiCASConcurrentWithTransactions(t *testing.T) {
+	d := NewDomain(0, 0)
+	a, b := NewVar(d, uint64(0)), NewVar(d, uint64(1000000))
+	nThreads := runtime.GOMAXPROCS(0)
+	if nThreads < 4 {
+		nThreads = 4
+	}
+	const perThread = 3000
+	var commits atomic.Uint64
+	var wg sync.WaitGroup
+	for th := 0; th < nThreads; th++ {
+		wg.Add(1)
+		go func(kind int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				switch kind % 2 {
+				case 0: // transactional paired increment
+					st := d.Atomically(func(tx *Tx) {
+						Store(tx, a, Load(tx, a)+1)
+						Store(tx, b, Load(tx, b)+1)
+					})
+					if st == Committed {
+						commits.Add(1)
+					} else {
+						i-- // retry until committed
+					}
+				case 1: // MultiCAS paired increment
+					x, y := Load(nil, a), Load(nil, b)
+					if MultiCAS(NewUpdate(a, x, x+1), NewUpdate(b, y, y+1)) {
+						commits.Add(1)
+					} else {
+						i--
+					}
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	got, want := Load(nil, a), commits.Load()
+	if got != want {
+		t.Fatalf("a = %d, want %d (one per committed pair)", got, want)
+	}
+	if Load(nil, b) != want+1000000 {
+		t.Fatalf("b = %d, want %d", Load(nil, b), want+1000000)
+	}
+}

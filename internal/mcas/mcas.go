@@ -1,10 +1,12 @@
-// Package mcas implements lock-free double-compare-and-swap (DCAS) and
-// double-compare-single-swap (DCSS) over shared 64-bit words, in the style of
-// Harris, Fraser and Pratt's practical multi-word compare-and-swap. The Mound
-// priority queue (§3.1 of the paper) is built on these primitives; the paper
-// reports each software DCAS/DCSS costs up to five CAS instructions, which is
-// precisely the latency PTO removes by running the double-word update as a
-// single hardware transaction.
+// Package mcas implements lock-free multi-word compare-and-swap over shared
+// 64-bit words, in the style of Harris, Fraser and Pratt's practical MCAS.
+// The Mound priority queue (§3.1 of the paper) is built on the two-word
+// specializations DCAS and DCSS; the paper reports each software DCAS/DCSS
+// costs up to five CAS instructions, which is precisely the latency PTO
+// removes by running the double-word update as a single hardware transaction.
+// The general N-word MCAS is the publication primitive for the transactional
+// composition layer (internal/txn): a composed operation's write-set is
+// installed in one lock-free step when the HTM fast path is unavailable.
 //
 // Words are boxed behind unique heap cells, which rules out ABA on the
 // descriptor-installation CASes. A word temporarily holds a pointer to an
@@ -14,10 +16,11 @@
 package mcas
 
 import (
+	"sort"
 	"sync/atomic"
 )
 
-// status values for a DCAS descriptor.
+// status values for an MCAS descriptor.
 const (
 	undecided uint32 = iota
 	succeeded
@@ -41,13 +44,13 @@ type descriptor struct {
 	status atomic.Uint32
 	// entries are ordered by Word id to prevent livelock between concurrent
 	// multi-word operations over overlapping word sets.
-	entries [2]entry
+	entries []entry
 }
 
 var nextID atomic.Uint64
 
 // Word is a 64-bit shared memory word that supports Load, Store, CAS, and
-// participation in DCAS/DCSS. The zero Word is not valid; use NewWord.
+// participation in MCAS/DCAS/DCSS. The zero Word is not valid; use NewWord.
 type Word struct {
 	id uint64
 	p  atomic.Pointer[box]
@@ -88,7 +91,7 @@ func (w *Word) Store(v uint64) {
 }
 
 // CAS atomically replaces old with new, reporting success. It is
-// linearizable with respect to concurrent DCAS/DCSS operations.
+// linearizable with respect to concurrent MCAS/DCAS/DCSS operations.
 func (w *Word) CAS(old, new uint64) bool {
 	for {
 		b := w.p.Load()
@@ -105,17 +108,42 @@ func (w *Word) CAS(old, new uint64) bool {
 	}
 }
 
-// DCAS atomically performs {if *w1==o1 && *w2==o2 { *w1=n1; *w2=n2 }},
-// reporting whether the update happened. w1 and w2 must be distinct words.
-func DCAS(w1 *Word, o1, n1 uint64, w2 *Word, o2, n2 uint64) bool {
-	d := &descriptor{}
-	d.entries[0] = entry{w: w1, old: o1, new: n1}
-	d.entries[1] = entry{w: w2, old: o2, new: n2}
-	if w2.id < w1.id {
-		d.entries[0], d.entries[1] = d.entries[1], d.entries[0]
+// Op is one leg of an N-word MCAS: if every leg's word holds its Old value,
+// each is atomically replaced with its New value. Old == New makes the leg a
+// pure comparison (the DCSS read-guard generalized to N words).
+type Op struct {
+	W        *Word
+	Old, New uint64
+}
+
+// MCAS atomically performs {if ∀i *ops[i].W==ops[i].Old { ∀i *ops[i].W=ops[i].New }},
+// reporting whether the update happened. Words must be distinct; an empty op
+// set trivially succeeds. The operation is lock-free: any thread that
+// encounters the descriptor helps drive it to completion.
+func MCAS(ops ...Op) bool {
+	if len(ops) == 0 {
+		return true
+	}
+	d := &descriptor{entries: make([]entry, len(ops))}
+	for i, op := range ops {
+		d.entries[i] = entry{w: op.W, old: op.Old, new: op.New}
+	}
+	sort.Slice(d.entries, func(i, j int) bool {
+		return d.entries[i].w.id < d.entries[j].w.id
+	})
+	for i := 1; i < len(d.entries); i++ {
+		if d.entries[i].w == d.entries[i-1].w {
+			panic("mcas: duplicate word in MCAS op set")
+		}
 	}
 	d.help()
 	return d.status.Load() == succeeded
+}
+
+// DCAS atomically performs {if *w1==o1 && *w2==o2 { *w1=n1; *w2=n2 }},
+// reporting whether the update happened. w1 and w2 must be distinct words.
+func DCAS(w1 *Word, o1, n1 uint64, w2 *Word, o2, n2 uint64) bool {
+	return MCAS(Op{W: w1, Old: o1, New: n1}, Op{W: w2, Old: o2, New: n2})
 }
 
 // DCSS atomically performs {if *cmp==expect && *w==old { *w=new }}, reporting

@@ -10,7 +10,7 @@ import "testing"
 // (as a stalled peer would leave it) and returns it.
 func stageDescriptor(t *testing.T, w1, w2 *Word, o1, n1, o2, n2 uint64) *descriptor {
 	t.Helper()
-	d := &descriptor{}
+	d := &descriptor{entries: make([]entry, 2)}
 	d.entries[0] = entry{w: w1, old: o1, new: n1}
 	d.entries[1] = entry{w: w2, old: o2, new: n2}
 	if w2.id < w1.id {

@@ -125,17 +125,7 @@ type pnode struct {
 // NewPTO returns an empty PTO-accelerated queue (attempts ≤ 0 selects
 // DefaultAttempts).
 func NewPTO(attempts int) *PTOQueue {
-	if attempts <= 0 {
-		attempts = DefaultAttempts
-	}
-	q := &PTOQueue{domain: htm.NewDomain(0, 0), attempts: attempts,
-		enqStats: core.NewStats(1), deqStats: core.NewStats(1)}
-	q.WithPolicy(speculate.Fixed(0))
-	dummy := &pnode{}
-	dummy.next.Init(q.domain, nil)
-	q.head.Init(q.domain, dummy)
-	q.tail.Init(q.domain, dummy)
-	return q
+	return NewPTOIn(htm.NewDomain(0, 0), attempts)
 }
 
 // WithPolicy replaces the speculation policy governing the retry loops. The

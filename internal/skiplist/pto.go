@@ -46,20 +46,7 @@ const DefaultAttempts = 3
 // NewPTOSet returns an empty PTO-accelerated set. attempts ≤ 0 selects
 // DefaultAttempts.
 func NewPTOSet(attempts int) *PTOSet {
-	if attempts <= 0 {
-		attempts = DefaultAttempts
-	}
-	s := &PTOSet{domain: htm.NewDomain(0, 0), attempts: attempts,
-		insStats: core.NewStats(1), rmStats: core.NewStats(1)}
-	s.WithPolicy(speculate.Fixed(0))
-	s.tail = s.newPNode(tailKey, MaxLevel-1)
-	s.head = s.newPNode(headKey, MaxLevel-1)
-	for l := 0; l < MaxLevel; l++ {
-		htm.Store(nil, &s.tail.next[l], &pbox{})
-		htm.Store(nil, &s.head.next[l], &pbox{n: s.tail})
-	}
-	s.rstate.Store(0x9E3779B97F4A7C15)
-	return s
+	return NewPTOSetIn(htm.NewDomain(0, 0), attempts)
 }
 
 func (s *PTOSet) newPNode(key int64, top int) *pnode {

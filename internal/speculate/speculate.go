@@ -23,8 +23,8 @@
 //
 //     r := site.Begin(domain)
 //     for r.Next(0) {
-//         st := r.Try(func(tx *htm.Tx) { ... })
-//         if st == htm.Committed { return ... }
+//     st := r.Try(func(tx *htm.Tx) { ... })
+//     if st == htm.Committed { return ... }
 //     }
 //     r.Fallback()
 //     ... run the original nonblocking algorithm ...
@@ -51,11 +51,13 @@
 //     additionally short-circuits the level.
 //
 // Adaptive disabling: every attempt outcome feeds a sliding window of
-// Policy.Window attempts. When a window closes with a commit ratio below
-// Policy.MinCommitRatio, the site disables speculation for the next
-// Policy.SkipOps operations — Begin hands those straight to the fallback —
-// then re-probes with a fresh window. This is the glibc lock-elision
-// adaptation scheme applied per PTO site.
+// Policy.Window attempts, kept per (site, level). When a level's window
+// closes with a commit ratio below Policy.MinCommitRatio, that level is
+// disabled for the next Policy.SkipOps operations — Next hands those to the
+// next level or the fallback — then re-probes with a fresh window. This is
+// the glibc lock-elision adaptation scheme applied per PTO tier, so a BST
+// whose whole-operation PTO1 transactions keep overflowing capacity can stop
+// attempting PTO1 while its small PTO2 postfix transactions keep committing.
 package speculate
 
 import (
@@ -187,6 +189,17 @@ type Level struct {
 	RetryOnExplicit bool
 }
 
+// levelState is one level's adaptive window: winAttempts/winCommits fill the
+// current window; skip counts down the level entries remaining in a disable
+// period. The counters are racy by design — adjacent windows may bleed a few
+// attempts into each other under contention — which only perturbs *when*
+// adaptation triggers, never correctness.
+type levelState struct {
+	winAttempts atomic.Uint64
+	winCommits  atomic.Uint64
+	skip        atomic.Int64
+}
+
 // Site is the per-(structure instance, operation kind) speculation state: a
 // Policy bound to the operation's level budgets, its adaptive-disable
 // state, and its metric destinations.
@@ -196,14 +209,9 @@ type Site struct {
 	legacy *core.Stats     // historical per-structure counters; may be nil
 	tel    *telemetry.Site // nil when the policy has no registry
 
-	// Adaptive state. winAttempts/winCommits fill the current window;
-	// skip counts down the operations remaining in a disable period. The
-	// counters are racy by design — adjacent windows may bleed a few
-	// attempts into each other under contention — which only perturbs
-	// *when* adaptation triggers, never correctness.
-	winAttempts atomic.Uint64
-	winCommits  atomic.Uint64
-	skip        atomic.Int64
+	// adapt holds one adaptive window per level, so each tier of the PTO
+	// composition disables and re-probes independently.
+	adapt []levelState
 
 	// rng seeds the backoff jitter.
 	rng atomic.Uint64
@@ -214,7 +222,7 @@ type Site struct {
 // the structure's historical core.Stats to keep updated (may be nil);
 // levels are the PTO composition's tiers, outermost first.
 func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site {
-	s := &Site{pol: p, levels: levels, legacy: legacy}
+	s := &Site{pol: p, levels: levels, legacy: legacy, adapt: make([]levelState, len(levels))}
 	if p.Metrics != nil {
 		s.tel = p.Metrics.Site(name)
 	}
@@ -237,33 +245,51 @@ func (s *Site) budget(level int) int {
 	return s.levels[level].Attempts
 }
 
-// recordAttempt feeds one attempt outcome into the adaptive window and, on
-// window close, disables the site if the commit ratio fell below threshold.
-func (s *Site) recordAttempt(committed bool) {
-	if !s.pol.Adapt {
+// recordAttempt feeds one attempt outcome into the level's adaptive window
+// and, on window close, disables the level if the commit ratio fell below
+// threshold.
+func (s *Site) recordAttempt(level int, committed bool) {
+	if !s.pol.Adapt || level >= len(s.adapt) {
 		return
 	}
+	ls := &s.adapt[level]
 	if committed {
-		s.winCommits.Add(1)
+		ls.winCommits.Add(1)
 	}
-	a := s.winAttempts.Add(1)
+	a := ls.winAttempts.Add(1)
 	w := s.pol.window()
 	if a < w {
 		return
 	}
-	c := s.winCommits.Load()
+	c := ls.winCommits.Load()
 	// One closer wins the CAS and resets the window; concurrent attempts
 	// simply land in the next window.
-	if !s.winAttempts.CompareAndSwap(a, 0) {
+	if !ls.winAttempts.CompareAndSwap(a, 0) {
 		return
 	}
-	s.winCommits.Store(0)
+	ls.winCommits.Store(0)
 	if float64(c) < s.pol.minRatio()*float64(a) {
-		s.skip.Store(s.pol.skipOps())
+		ls.skip.Store(s.pol.skipOps())
 		if s.tel != nil {
 			s.tel.Disables.Add(1)
 		}
 	}
+}
+
+// levelDisabled consumes one skip credit of the level's disable period,
+// reporting whether this entry to the level should bypass speculation.
+func (s *Site) levelDisabled(level int) bool {
+	if !s.pol.Adapt || level >= len(s.adapt) {
+		return false
+	}
+	ls := &s.adapt[level]
+	if ls.skip.Load() > 0 && ls.skip.Add(-1) >= 0 {
+		if s.tel != nil {
+			s.tel.Skipped.Add(1)
+		}
+		return true
+	}
+	return false
 }
 
 // jitter advances the site's xorshift state and returns a pseudo-random
@@ -283,23 +309,16 @@ type Run struct {
 	s       *Site
 	d       *htm.Domain
 	level   int
-	used    int // attempts consumed at the current level
-	backoff int // pending backoff units before the next Try
-	skipped bool
+	entered bool  // whether the current level's disable gate was evaluated
+	skipped bool  // the current level is adaptively disabled for this run
+	used    int   // attempts consumed at the current level
+	backoff int   // pending backoff units before the next Try
 	startNs int64 // telemetry only; 0 when disabled
 }
 
-// Begin starts one operation at the site against domain d. If the site is
-// adaptively disabled the returned Run yields no speculative attempts and
-// the caller proceeds straight to its fallback.
+// Begin starts one operation at the site against domain d.
 func (s *Site) Begin(d *htm.Domain) Run {
 	r := Run{s: s, d: d}
-	if s.pol.Adapt && s.skip.Load() > 0 && s.skip.Add(-1) >= 0 {
-		r.skipped = true
-		if s.tel != nil {
-			s.tel.Skipped.Add(1)
-		}
-	}
 	if s.tel != nil {
 		r.startNs = time.Now().UnixNano()
 	}
@@ -308,16 +327,20 @@ func (s *Site) Begin(d *htm.Domain) Run {
 
 // Next reports whether another speculative attempt is allowed at the given
 // level (levels are tried outermost-first; moving to a new level resets the
-// attempt count). It consumes nothing itself: budget is spent by Try and
-// Skip.
+// attempt count). On first entry to a level it consults that level's
+// adaptive-disable state, so an adaptively disabled outer tier still lets
+// the run attempt the inner tiers. It consumes no budget itself: budget is
+// spent by Try and Skip.
 func (r *Run) Next(level int) bool {
-	if r.skipped {
-		return false
-	}
-	if level != r.level {
+	if level != r.level || !r.entered {
 		r.level = level
+		r.entered = true
 		r.used = 0
 		r.backoff = 0
+		r.skipped = r.s.levelDisabled(level)
+	}
+	if r.skipped {
+		return false
 	}
 	return r.used < r.s.budget(level)
 }
@@ -343,7 +366,7 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 	}
 	st := r.d.Atomically(body)
 	r.used++
-	s.recordAttempt(st == htm.Committed)
+	s.recordAttempt(r.level, st == htm.Committed)
 	if s.tel != nil {
 		s.tel.Attempts.Add(1)
 		switch st {

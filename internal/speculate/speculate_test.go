@@ -263,3 +263,57 @@ func TestHealthySiteNeverDisables(t *testing.T) {
 		t.Fatalf("commits = %d, want 100", ts.Commits)
 	}
 }
+
+// TestPerLevelAdaptiveIndependence drives a two-level site whose level-0
+// body always capacity-aborts while level-1 always commits. The (site,
+// level) windows must disable level 0 without touching level 1: after the
+// disable trips, Next(0) yields nothing but Next(1) keeps speculating, and
+// the op still commits at level 1.
+func TestPerLevelAdaptiveIndependence(t *testing.T) {
+	d, _, capBody := capacityDomain()
+	reg := telemetry.NewRegistry()
+	pol := Policy{Adapt: true, Window: 8, MinCommitRatio: 0.5, SkipOps: 1000}
+	site := pol.WithMetrics(reg).NewSite("t/perlevel", nil,
+		Level{Name: "pto1", Attempts: 2},
+		Level{Name: "pto2", Attempts: 2},
+	)
+
+	level0Skipped, level1Commits := 0, 0
+	for op := 0; op < 100; op++ {
+		r := site.Begin(d)
+		tried0 := false
+		for r.Next(0) {
+			r.Try(capBody)
+			tried0 = true
+		}
+		if !tried0 {
+			level0Skipped++
+		}
+		committed := false
+		for r.Next(1) {
+			if r.Try(func(tx *htm.Tx) {}) == htm.Committed {
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			t.Fatalf("op %d failed to commit at level 1", op)
+		}
+		level1Commits++
+	}
+	if level0Skipped == 0 {
+		t.Fatal("level 0 with 0% commit ratio never adaptively disabled")
+	}
+	if level1Commits != 100 {
+		t.Fatalf("level-1 commits = %d, want 100", level1Commits)
+	}
+	ts := reg.Site("t/perlevel").Snapshot()
+	if ts.Disables == 0 {
+		t.Fatalf("no adaptive disable recorded: %+v", ts)
+	}
+	// A healthy level 1 must never be the one disabled: with SkipOps huge,
+	// had level 1 been disabled the commits above would have stopped.
+	if ts.Commits < 100 {
+		t.Fatalf("commits = %d, want >= 100", ts.Commits)
+	}
+}

@@ -19,6 +19,17 @@ const (
 	MetricDisables  = "pto_speculation_adaptive_disables_total"
 	MetricSkipped   = "pto_speculation_skipped_ops_total"
 	MetricLatency   = "pto_speculation_latency_seconds"
+
+	// Composed-operation metrics (internal/txn). Ops carry a {site="..."}
+	// label; commits additionally carry {path="fast|fallback|readonly"}; the
+	// width histogram follows the _bucket/_sum/_count convention with
+	// cumulative le bounds in MCAS entries.
+	MetricComposedOps      = "pto_composed_ops_total"
+	MetricComposedCommits  = "pto_composed_commits_total"
+	MetricComposedMCAS     = "pto_composed_mcas_attempts_total"
+	MetricComposedMCASFail = "pto_composed_mcas_failures_total"
+	MetricComposedRestarts = "pto_composed_restarts_total"
+	MetricComposedWidth    = "pto_composed_mcas_width"
 )
 
 // WritePrometheus renders every site of the registry in Prometheus text
@@ -74,6 +85,53 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricLatency, s.Name, cum)
 		fmt.Fprintf(w, "%s_sum{site=%q} %g\n", MetricLatency, s.Name, float64(s.SpecNanos.SumNs)/1e9)
 		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricLatency, s.Name, s.SpecNanos.Count)
+	}
+
+	comp := r.Snapshot().Composed
+	if len(comp) == 0 {
+		return
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i].Name < comp[j].Name })
+	fmt.Fprintf(w, "# HELP %s Completed composed operations per site.\n", MetricComposedOps)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricComposedOps)
+	for _, c := range comp {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricComposedOps, c.Name, c.Ops)
+	}
+	fmt.Fprintf(w, "# HELP %s Composed-operation commits per site, by completion path.\n", MetricComposedCommits)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricComposedCommits)
+	for _, c := range comp {
+		fmt.Fprintf(w, "%s{site=%q,path=\"fast\"} %d\n", MetricComposedCommits, c.Name, c.FastCommits)
+		fmt.Fprintf(w, "%s{site=%q,path=\"fallback\"} %d\n", MetricComposedCommits, c.Name, c.FallbackCommits)
+		fmt.Fprintf(w, "%s{site=%q,path=\"readonly\"} %d\n", MetricComposedCommits, c.Name, c.ReadOnlyCommits)
+	}
+	fmt.Fprintf(w, "# HELP %s Fallback MultiCAS publication attempts per site.\n", MetricComposedMCAS)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricComposedMCAS)
+	for _, c := range comp {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricComposedMCAS, c.Name, c.MCASAttempts)
+	}
+	fmt.Fprintf(w, "# HELP %s Fallback MultiCAS publications that lost their validation race.\n", MetricComposedMCASFail)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricComposedMCASFail)
+	for _, c := range comp {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricComposedMCASFail, c.Name, c.MCASFailures)
+	}
+	fmt.Fprintf(w, "# HELP %s Fallback capture re-runs (helping or stale view) per site.\n", MetricComposedRestarts)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricComposedRestarts)
+	for _, c := range comp {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricComposedRestarts, c.Name, c.Restarts)
+	}
+	fmt.Fprintf(w, "# HELP %s MCAS width (entries) of fallback publications per site.\n", MetricComposedWidth)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", MetricComposedWidth)
+	for _, c := range comp {
+		var cum uint64
+		for i, n := range c.Width.Buckets {
+			cum += n
+			if ub := WidthBucketBound(i); ub != 0 {
+				fmt.Fprintf(w, "%s_bucket{site=%q,le=\"%d\"} %d\n", MetricComposedWidth, c.Name, ub, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricComposedWidth, c.Name, cum)
+		fmt.Fprintf(w, "%s_sum{site=%q} %d\n", MetricComposedWidth, c.Name, c.Width.Sum)
+		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricComposedWidth, c.Name, c.Width.Count)
 	}
 }
 

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"log"
+	"sync"
+	"time"
+)
+
+// Sampler is a background goroutine that turns the registry's cumulative
+// counters into an interval-rate time series: every interval it takes a
+// Snapshot, Deltas it against the previous one, and logs one line per active
+// site with the interval's commit ratio, abort rate, and fallback rate.
+// This is the long-stress-run companion of ptostress -hold: cumulative
+// counters hide phase changes (a site that degrades after ten minutes still
+// shows a healthy lifetime ratio), while interval deltas surface them.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartSampler begins sampling r every interval, writing lines through logf
+// (nil selects log.Printf). Idle sites — no attempts, composed ops, or
+// fallbacks in the interval — are elided. Stop the sampler with Stop.
+func StartSampler(r *Registry, interval time.Duration, logf func(format string, args ...any)) *Sampler {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		prev := r.Snapshot()
+		prevAt := time.Now()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-t.C:
+				cur := r.Snapshot()
+				logDelta(cur.Delta(prev), now.Sub(prevAt), logf)
+				prev, prevAt = cur, now
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Safe to call
+// more than once.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// logDelta writes one line per active site of an interval delta.
+func logDelta(d Snapshot, elapsed time.Duration, logf func(format string, args ...any)) {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	for _, s := range d.Sites {
+		aborts := s.Conflicts + s.Capacity + s.Explicit
+		if s.Attempts == 0 && s.Fallbacks == 0 {
+			continue
+		}
+		logf("site %-24s attempts/s %8.0f commit-ratio %5.3f aborts/s %8.0f (conflict %d capacity %d explicit %d) fallbacks/s %7.0f",
+			s.Name, float64(s.Attempts)/secs, s.CommitRatio(), float64(aborts)/secs,
+			s.Conflicts, s.Capacity, s.Explicit, float64(s.Fallbacks)/secs)
+	}
+	for _, c := range d.Composed {
+		if c.Ops == 0 {
+			continue
+		}
+		meanWidth := 0.0
+		if c.Width.Count > 0 {
+			meanWidth = float64(c.Width.Sum) / float64(c.Width.Count)
+		}
+		logf("composed %-20s ops/s %8.0f fast-ratio %5.3f fallback/s %7.0f mcas-fail/s %6.0f restarts/s %6.0f mean-width %.1f",
+			c.Name, float64(c.Ops)/secs, c.FastRatio(), float64(c.FallbackCommits)/secs,
+			float64(c.MCASFailures)/secs, float64(c.Restarts)/secs, meanWidth)
+	}
+}

@@ -104,8 +104,8 @@ type Site struct {
 
 	// Attempts counts transaction attempts; Commits and the three abort
 	// counters partition it by htm.Status.
-	Attempts atomic.Uint64
-	Commits  atomic.Uint64
+	Attempts  atomic.Uint64
+	Commits   atomic.Uint64
 	Conflicts atomic.Uint64
 	Capacity  atomic.Uint64
 	Explicit  atomic.Uint64
@@ -190,12 +190,18 @@ type Registry struct {
 	byName map[string]*Site
 	order  []*Site // registration order, for stable output
 
+	byComposed map[string]*Composed
+	corder     []*Composed
+
 	published sync.Once
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Site)}
+	return &Registry{
+		byName:     make(map[string]*Site),
+		byComposed: make(map[string]*Composed),
+	}
 }
 
 // Default is the process-wide registry used when no explicit registry is
@@ -234,7 +240,8 @@ func (r *Registry) Sites() []*Site {
 
 // Snapshot is a plain-value copy of every site in a registry.
 type Snapshot struct {
-	Sites []SiteSnapshot `json:"sites"`
+	Sites    []SiteSnapshot     `json:"sites"`
+	Composed []ComposedSnapshot `json:"composed,omitempty"`
 }
 
 // Snapshot copies every site's counters in registration order.
@@ -243,6 +250,9 @@ func (r *Registry) Snapshot() Snapshot {
 	out := Snapshot{Sites: make([]SiteSnapshot, 0, len(sites))}
 	for _, s := range sites {
 		out.Sites = append(out.Sites, s.Snapshot())
+	}
+	for _, c := range r.ComposedSites() {
+		out.Composed = append(out.Composed, c.Snapshot())
 	}
 	return out
 }
@@ -261,6 +271,17 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			out.Sites = append(out.Sites, cur.Delta(p))
 		} else {
 			out.Sites = append(out.Sites, cur)
+		}
+	}
+	oldC := make(map[string]ComposedSnapshot, len(prev.Composed))
+	for _, p := range prev.Composed {
+		oldC[p.Name] = p
+	}
+	for _, cur := range s.Composed {
+		if p, ok := oldC[cur.Name]; ok {
+			out.Composed = append(out.Composed, cur.Delta(p))
+		} else {
+			out.Composed = append(out.Composed, cur)
 		}
 	}
 	return out

@@ -1,0 +1,261 @@
+package txn_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bst"
+	"repro/internal/hashtable"
+	"repro/internal/msqueue"
+	"repro/internal/skiplist"
+	"repro/internal/speculate"
+	"repro/internal/telemetry"
+	"repro/internal/txn"
+)
+
+// setPair builds one src/dst pair of composable sets in m's domain.
+type setPair struct {
+	name     string
+	src, dst txn.Set
+	srcLen   func() int
+	dstLen   func() int
+}
+
+func allPairs(m *txn.Manager) []setPair {
+	b1, b2 := bst.NewPTOIn(m.Domain(), -1, -1), bst.NewPTOIn(m.Domain(), -1, -1)
+	h1, h2 := hashtable.NewPTOTableIn(m.Domain(), 16, 0), hashtable.NewPTOTableIn(m.Domain(), 16, 0)
+	s1, s2 := skiplist.NewPTOSetIn(m.Domain(), 0), skiplist.NewPTOSetIn(m.Domain(), 0)
+	return []setPair{
+		{"bst", b1, b2, b1.Len, b2.Len},
+		{"hashtable", h1, h2, h1.Len, h2.Len},
+		{"skiplist", s1, s2, s1.Len, s2.Len},
+		// Cross-structure: a BST source feeding a hash table destination.
+		{"bst->hashtable", bst.NewPTOIn(m.Domain(), -1, -1), hashtable.NewPTOTableIn(m.Domain(), 16, 0), nil, nil},
+	}
+}
+
+func TestMoveSemantics(t *testing.T) {
+	m := txn.New(0)
+	for _, p := range allPairs(m) {
+		t.Run(p.name, func(t *testing.T) {
+			insert(m, p.src, 1)
+			insert(m, p.dst, 2)
+			if !txn.Move(m, p.src, p.dst, 1) {
+				t.Fatal("move of a present key must succeed")
+			}
+			if txn.Move(m, p.src, p.dst, 1) {
+				t.Fatal("move of an absent key must fail")
+			}
+			insert(m, p.src, 2)
+			if txn.Move(m, p.src, p.dst, 2) {
+				t.Fatal("move onto an occupied destination must fail")
+			}
+			if !contains(m, p.src, 2) || !contains(m, p.dst, 1) || !contains(m, p.dst, 2) {
+				t.Fatal("post-move membership wrong")
+			}
+		})
+	}
+}
+
+func insert(m *txn.Manager, s txn.Set, key int64) {
+	m.Atomic(func(c *txn.Ctx) { s.TxInsert(c, key) })
+}
+
+func contains(m *txn.Manager, s txn.Set, key int64) bool {
+	var got bool
+	m.ReadOnly(func(c *txn.Ctx) { got = s.TxContains(c, key) })
+	return got
+}
+
+func TestReadOnlyPanicsOnWrite(t *testing.T) {
+	m := txn.New(0)
+	s := skiplist.NewPTOSetIn(m.Domain(), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadOnly must panic when the body writes")
+		}
+	}()
+	m.ReadOnly(func(c *txn.Ctx) { s.TxInsert(c, 1) })
+}
+
+func TestTransferAllOrNothing(t *testing.T) {
+	for _, forceFallback := range []bool{false, true} {
+		name := "fast"
+		if forceFallback {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			m := txn.New(0)
+			if forceFallback {
+				m.Domain().SetCapacity(-1, -1)
+			}
+			q1 := msqueue.NewPTOIn(m.Domain(), 0)
+			q2 := msqueue.NewPTOIn(m.Domain(), 0)
+			for i := int64(0); i < 10; i++ {
+				m.Atomic(func(c *txn.Ctx) { q1.TxEnqueue(c, i) })
+			}
+			if got := txn.Transfer(m, q1, q2, 4); got != 4 {
+				t.Fatalf("Transfer moved %d, want 4", got)
+			}
+			if q1.Len() != 6 || q2.Len() != 4 {
+				t.Fatalf("lengths after transfer: %d/%d, want 6/4", q1.Len(), q2.Len())
+			}
+			// Drain more than remains: all-or-nothing per value, FIFO order.
+			if got := txn.Transfer(m, q1, q2, 100); got != 6 {
+				t.Fatalf("Transfer moved %d, want 6", got)
+			}
+			for i := int64(0); i < 10; i++ {
+				var v int64
+				var ok bool
+				m.Atomic(func(c *txn.Ctx) { v, ok = q2.TxDequeue(c) })
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got %d,%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestSameQueueComposition checks read-own-writes: an enqueue staged by the
+// same body is visible to its dequeue.
+func TestSameQueueComposition(t *testing.T) {
+	for _, forceFallback := range []bool{false, true} {
+		m := txn.New(0)
+		if forceFallback {
+			m.Domain().SetCapacity(-1, -1)
+		}
+		q := msqueue.NewPTOIn(m.Domain(), 0)
+		var v int64
+		var ok bool
+		m.Atomic(func(c *txn.Ctx) {
+			q.TxEnqueue(c, 7)
+			q.TxEnqueue(c, 8)
+			v, ok = q.TxDequeue(c)
+		})
+		if !ok || v != 7 {
+			t.Fatalf("composed dequeue got %d,%v want 7,true", v, ok)
+		}
+		if q.Len() != 1 {
+			t.Fatalf("queue length %d, want 1", q.Len())
+		}
+	}
+}
+
+// conservation is the tentpole acceptance check: total key count across two
+// sets is conserved under concurrent Moves, and every key is in exactly one
+// set at every composed-snapshot instant.
+func conservation(t *testing.T, zeroCapacity bool) {
+	reg := telemetry.NewRegistry()
+	m := txn.New(0).WithPolicy(speculate.Fixed(0).WithMetrics(reg))
+	if zeroCapacity {
+		m.Domain().SetCapacity(-1, -1)
+	}
+	pairs := allPairs(m)
+
+	const keys = 64
+	const movesPerWorker = 300
+	workers := 4
+	if testing.Short() {
+		workers = 2
+	}
+
+	for _, p := range pairs {
+		for k := int64(0); k < keys; k++ {
+			insert(m, p.src, k)
+		}
+	}
+
+	var stop atomic.Bool
+	var movers, checkers sync.WaitGroup
+	for _, p := range pairs {
+		p := p
+		for w := 0; w < workers; w++ {
+			w := w
+			movers.Add(1)
+			go func() {
+				defer movers.Done()
+				rng := uint64(w)*0x9E3779B97F4A7C15 + 1
+				for i := 0; i < movesPerWorker; i++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					k := int64(rng % keys)
+					if rng&(1<<40) != 0 {
+						txn.Move(m, p.src, p.dst, k)
+					} else {
+						txn.Move(m, p.dst, p.src, k)
+					}
+				}
+			}()
+		}
+		// One checker per pair: composed read-only snapshots must see every
+		// sampled key in exactly one set.
+		checkers.Add(1)
+		go func() {
+			defer checkers.Done()
+			for k := int64(0); !stop.Load(); k = (k + 7) % keys {
+				var inSrc, inDst bool
+				m.ReadOnly(func(c *txn.Ctx) {
+					inSrc = p.src.TxContains(c, k)
+					inDst = p.dst.TxContains(c, k)
+				})
+				if inSrc == inDst {
+					t.Errorf("%s: key %d in src=%v dst=%v (must be exactly one)",
+						p.name, k, inSrc, inDst)
+					return
+				}
+			}
+		}()
+	}
+	movers.Wait()
+	stop.Store(true)
+	checkers.Wait()
+
+	for _, p := range pairs {
+		if p.srcLen == nil {
+			// cross-structure pair: count by membership
+			n := 0
+			for k := int64(0); k < keys; k++ {
+				if contains(m, p.src, k) {
+					n++
+				}
+				if contains(m, p.dst, k) {
+					n++
+				}
+			}
+			if n != keys {
+				t.Errorf("%s: total keys %d, want %d", p.name, n, keys)
+			}
+			continue
+		}
+		if got := p.srcLen() + p.dstLen(); got != keys {
+			t.Errorf("%s: total keys %d, want %d", p.name, got, keys)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Composed) != 1 {
+		t.Fatalf("composed sites = %d, want 1", len(snap.Composed))
+	}
+	cs := snap.Composed[0]
+	if cs.Ops == 0 {
+		t.Fatal("no composed ops recorded")
+	}
+	if zeroCapacity {
+		if cs.FastCommits != 0 {
+			t.Errorf("zero-capacity run recorded %d fast commits", cs.FastCommits)
+		}
+		if cs.FallbackCommits == 0 || cs.MCASAttempts == 0 {
+			t.Errorf("zero-capacity run must commit via MultiCAS: %+v", cs)
+		}
+		if cs.Width.Count == 0 {
+			t.Error("no MCAS widths observed")
+		}
+	} else if cs.FastCommits == 0 {
+		t.Errorf("ample-capacity run recorded no fast commits: %+v", cs)
+	}
+}
+
+func TestConservationFastPath(t *testing.T)     { conservation(t, false) }
+func TestConservationPureFallback(t *testing.T) { conservation(t, true) }
