@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c] [-scale 1.0] [-csv]
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a8|e1|e2] [-scale 1.0] [-csv]
+//	         [-policy adaptive|fixed] [-attempts N]
+//
+// -figure also accepts individual ablation (a1..a8) and extension (e1, e2)
+// IDs; -ablations / -extensions run each full set. -policy/-attempts build ONE speculation policy (speculate.Policy)
+// installed on every structure the benchmarks construct, on both substrates:
+// the real runtime (wall-clock ablations A6/A7) and the simulated machine
+// (everything else) run the same attempt/backoff/fallback engine, so one
+// flag steers both.
 //
 // Figures (Liu, Zhou, Spear, SPAA 2015):
 //
@@ -26,15 +34,33 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/speculate"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate")
+	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a8)")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A7; A6 and A7 are wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A8; A6 and A7 are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
+	policy := flag.String("policy", "", "speculation policy for both substrates: adaptive or fixed (empty = per-substrate default)")
+	attempts := flag.Int("attempts", 0, "override every speculation attempt budget (0 = per-structure defaults; implies -policy fixed if unset)")
 	flag.Parse()
+
+	if *policy != "" || *attempts > 0 {
+		var p speculate.Policy
+		switch *policy {
+		case "", "fixed":
+			p = speculate.Fixed(*attempts)
+		case "adaptive":
+			p = speculate.Adaptive()
+			p.Attempts = *attempts
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q (want adaptive or fixed)\n", *policy)
+			os.Exit(2)
+		}
+		bench.SetPolicy(p)
+	}
 
 	runners := map[string]func(float64) bench.Figure{
 		"2a": bench.Fig2a,
@@ -48,7 +74,18 @@ func main() {
 		"5a": bench.Fig5a,
 		"5b": bench.Fig5b,
 		"5c": bench.Fig5c,
+		"a1": bench.AblationMindicatorRetries,
+		"a2": bench.AblationMoundRetries,
+		"a3": bench.AblationBSTBudgets,
+		"a4": bench.AblationCapacity,
+		"a5": bench.AblationSMT,
+		"a6": bench.AblationAdaptivePolicy,
+		"a7": bench.AblationComposedMove,
+		"a8": bench.AblationComposedMoveSim,
+		"e1": func(s float64) bench.Figure { return bench.ExtList(34, s) },
+		"e2": bench.ExtQueue,
 	}
+	// "all" covers the paper figures; ablations run via -ablations or by ID.
 	order := []string{"2a", "2b", "3a", "3b", "3c", "4a", "4b", "4c", "5a", "5b", "5c"}
 
 	var selected []string

@@ -27,7 +27,7 @@ func AblationMindicatorRetries(scale float64) Figure {
 		for _, n := range budgets {
 			n := n
 			tput := measure(threads, w, func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-				mi := simds.NewMindicator(setup, simds.MindPTO, 64).WithAttempts(n)
+				mi := simds.NewMindicator(setup, simds.MindPTO, 64).WithPolicy(simPolicyAttempts(n))
 				return func(t *sim.Thread) {
 					t.Work(opOverhead)
 					mi.Arrive(t, t.ID(), int32(t.Rand()%100000))
@@ -57,7 +57,7 @@ func AblationMoundRetries(scale float64) Figure {
 		for _, n := range budgets {
 			n := n
 			tput := measure(threads, w, func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-				q := simds.NewSimMound(setup, true, false, 15).WithAttempts(n)
+				q := simds.NewSimMound(setup, true, false, 15).WithPolicy(simPolicyAttempts(n))
 				for i := 0; i < pqPrefill; i++ {
 					q.Insert(setup, splitmixRand(uint64(i))%pqRange)
 				}
@@ -94,7 +94,7 @@ func AblationBSTBudgets(scale float64) Figure {
 	for i, c := range combos {
 		c := c
 		tput := measure(8, w, func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-			b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithBudgets(c.a1, c.a2)
+			b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithPolicy(simPolicy()).WithBudgets(c.a1, c.a2)
 			prefillSet(setup, 512, b.Insert)
 			return setOp(0, 512, b.Insert, b.Remove, b.Contains)
 		})
@@ -119,7 +119,7 @@ func AblationCapacity(scale float64) Figure {
 	}
 	build := func(kind simds.BSTKind) buildFunc {
 		return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-			b := simds.NewSimBST(setup, kind, false, m.Config().Threads)
+			b := simds.NewSimBST(setup, kind, false, m.Config().Threads).WithPolicy(simPolicy())
 			prefillSet(setup, 512, b.Insert)
 			return setOp(0, 512, b.Insert, b.Remove, b.Contains)
 		}
@@ -157,7 +157,7 @@ func AblationSMT(scale float64) Figure {
 			cfg := sim.DefaultConfig(n)
 			cfg.SMTFactor = factor
 			tput := measureCfg(cfg, w, func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-				mi := simds.NewMindicator(setup, simds.MindPTO, 64)
+				mi := simds.NewMindicator(setup, simds.MindPTO, 64).WithPolicy(simPolicy())
 				return func(t *sim.Thread) {
 					t.Work(opOverhead)
 					mi.Arrive(t, t.ID(), int32(t.Rand()%100000))
@@ -181,5 +181,6 @@ func Ablations(scale float64) []Figure {
 		AblationSMT(scale),
 		AblationAdaptivePolicy(scale),
 		AblationComposedMove(scale),
+		AblationComposedMoveSim(scale),
 	}
 }

@@ -81,6 +81,32 @@ func TestAblationSMTKnee(t *testing.T) {
 	}
 }
 
+func TestAblationComposedMoveSim(t *testing.T) {
+	f := AblationComposedMoveSim(ablationTestScale)
+	allPositive(t, f)
+	if len(f.Series) != 3 {
+		t.Fatalf("unexpected table shape: %+v", f)
+	}
+	fast := byName(f, "Composed (modeled fast path)")
+	fb := byName(f, "Composed (MultiCAS fallback)")
+	// The modeled machine is deterministic, so the composition claim — the
+	// fast path's gap over the MultiCAS fallback — is pinned here, where
+	// A7's wall-clock version can only eyeball it.
+	for _, threads := range []int{2, 4} {
+		if at(fast, threads) <= at(fb, threads) {
+			t.Errorf("fast path not above MultiCAS fallback at %d threads: %v vs %v",
+				threads, at(fast, threads), at(fb, threads))
+		}
+	}
+	// At 8 threads on the small key range conflicts crush the fast path and
+	// the adaptive policy routes operations to the fallback, so the two arms
+	// converge; the fast path must not fall materially below it.
+	if at(fast, 8) < 0.9*at(fb, 8) {
+		t.Errorf("fast path fell below MultiCAS fallback at 8 threads: %v vs %v",
+			at(fast, 8), at(fb, 8))
+	}
+}
+
 func TestAblationAdaptivePolicy(t *testing.T) {
 	f := AblationAdaptivePolicy(ablationTestScale)
 	allPositive(t, f)

@@ -98,12 +98,12 @@ func measureComposedMove(threads, opsPer int, mode composeMode) float64 {
 			}
 		}
 	default:
-		m := txn.New(0)
+		m := txn.New(0).WithPolicy(realPolicy())
 		if mode == composeFallback {
 			m.Domain().SetCapacity(-1, -1)
 		}
-		src := bst.NewPTOIn(m.Domain(), -1, -1)
-		dst := bst.NewPTOIn(m.Domain(), -1, -1)
+		src := bst.NewPTOIn(m.Domain(), -1, -1).WithPolicy(realPolicy())
+		dst := bst.NewPTOIn(m.Domain(), -1, -1).WithPolicy(realPolicy())
 		for i := 0; i < keyRange/2; i++ {
 			k := int64(splitmixRand(uint64(i)) % keyRange)
 			m.Atomic(func(c *txn.Ctx) { src.TxInsert(c, k) })

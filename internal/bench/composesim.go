@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simds"
+	"repro/internal/simtxn"
+)
+
+// AblationComposedMoveSim (A8) is A7's experiment replayed on the modeled
+// machine: concurrent cross-structure Moves between a simulated BST and a
+// simulated hash table, completed three different ways.
+//
+//   - "Composed (modeled fast path)": each Move commits inside one modeled
+//     prefix transaction spanning both structures (simtxn's fast path).
+//   - "Composed (MultiCAS fallback)": the fast path is disabled, so every
+//     Move runs the capture pass and publishes through the modeled N-word
+//     MultiCAS — the same descriptor-and-helping protocol in simulated
+//     memory, costed in cycles.
+//   - "Two-spinlock locking": each structure guarded by a test-and-set spin
+//     lock in simulated memory, a Move holding both in a fixed global order.
+//
+// Where A7 reports wall-clock numbers that vary run to run, A8 reports
+// deterministic modeled cycles, so the fast-path-over-fallback gap — the
+// paper's acceleration claim lifted to composition — is pinned by a test
+// rather than eyeballed. Both composed arms drive the same speculation
+// engine (speculate.Core through a simspec.Site) as every simds structure,
+// and surface the same telemetry counters under the "simtxn/atomic" site.
+func AblationComposedMoveSim(scale float64) Figure {
+	w := scaled(windowSet, scale)
+	f := Figure{
+		ID:     "Ablation A8",
+		Title:  "Composed cross-structure Move, modeled machine: fast path vs MultiCAS vs locking",
+		YLabel: "ops/ms",
+	}
+	modes := []struct {
+		name string
+		mode composeMode
+	}{
+		{"Composed (modeled fast path)", composeFast},
+		{"Composed (MultiCAS fallback)", composeFallback},
+		{"Two-spinlock locking", composeLocked},
+	}
+	for _, m := range modes {
+		s := Series{Name: m.name}
+		for _, threads := range []int{2, 4, 8} {
+			tput := measure(threads, w, buildComposedMoveSim(m.mode))
+			s.Points = append(s.Points, Point{Threads: threads, Throughput: tput})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// buildComposedMoveSim prefills half the key range into the tree and runs
+// random-direction Moves between tree and hash table. The composed arms keep
+// the closed world the simtxn adapters require: while the machine runs, the
+// two structures are mutated only through the composition layer.
+func buildComposedMoveSim(mode composeMode) buildFunc {
+	const keyRange = 256
+	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
+		if mode == composeLocked {
+			b := simds.NewSimBST(setup, simds.BSTLockfree, false, m.Config().Threads)
+			h := simds.NewSimHash(setup, simds.HashLF, 64, m.Config().Threads)
+			prefillSet(setup, keyRange, b.Insert)
+			// One spin lock per structure, always acquired tree-first
+			// regardless of Move direction, so the baseline is deadlock-free
+			// without an ordering protocol.
+			muB := setup.Alloc(1)
+			muH := setup.Alloc(1)
+			lock := func(t *sim.Thread, a sim.Addr) {
+				for !t.CAS(a, 0, 1) {
+					t.Work(16)
+				}
+			}
+			return func(t *sim.Thread) {
+				t.Work(opOverhead)
+				x := t.Rand()
+				k := x%keyRange + 1
+				lock(t, muB)
+				lock(t, muH)
+				if x>>40&1 == 0 {
+					if !h.Contains(t, k) && b.Remove(t, k) {
+						h.Insert(t, k)
+					}
+				} else {
+					if !b.Contains(t, k) && h.Remove(t, k) {
+						b.Insert(t, k)
+					}
+				}
+				t.Store(muH, 0)
+				t.Store(muB, 0)
+			}
+		}
+		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		if mode == composeFallback {
+			mgr.ForceFallback(true)
+		}
+		b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithPolicy(simPolicy())
+		h := simds.NewSimHash(setup, simds.HashPTO, 64, m.Config().Threads).WithPolicy(simPolicy())
+		h.Stabilize(setup)
+		prefillSet(setup, keyRange, b.Insert)
+		return func(t *sim.Thread) {
+			t.Work(opOverhead)
+			x := t.Rand()
+			k := x%keyRange + 1
+			if x>>40&1 == 0 {
+				simtxn.Move(mgr, t, b, h, k)
+			} else {
+				simtxn.Move(mgr, t, h, b, k)
+			}
+		}
+	}
+}

@@ -39,7 +39,7 @@ func Fig2a(scale float64) Figure {
 	w := scaled(windowMind, scale)
 	mk := func(kind simds.MindKind) buildFunc {
 		return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-			mi := simds.NewMindicator(setup, kind, 64)
+			mi := simds.NewMindicator(setup, kind, 64).WithPolicy(simPolicy())
 			return func(t *sim.Thread) {
 				t.Work(opOverhead)
 				mi.Arrive(t, t.ID(), int32(t.Rand()%100000))
@@ -67,7 +67,7 @@ const pqRange = 1 << 18
 
 func moundBuild(pto, keepFences bool) buildFunc {
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		q := simds.NewSimMound(setup, pto, keepFences, 15)
+		q := simds.NewSimMound(setup, pto, keepFences, 15).WithPolicy(simPolicy())
 		for i := 0; i < pqPrefill; i++ {
 			q.Insert(setup, splitmixRand(uint64(i))%pqRange)
 		}
@@ -85,7 +85,7 @@ func moundBuild(pto, keepFences bool) buildFunc {
 
 func skipqBuild(pto bool) buildFunc {
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		q := simds.NewSimSkipQ(setup, pto, m.Config().Threads)
+		q := simds.NewSimSkipQ(setup, pto, m.Config().Threads).WithPolicy(simPolicy())
 		for i := 0; i < pqPrefill; i++ {
 			q.Push(setup, splitmixRand(uint64(i))%pqRange)
 		}
@@ -155,7 +155,7 @@ func prefillSet(setup *sim.Thread, keyRange uint64, insert func(t *sim.Thread, k
 
 func bstBuild(kind simds.BSTKind, keepFences bool, lookupPct int, keyRange uint64) buildFunc {
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		b := simds.NewSimBST(setup, kind, keepFences, m.Config().Threads)
+		b := simds.NewSimBST(setup, kind, keepFences, m.Config().Threads).WithPolicy(simPolicy())
 		prefillSet(setup, keyRange, b.Insert)
 		return setOp(lookupPct, keyRange, b.Insert, b.Remove, b.Contains)
 	}
@@ -163,7 +163,7 @@ func bstBuild(kind simds.BSTKind, keepFences bool, lookupPct int, keyRange uint6
 
 func skipBuild(pto bool, lookupPct int, keyRange uint64) buildFunc {
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		s := simds.NewSimSkip(setup, pto, m.Config().Threads)
+		s := simds.NewSimSkip(setup, pto, m.Config().Threads).WithPolicy(simPolicy())
 		prefillSet(setup, keyRange, s.Insert)
 		return setOp(lookupPct, keyRange, s.Insert, s.Remove, s.Contains)
 	}
@@ -192,7 +192,7 @@ func Fig3(lookupPct int, scale float64) Figure {
 
 func hashBuild(kind simds.HashKind, lookupPct int, keyRange uint64) buildFunc {
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		h := simds.NewSimHash(setup, kind, 64, m.Config().Threads)
+		h := simds.NewSimHash(setup, kind, 64, m.Config().Threads).WithPolicy(simPolicy())
 		prefillSet(setup, keyRange, h.Insert)
 		h.Stabilize(setup)
 		return setOp(lookupPct, keyRange, h.Insert, h.Remove, h.Contains)

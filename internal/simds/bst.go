@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the Ellen et al. nonblocking BST (§3.2, §4.4, Figures 3
 // and 5(a,c)) on the simulated machine. The baseline is the flag/help
@@ -28,10 +32,11 @@ const (
 	BSTPTO12
 )
 
-// Paper-tuned attempt budgets (§4.4).
+// Paper-tuned attempt budgets (§4.4): PTO1 ×2, PTO2 ×16. These are the
+// level defaults installed by NewSimBST; WithBudgets tunes them.
 const (
-	BSTPTO1Attempts = 2
-	BSTPTO2Attempts = 16
+	bstPTO1Budget = 2
+	bstPTO2Budget = 16
 )
 
 // Node layout: +0 key, +1 flags (bit 0 = leaf), +2 update, +3 left,
@@ -79,8 +84,11 @@ const (
 type SimBST struct {
 	kind       BSTKind
 	keepFences bool
-	pto1, pto2 int // attempt budgets
-	th         throttle
+	pto1, pto2 int // level attempt budgets
+	pol        speculate.Policy
+	conSite    *simspec.Site
+	insSite    *simspec.Site
+	rmSite     *simspec.Site
 	root       sim.Addr
 	dummy      sim.Addr // static dummy descriptor for transactional removals
 	epoch      *Epoch
@@ -91,7 +99,7 @@ type SimBST struct {
 // NewSimBST builds an empty tree using setup thread t.
 func NewSimBST(t *sim.Thread, kind BSTKind, keepFences bool, threads int) *SimBST {
 	b := &SimBST{kind: kind, keepFences: keepFences, epoch: NewEpoch(t, threads),
-		pto1: BSTPTO1Attempts, pto2: BSTPTO2Attempts, nonce: make([]uint64, 16)}
+		pto1: bstPTO1Budget, pto2: bstPTO2Budget, nonce: make([]uint64, 16)}
 	for i := 0; i < threads; i++ {
 		b.retirers = append(b.retirers, NewRetirer(b.epoch))
 	}
@@ -99,7 +107,7 @@ func NewSimBST(t *sim.Thread, kind BSTKind, keepFences bool, threads int) *SimBS
 	l1 := b.newLeaf(t, bstInf1, false)
 	l2 := b.newLeaf(t, bstInf2, false)
 	b.root = b.newInternal(t, bstInf2, l1, l2, false)
-	return b
+	return b.WithPolicy(simspec.DefaultPolicy())
 }
 
 // Node constructors. The paper's baseline is a transliteration of Java code
@@ -108,7 +116,7 @@ func NewSimBST(t *sim.Thread, kind BSTKind, keepFences bool, threads int) *SimBS
 // fenced=true charges a fence per atomic field store. Inside an optimized
 // prefix transaction those become relaxed accesses (fenced=false), one of
 // the §4.6 latency sources.
-// WithBudgets overrides the PTO1/PTO2 attempt budgets (defaults 2 and 16,
+// WithBudgets overrides the PTO1/PTO2 level budgets (defaults 2 and 16,
 // the paper's §4.4 tuning). For the budget ablation; set before use.
 func (b *SimBST) WithBudgets(a1, a2 int) *SimBST {
 	if a1 > 0 {
@@ -117,8 +125,29 @@ func (b *SimBST) WithBudgets(a1, a2 int) *SimBST {
 	if a2 > 0 {
 		b.pto2 = a2
 	}
+	return b.WithPolicy(b.pol)
+}
+
+// WithPolicy installs the speculation policy for the tree's three sites.
+// Each site composes two levels, outermost first: pto1 (whole-operation
+// transactions; an explicit abort there means the operation would have to
+// help, which a retry will not fix, so the level does not retry on
+// explicit) and pto2 (update-phase transactions; its explicit aborts are
+// failed validations of a racing window, transient, so the level retries).
+// The variant kind decides which levels an operation actually enters. Set
+// before use.
+func (b *SimBST) WithPolicy(p speculate.Policy) *SimBST {
+	b.pol = p
+	lv1 := speculate.Level{Name: "pto1", Attempts: b.pto1}
+	lv2 := speculate.Level{Name: "pto2", Attempts: b.pto2, RetryOnExplicit: true}
+	b.conSite = simspec.New("simbst/contains", p, lv1, lv2)
+	b.insSite = simspec.New("simbst/insert", p, lv1, lv2)
+	b.rmSite = simspec.New("simbst/remove", p, lv1, lv2)
 	return b
 }
+
+func (b *SimBST) tryPTO1() bool { return b.kind == BSTPTO1 || b.kind == BSTPTO12 }
+func (b *SimBST) tryPTO2() bool { return b.kind == BSTPTO2 || b.kind == BSTPTO12 }
 
 func (b *SimBST) newLeaf(t *sim.Thread, key uint64, fenced bool) sim.Addr {
 	n := t.Alloc(bstNodeWords)
@@ -211,27 +240,19 @@ retry:
 
 // Contains reports membership.
 func (b *SimBST) Contains(t *sim.Thread, key uint64) bool {
-	if b.kind == BSTPTO1 || b.kind == BSTPTO12 {
-		for a := 0; b.th.allowed(t) && a < b.pto1; a++ {
+	if b.tryPTO1() {
+		r := b.conSite.Begin(t)
+		for r.Next(0) {
 			found := false
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				_, _, l, _, _ := b.searchTx(t, key)
 				found = t.Load(l+bstKey) == key
 			})
 			if st == sim.OK {
-				b.th.report(t, true)
 				return found
 			}
-			if st == sim.AbortCapacity {
-				b.th.report(t, false)
-				break
-			}
-			if a < b.pto1-1 {
-				retryBackoff(t, a)
-			} else {
-				b.th.report(t, false)
-			}
 		}
+		r.Fallback()
 	}
 	b.epoch.Enter(t)
 	defer b.epoch.Exit(t)
@@ -272,11 +293,14 @@ func (b *SimBST) casChild(t *sim.Thread, parent, old, new sim.Addr) {
 
 // Insert adds key, reporting false if present.
 func (b *SimBST) Insert(t *sim.Thread, key uint64) bool {
-	if (b.kind == BSTPTO1 || b.kind == BSTPTO12) && b.th.allowed(t) {
-		committed := false
-		for a := 0; a < b.pto1; a++ {
+	if b.kind == BSTLockfree {
+		return b.insertLF(t, key)
+	}
+	r := b.insSite.Begin(t)
+	if b.tryPTO1() {
+		for r.Next(0) {
 			var result bool
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				_, p, l, pupd, _ := b.searchTx(t, key)
 				if t.Load(l+bstKey) == key {
 					result = false
@@ -291,26 +315,13 @@ func (b *SimBST) Insert(t *sim.Thread, key uint64) bool {
 				result = true
 			})
 			if st == sim.OK {
-				committed = true
-				b.th.report(t, true)
 				return result
 			}
-			if st == sim.AbortExplicit || st == sim.AbortCapacity {
-				// Explicit: contention a retry will not fix (§2.4).
-				// Capacity: deterministic — the footprint will not shrink.
-				break
-			}
-			if a < b.pto1-1 {
-				retryBackoff(t, a)
-			}
-		}
-		if !committed {
-			b.th.report(t, false)
 		}
 	}
-	if b.kind == BSTPTO2 || b.kind == BSTPTO12 {
+	if b.tryPTO2() {
 		b.epoch.Enter(t)
-		for a := 0; a < b.pto2; a++ {
+		for r.Next(1) {
 			_, p, l, pupd, _ := b.search(t, key)
 			lkey := t.Load(l + bstKey)
 			if lkey == key {
@@ -318,10 +329,11 @@ func (b *SimBST) Insert(t *sim.Thread, key uint64) bool {
 				return false
 			}
 			if bstState(pupd) != bstClean {
+				r.Skip() // a racing update holds the window: not worth a tx
 				continue
 			}
 			ni := b.buildInsert(t, key, lkey, true)
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				if t.Load(p+bstUpdate) != pupd {
 					t.TxAbort(1)
 				}
@@ -341,12 +353,10 @@ func (b *SimBST) Insert(t *sim.Thread, key uint64) bool {
 				b.epoch.Exit(t)
 				return true
 			}
-			if a < b.pto2-1 {
-				retryBackoff(t, a%4)
-			}
 		}
 		b.epoch.Exit(t)
 	}
+	r.Fallback()
 	return b.insertLF(t, key)
 }
 
@@ -380,12 +390,15 @@ func (b *SimBST) insertLF(t *sim.Thread, key uint64) bool {
 
 // Remove deletes key, reporting false if absent.
 func (b *SimBST) Remove(t *sim.Thread, key uint64) bool {
-	if (b.kind == BSTPTO1 || b.kind == BSTPTO12) && b.th.allowed(t) {
-		committed := false
-		for a := 0; a < b.pto1; a++ {
+	if b.kind == BSTLockfree {
+		return b.removeLF(t, key)
+	}
+	r := b.rmSite.Begin(t)
+	if b.tryPTO1() {
+		for r.Next(0) {
 			var result bool
 			var vp, vl sim.Addr
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				gp, p, l, pupd, gpupd := b.searchTx(t, key)
 				if t.Load(l+bstKey) != key {
 					result = false
@@ -399,37 +412,27 @@ func (b *SimBST) Remove(t *sim.Thread, key uint64) bool {
 				result = true
 			})
 			if st == sim.OK {
-				committed = true
-				b.th.report(t, true)
 				if result {
 					b.retirers[t.ID()].Retire(t, vp, bstNodeWords)
 					b.retirers[t.ID()].Retire(t, vl, bstNodeWords)
 				}
 				return result
 			}
-			if st == sim.AbortExplicit || st == sim.AbortCapacity {
-				break
-			}
-			if a < b.pto1-1 {
-				retryBackoff(t, a)
-			}
-		}
-		if !committed {
-			b.th.report(t, false)
 		}
 	}
-	if b.kind == BSTPTO2 || b.kind == BSTPTO12 {
+	if b.tryPTO2() {
 		b.epoch.Enter(t)
-		for a := 0; a < b.pto2; a++ {
+		for r.Next(1) {
 			gp, p, l, pupd, gpupd := b.search(t, key)
 			if t.Load(l+bstKey) != key {
 				b.epoch.Exit(t)
 				return false
 			}
 			if bstState(gpupd) != bstClean || bstState(pupd) != bstClean {
+				r.Skip() // a racing update holds the window: not worth a tx
 				continue
 			}
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				if t.Load(gp+bstUpdate) != gpupd || t.Load(p+bstUpdate) != pupd {
 					t.TxAbort(1)
 				}
@@ -459,12 +462,10 @@ func (b *SimBST) Remove(t *sim.Thread, key uint64) bool {
 				b.epoch.Exit(t)
 				return true
 			}
-			if a < b.pto2-1 {
-				retryBackoff(t, a%4)
-			}
 		}
 		b.epoch.Exit(t)
 	}
+	r.Fallback()
 	return b.removeLF(t, key)
 }
 

@@ -11,72 +11,16 @@
 // words, explicit fences, explicit allocation. Protocol structure mirrors
 // the real-Go implementations; where a protocol corner is simplified the
 // package documentation of the structure says so.
+// Retry policy: every PTO-accelerated operation in this package drives the
+// shared speculation engine through a simspec.Site instead of a private
+// attempt loop — one policy implementation (attempt budgets, jittered
+// conflict backoff, per-thread adaptive disabling, telemetry) across the
+// simulator and the real runtime. Structure constructors install
+// simspec.DefaultPolicy() with their historical budgets as level defaults;
+// WithPolicy swaps in any speculate.Policy.
 package simds
 
 import "repro/internal/sim"
-
-// retryBackoff charges an exponentially growing pause after a failed
-// transaction attempt, desynchronizing contending retries as real PTO retry
-// loops do (cf. the retry-tuning guidance the paper cites from Yoo et al.).
-func retryBackoff(t *sim.Thread, attempt int) {
-	t.Work((128 + t.Rand()%384) << uint(attempt))
-}
-
-// retryBackoffShort is the variant for small transactions (a handful of
-// events, like the Mound's DCAS): the pause is scaled to the transaction
-// length, since a pause many times longer than the work it protects costs
-// more than the aborts it prevents.
-func retryBackoffShort(t *sim.Thread, attempt int) {
-	t.Work((24 + t.Rand()%48) << uint(attempt))
-}
-
-// throttle is per-hardware-thread adaptive speculation control, the other
-// half of Yoo et al.'s retry guidance: when a thread's transactions abort
-// persistently (sustained contention), speculation is switched off for a
-// while and the lock-free path runs directly, avoiding a fixed abort tax on
-// every operation. Each thread owns its slots, so no synchronization is
-// needed.
-type throttle struct {
-	fail [16]int
-	off  [16]int
-}
-
-// A failure adds throttleFailWeight to the thread's score and a success
-// subtracts one; crossing throttleScoreLimit switches speculation off for
-// throttleOffWindow operations. The asymmetry makes the throttle engage
-// whenever the failure fraction stays above ~1/(1+weight), not only on
-// unbroken failure streaks.
-const (
-	throttleFailWeight = 4
-	throttleScoreLimit = 12
-	throttleOffWindow  = 160
-)
-
-// allowed reports whether thread t should attempt speculation now.
-func (th *throttle) allowed(t *sim.Thread) bool {
-	id := t.ID()
-	if th.off[id] > 0 {
-		th.off[id]--
-		return false
-	}
-	return true
-}
-
-// report records whether the operation's speculation succeeded.
-func (th *throttle) report(t *sim.Thread, committed bool) {
-	id := t.ID()
-	if committed {
-		if th.fail[id] > 0 {
-			th.fail[id]--
-		}
-		return
-	}
-	th.fail[id] += throttleFailWeight
-	if th.fail[id] >= throttleScoreLimit {
-		th.off[id] = throttleOffWindow
-		th.fail[id] = 0
-	}
-}
 
 // Epoch models the cost surface of epoch-based reclamation exactly as the
 // paper charges it: every protected operation publishes its epoch with a

@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the dynamic-sized freezable-set hash table (§3.3, §4.5,
 // Figure 4) on the simulated machine.
@@ -33,9 +37,6 @@ const (
 	HashInplace
 )
 
-// HashAttempts is the transaction retry budget for hash table operations.
-const HashAttempts = 3
-
 // hashBucketThreshold triggers a doubling when a bucket exceeds this size.
 // It sits well above the expected load so the balls-in-bins tail does not
 // cause runaway doubling.
@@ -67,6 +68,8 @@ type SimHash struct {
 	headPtr  sim.Addr // word holding the current hnode address
 	epoch    *Epoch
 	retirers []*Retirer
+	updSite  *simspec.Site
+	lookSite *simspec.Site
 }
 
 // NewSimHash builds an empty table with the given initial bucket count
@@ -85,6 +88,18 @@ func NewSimHash(t *sim.Thread, kind HashKind, buckets, threads int) *SimHash {
 		t.Store(hn+hnBuckets+sim.Addr(i), hbPack(n, 1))
 	}
 	t.Store(h.headPtr, uint64(hn))
+	return h.WithPolicy(simspec.DefaultPolicy())
+}
+
+// WithPolicy installs the speculation policy for the table's two sites
+// (3 attempts per level by default, the paper-era tuning). Every explicit
+// abort here — uninitialized bucket, frozen bucket, in-place overflow — is
+// transient slow-path state another thread resolves quickly, so the level
+// retries on explicit. Set before use.
+func (h *SimHash) WithPolicy(p speculate.Policy) *SimHash {
+	lv := speculate.Level{Name: "pto", Attempts: 3, RetryOnExplicit: true}
+	h.updSite = simspec.New("simhash/update", p, lv)
+	h.lookSite = simspec.New("simhash/lookup", p, lv)
 	return h
 }
 
@@ -228,17 +243,16 @@ func hashContains(vals []uint64, key uint64) bool {
 // speculative path and fallback.
 func (h *SimHash) apply(t *sim.Thread, key uint64, add bool) bool {
 	if h.kind != HashLF {
-		for a := 0; a < HashAttempts; a++ {
+		r := h.updSite.Begin(t)
+		for r.Next(0) {
 			var result bool
-			st := t.Atomic(func() { result = h.applyTx(t, key, add) })
+			st := r.Try(func() { result = h.applyTx(t, key, add) })
 			if st == sim.OK {
 				h.maybeGrow(t, key, add, result)
 				return result
 			}
-			if a < HashAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
+		r.Fallback()
 	}
 	return h.applyLF(t, key, add)
 }
@@ -383,9 +397,10 @@ func (h *SimHash) Remove(t *sim.Thread, key uint64) bool { return h.apply(t, key
 // copy-on-write variants, lock-free (double-checked) for the in-place one.
 func (h *SimHash) Contains(t *sim.Thread, key uint64) bool {
 	if h.kind != HashLF {
-		for a := 0; a < HashAttempts; a++ {
+		r := h.lookSite.Begin(t)
+		for r.Next(0) {
 			var result bool
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				hn := sim.Addr(t.Load(h.headPtr))
 				size := t.Load(hn + hnSize)
 				i := hashIndex(key, size)
@@ -415,10 +430,8 @@ func (h *SimHash) Contains(t *sim.Thread, key uint64) bool {
 			if st == sim.OK {
 				return result
 			}
-			if a < HashAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
+		r.Fallback()
 	}
 	h.epoch.Enter(t)
 	defer h.epoch.Exit(t)

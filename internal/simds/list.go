@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts Harris's lock-free sorted linked list on the simulated
 // machine, as an extension experiment (E1): the paper's §5 argues PTO
@@ -23,7 +27,9 @@ type SimList struct {
 	tail     sim.Addr
 	hpSlots  []sim.Addr // two hazard slots (pred, curr) per thread, one line each
 	retirers []listRetirer
-	th       throttle
+	conSite  *simspec.Site
+	insSite  *simspec.Site
+	rmSite   *simspec.Site
 }
 
 type listRetirer struct {
@@ -32,9 +38,6 @@ type listRetirer struct {
 
 // listNode layout: +0 key, +1 next (mark in bit 0).
 const listNodeWords = 2
-
-// ListAttempts is the transaction retry budget for the list PTO variant.
-const ListAttempts = 3
 
 const listTailKeySim = ^uint64(0)
 
@@ -50,6 +53,25 @@ func NewSimList(t *sim.Thread, pto bool, threads int) *SimList {
 	l.head = t.Alloc(listNodeWords)
 	t.Store(l.head, 0)
 	t.Store(l.head+1, uint64(l.tail))
+	return l.WithPolicy(listPolicy())
+}
+
+// listPolicy is the list's default: the shared simulator policy plus
+// fail-fast — a whole-operation traversal that overflows capacity will
+// overflow again, so the historical loop broke straight to the fallback.
+func listPolicy() speculate.Policy {
+	p := simspec.DefaultPolicy()
+	p.FailFast = true
+	return p
+}
+
+// WithPolicy installs the speculation policy for the list's three sites
+// (3 attempts per level by default, the paper-era tuning). Set before use.
+func (l *SimList) WithPolicy(p speculate.Policy) *SimList {
+	lv := speculate.Level{Name: "pto", Attempts: 3}
+	l.conSite = simspec.New("simlist/contains", p, lv)
+	l.insSite = simspec.New("simlist/insert", p, lv)
+	l.rmSite = simspec.New("simlist/remove", p, lv)
 	return l
 }
 
@@ -143,29 +165,19 @@ func (l *SimList) searchTx(t *sim.Thread, key uint64) (pred, curr sim.Addr, pred
 
 // Contains reports membership.
 func (l *SimList) Contains(t *sim.Thread, key uint64) bool {
-	if l.pto && l.th.allowed(t) {
-		done := false
-		found := false
-		for a := 0; a < ListAttempts; a++ {
-			st := t.Atomic(func() {
+	if l.pto {
+		r := l.conSite.Begin(t)
+		for r.Next(0) {
+			var found bool
+			st := r.Try(func() {
 				_, curr, _ := l.searchTx(t, key)
 				found = t.Load(curr) == key && t.Load(curr+1)&1 == 0
 			})
 			if st == sim.OK {
-				done = true
-				break
-			}
-			if st == sim.AbortCapacity {
-				break
-			}
-			if a < ListAttempts-1 {
-				retryBackoff(t, a)
+				return found
 			}
 		}
-		l.th.report(t, done)
-		if done {
-			return found
-		}
+		r.Fallback()
 	}
 	_, curr, _ := l.search(t, key)
 	found := t.Load(curr) == key && t.Load(curr+1)&1 == 0
@@ -175,10 +187,11 @@ func (l *SimList) Contains(t *sim.Thread, key uint64) bool {
 
 // Insert adds key, reporting false if present.
 func (l *SimList) Insert(t *sim.Thread, key uint64) bool {
-	if l.pto && l.th.allowed(t) {
-		for a := 0; a < ListAttempts; a++ {
+	if l.pto {
+		r := l.insSite.Begin(t)
+		for r.Next(0) {
 			var result bool
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				pred, curr, _ := l.searchTx(t, key)
 				if t.Load(curr) == key {
 					result = false
@@ -191,17 +204,10 @@ func (l *SimList) Insert(t *sim.Thread, key uint64) bool {
 				result = true
 			})
 			if st == sim.OK {
-				l.th.report(t, true)
 				return result
 			}
-			if st == sim.AbortCapacity {
-				break
-			}
-			if a < ListAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
-		l.th.report(t, false)
+		r.Fallback()
 	}
 	for {
 		pred, curr, pn := l.search(t, key)
@@ -225,11 +231,12 @@ func (l *SimList) Insert(t *sim.Thread, key uint64) bool {
 // marks and unlinks in one step; the fallback is the original two-phase
 // protocol.
 func (l *SimList) Remove(t *sim.Thread, key uint64) bool {
-	if l.pto && l.th.allowed(t) {
-		for a := 0; a < ListAttempts; a++ {
+	if l.pto {
+		r := l.rmSite.Begin(t)
+		for r.Next(0) {
 			var result bool
 			var victim sim.Addr
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				pred, curr, _ := l.searchTx(t, key)
 				if t.Load(curr) != key {
 					result = false
@@ -246,20 +253,13 @@ func (l *SimList) Remove(t *sim.Thread, key uint64) bool {
 				result = true
 			})
 			if st == sim.OK {
-				l.th.report(t, true)
 				if result {
 					l.retire(t, victim)
 				}
 				return result
 			}
-			if st == sim.AbortCapacity {
-				break
-			}
-			if a < ListAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
-		l.th.report(t, false)
+		r.Fallback()
 	}
 	for {
 		pred, curr, pn := l.search(t, key)

@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the Mindicator (§3.1, Figure 2(a)) on the simulated
 // machine: the lock-free baseline with its two-pass versioned-CAS protocol,
@@ -24,23 +28,20 @@ const (
 
 const mindInf = 0xFFFFFFFF
 
-// MindAttempts is the paper's tuned retry threshold for the Mindicator.
-const MindAttempts = 3
-
 // Mindicator is the simulated quiescence tree. Each node occupies its own
 // cache line; the node word packs (version<<32 | encoded value).
 type Mindicator struct {
-	kind     MindKind
-	leaves   int
-	base     sim.Addr
-	lock     sim.Addr // TLE only
-	attempts int
+	kind   MindKind
+	leaves int
+	base   sim.Addr
+	lock   sim.Addr // TLE only
+	site   *simspec.Site
 }
 
 // NewMindicator builds a Mindicator with the given leaf count (power of
 // two) using setup thread t.
 func NewMindicator(t *sim.Thread, kind MindKind, leaves int) *Mindicator {
-	m := &Mindicator{kind: kind, leaves: leaves, attempts: MindAttempts}
+	m := &Mindicator{kind: kind, leaves: leaves}
 	n := 2*leaves - 1
 	m.base = t.Alloc(n * sim.LineWords)
 	for i := 0; i < n; i++ {
@@ -49,16 +50,36 @@ func NewMindicator(t *sim.Thread, kind MindKind, leaves int) *Mindicator {
 	if kind == MindTLE {
 		m.lock = t.Alloc(1)
 	}
+	return m.WithPolicy(simspec.DefaultPolicy())
+}
+
+// WithPolicy installs the speculation policy for the update site. The
+// level budget of 3 attempts is the paper's tuning; Policy.Attempts
+// overrides it when positive. Set before use.
+func (m *Mindicator) WithPolicy(p speculate.Policy) *Mindicator {
+	name := "pto"
+	if m.kind == MindTLE {
+		name = "tle"
+	}
+	// Both an eliding transaction's lock-held abort (explicit) and a data
+	// conflict are transient here, so the level retries on explicit.
+	m.site = simspec.New("simmind/update", p,
+		speculate.Level{Name: name, Attempts: 3, RetryOnExplicit: true})
 	return m
 }
 
 // WithAttempts overrides the transaction retry budget (default 3, the
 // paper's tuning). For the retry-threshold ablation; set before use.
+//
+// Deprecated: WithAttempts is a shim over WithPolicy; use WithPolicy with
+// Policy.Attempts set instead.
 func (m *Mindicator) WithAttempts(n int) *Mindicator {
-	if n > 0 {
-		m.attempts = n
+	if n <= 0 {
+		return m
 	}
-	return m
+	p := simspec.DefaultPolicy()
+	p.Attempts = n
+	return m.WithPolicy(p)
 }
 
 func (m *Mindicator) node(i int) sim.Addr { return m.base + sim.Addr(i*sim.LineWords) }
@@ -87,18 +108,21 @@ func (m *Mindicator) update(t *sim.Thread, slot int, val uint64) {
 	case MindLockfree:
 		m.updateLF(t, slot, val)
 	case MindPTO:
-		for a := 0; a < m.attempts; a++ {
-			if t.Atomic(func() { m.updateTx(t, slot, val) }) == sim.OK {
+		r := m.site.Begin(t)
+		for r.Next(0) {
+			if r.Try(func() { m.updateTx(t, slot, val) }) == sim.OK {
 				return
 			}
-			// Single-level PTO: back off even before the fallback, which
-			// contends on the same lines as the transaction did.
-			retryBackoff(t, a)
 		}
+		// Single-level PTO: back off even before the fallback, which
+		// contends on the same lines as the transaction did.
+		r.DrainBackoff()
+		r.Fallback()
 		m.updateLF(t, slot, val)
 	case MindTLE:
-		for a := 0; a < m.attempts; a++ {
-			st := t.Atomic(func() {
+		r := m.site.Begin(t)
+		for r.Next(0) {
+			st := r.Try(func() {
 				if t.Load(m.lock) != 0 {
 					t.TxAbort(1)
 				}
@@ -107,10 +131,8 @@ func (m *Mindicator) update(t *sim.Thread, slot int, val uint64) {
 			if st == sim.OK {
 				return
 			}
-			if a < m.attempts-1 {
-				retryBackoff(t, a)
-			}
 		}
+		r.Fallback()
 		for !t.CAS(m.lock, 0, 1) {
 		}
 		m.updateSeq(t, slot, val)

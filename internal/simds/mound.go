@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the Mound (§3.1, Figures 2(b) and 5(b)) on the simulated
 // machine. The algorithm matches internal/mound: a static tree of sorted
@@ -61,36 +65,48 @@ const (
 type SimMound struct {
 	pto        bool
 	keepFences bool
-	attempts   int
 	maxDepth   int
 	size       int
 	base       sim.Addr
 	depth      sim.Addr // shared occupied-depth word
-	th         throttle
+	site       *simspec.Site
 }
-
-// MoundAttempts is the paper's DCAS retry budget.
-const MoundAttempts = 4
 
 // NewSimMound builds a mound with levels 0..maxDepth using setup thread t.
 // pto selects the transactional DCAS; keepFences retains the original's
 // fences inside transactions (Figure 5(b)).
 func NewSimMound(t *sim.Thread, pto, keepFences bool, maxDepth int) *SimMound {
-	m := &SimMound{pto: pto, keepFences: keepFences, attempts: MoundAttempts,
+	m := &SimMound{pto: pto, keepFences: keepFences,
 		maxDepth: maxDepth, size: 1 << (maxDepth + 1)}
 	m.base = t.Alloc(m.size * sim.LineWords)
 	m.depth = t.Alloc(1)
 	t.Store(m.depth, 2)
+	return m.WithPolicy(simspec.DefaultPolicy())
+}
+
+// WithPolicy installs the speculation policy for the DCAS site (4 attempts
+// by default, the paper's tuning; Policy.Attempts overrides when positive).
+// A mid-flight software DCAS raises an explicit abort that clears quickly,
+// so the level retries on explicit. Set before use.
+func (m *SimMound) WithPolicy(p speculate.Policy) *SimMound {
+	m.site = simspec.New("simmound/dcas", p,
+		speculate.Level{Name: "pto", Attempts: 4, RetryOnExplicit: true}).
+		WithBackoffUnit(simspec.ShortBackoffCycles)
 	return m
 }
 
 // WithAttempts overrides the DCAS transaction retry budget (default 4, the
 // paper's tuning). For the retry-threshold ablation; set before use.
+//
+// Deprecated: WithAttempts is a shim over WithPolicy; use WithPolicy with
+// Policy.Attempts set instead.
 func (m *SimMound) WithAttempts(n int) *SimMound {
-	if n > 0 {
-		m.attempts = n
+	if n <= 0 {
+		return m
 	}
-	return m
+	p := simspec.DefaultPolicy()
+	p.Attempts = n
+	return m.WithPolicy(p)
 }
 
 func (m *SimMound) node(id int) sim.Addr { return m.base + sim.Addr(id*sim.LineWords) }
@@ -134,10 +150,11 @@ func (m *SimMound) cas(t *sim.Thread, id int, old, new uint64) bool {
 // dcas performs the two-word compare-and-swap, transactionally first in the
 // PTO variant.
 func (m *SimMound) dcas(t *sim.Thread, id1 int, o1, n1 uint64, id2 int, o2, n2 uint64) bool {
-	if m.pto && m.th.allowed(t) {
-		for a := 0; a < m.attempts; a++ {
+	if m.pto {
+		r := m.site.Begin(t)
+		for r.Next(0) {
 			var result bool
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				w1 := t.Load(m.node(id1))
 				w2 := t.Load(m.node(id2))
 				if mwDesc(w1) || mwDesc(w2) {
@@ -167,14 +184,10 @@ func (m *SimMound) dcas(t *sim.Thread, id1 int, o1, n1 uint64, id2 int, o2, n2 u
 				result = true
 			})
 			if st == sim.OK {
-				m.th.report(t, true)
 				return result
 			}
-			if a < m.attempts-1 {
-				retryBackoffShort(t, a)
-			}
 		}
-		m.th.report(t, false)
+		r.Fallback()
 	}
 	return m.dcasSoft(t, id1, o1, n1, id2, o2, n2)
 }

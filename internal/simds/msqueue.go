@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the Michael–Scott queue on the simulated machine, as an
 // extension experiment (E2): the paper's §2.3 names the MS queue as the
@@ -15,14 +19,12 @@ import "repro/internal/sim"
 
 // SimMSQueue is the simulated FIFO queue. Node layout: +0 val, +1 next.
 type SimMSQueue struct {
-	pto  bool
-	head sim.Addr // line holding the head pointer
-	tail sim.Addr // line holding the tail pointer
-	th   throttle
+	pto     bool
+	head    sim.Addr // line holding the head pointer
+	tail    sim.Addr // line holding the tail pointer
+	enqSite *simspec.Site
+	deqSite *simspec.Site
 }
-
-// MSQAttempts is the transaction retry budget for the queue PTO variant.
-const MSQAttempts = 3
 
 // NewSimMSQueue builds an empty queue using setup thread t.
 func NewSimMSQueue(t *sim.Thread, pto bool) *SimMSQueue {
@@ -32,6 +34,29 @@ func NewSimMSQueue(t *sim.Thread, pto bool) *SimMSQueue {
 	q.tail = t.Alloc(1)
 	t.Store(q.head, uint64(dummy))
 	t.Store(q.tail, uint64(dummy))
+	return q.WithPolicy(queuePolicy())
+}
+
+// queuePolicy is the queue's default: the shared simulator policy plus
+// fail-fast, because its explicit abort (a lagging tail) is best resolved
+// by the fallback's helping rather than by retrying, exactly as the
+// historical break-on-explicit loop behaved.
+func queuePolicy() speculate.Policy {
+	p := simspec.DefaultPolicy()
+	p.FailFast = true
+	return p
+}
+
+// WithPolicy installs the speculation policy for both queue sites. The
+// level budget of 3 attempts is the paper-era tuning; Policy.Attempts
+// overrides it when positive. Set before use.
+func (q *SimMSQueue) WithPolicy(p speculate.Policy) *SimMSQueue {
+	q.enqSite = simspec.New("simmsq/enqueue", p,
+		speculate.Level{Name: "pto", Attempts: 3}).
+		WithBackoffUnit(simspec.ShortBackoffCycles)
+	q.deqSite = simspec.New("simmsq/dequeue", p,
+		speculate.Level{Name: "pto", Attempts: 3}).
+		WithBackoffUnit(simspec.ShortBackoffCycles)
 	return q
 }
 
@@ -40,9 +65,10 @@ func (q *SimMSQueue) Enqueue(t *sim.Thread, v uint64) {
 	n := t.AllocLocal(2)
 	t.Store(n, v)
 	t.Store(n+1, 0)
-	if q.pto && q.th.allowed(t) {
-		for a := 0; a < MSQAttempts; a++ {
-			st := t.Atomic(func() {
+	if q.pto {
+		r := q.enqSite.Begin(t)
+		for r.Next(0) {
+			st := r.Try(func() {
 				tail := sim.Addr(t.Load(q.tail))
 				if t.Load(tail+1) != 0 {
 					t.TxAbort(1) // lagging tail from a fallback enqueue
@@ -51,17 +77,10 @@ func (q *SimMSQueue) Enqueue(t *sim.Thread, v uint64) {
 				t.Store(q.tail, uint64(n))
 			})
 			if st == sim.OK {
-				q.th.report(t, true)
 				return
 			}
-			if st == sim.AbortExplicit || st == sim.AbortCapacity {
-				break
-			}
-			if a < MSQAttempts-1 {
-				retryBackoffShort(t, a)
-			}
 		}
-		q.th.report(t, false)
+		r.Fallback()
 	}
 	for {
 		tail := sim.Addr(t.Load(q.tail))
@@ -82,11 +101,12 @@ func (q *SimMSQueue) Enqueue(t *sim.Thread, v uint64) {
 
 // Dequeue removes and returns the oldest value, reporting false when empty.
 func (q *SimMSQueue) Dequeue(t *sim.Thread) (uint64, bool) {
-	if q.pto && q.th.allowed(t) {
-		for a := 0; a < MSQAttempts; a++ {
+	if q.pto {
+		r := q.deqSite.Begin(t)
+		for r.Next(0) {
 			var v uint64
 			var ok bool
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				head := sim.Addr(t.Load(q.head))
 				tail := sim.Addr(t.Load(q.tail))
 				next := t.Load(head + 1)
@@ -102,17 +122,10 @@ func (q *SimMSQueue) Dequeue(t *sim.Thread) (uint64, bool) {
 				ok = true
 			})
 			if st == sim.OK {
-				q.th.report(t, true)
 				return v, ok
 			}
-			if st == sim.AbortExplicit || st == sim.AbortCapacity {
-				break
-			}
-			if a < MSQAttempts-1 {
-				retryBackoffShort(t, a)
-			}
 		}
-		q.th.report(t, false)
+		r.Fallback()
 	}
 	for {
 		head := sim.Addr(t.Load(q.head))

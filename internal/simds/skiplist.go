@@ -1,6 +1,10 @@
 package simds
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
 
 // This file hosts the lock-free skiplist set and the Lotan–Shavit priority
 // queue (§3.1, §4.3, Figures 2(b) and 3) on the simulated machine. Next
@@ -18,9 +22,6 @@ import "repro/internal/sim"
 // SkipMaxLevel bounds tower height for the simulated skiplist.
 const SkipMaxLevel = 14
 
-// SkipAttempts is the transaction retry budget for skiplist PTO operations.
-const SkipAttempts = 3
-
 const skipTailKey = ^uint64(0)
 
 // Node layout: +0 key, +1 top level, +2+i next pointer for level i
@@ -33,7 +34,9 @@ type SimSkip struct {
 	head     sim.Addr
 	epoch    *Epoch
 	retirers []*Retirer
-	th       throttle
+	insSite  *simspec.Site
+	rmSite   *simspec.Site
+	popSite  *simspec.Site // used by SimSkipQ.Pop
 }
 
 // NewSimSkip builds an empty skiplist using setup thread t for a machine
@@ -52,6 +55,20 @@ func NewSimSkip(t *sim.Thread, pto bool, threads int) *SimSkip {
 	for l := 0; l < SkipMaxLevel; l++ {
 		t.Store(s.head+2+sim.Addr(l), uint64(tail))
 	}
+	return s.WithPolicy(simspec.DefaultPolicy())
+}
+
+// WithPolicy installs the speculation policy for the skiplist's sites. The
+// insert/remove budget of 3 attempts is the paper-era tuning, with explicit
+// aborts (a moved validation window) retried — the window is re-searched
+// before each attempt, so retrying is useful. The priority-queue pop keeps
+// its single attempt, with the abort itself serving as backoff (§2.4).
+// Set before use.
+func (s *SimSkip) WithPolicy(p speculate.Policy) *SimSkip {
+	lv := speculate.Level{Name: "pto", Attempts: 3, RetryOnExplicit: true}
+	s.insSite = simspec.New("simskip/insert", p, lv)
+	s.rmSite = simspec.New("simskip/remove", p, lv)
+	s.popSite = simspec.New("simskipq/pop", p, speculate.Level{Name: "pto", Attempts: 1})
 	return s
 }
 
@@ -157,15 +174,14 @@ func (s *SimSkip) Insert(t *sim.Thread, key uint64) bool {
 	var preds, succs [SkipMaxLevel]sim.Addr
 	var pws [SkipMaxLevel]uint64
 	top := s.randomLevel(t)
-	if s.pto && s.th.allowed(t) {
-		for a := 0; a < SkipAttempts; a++ {
+	if s.pto {
+		r := s.insSite.Begin(t)
+		for r.Next(0) {
 			if s.find(t, key, &preds, &succs, &pws) {
-				s.th.report(t, true)
 				return false
 			}
 			n := s.newNode(t, key, top, &succs)
-			ok := false
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				for l := 0; l <= top; l++ {
 					if t.Load(skipNext(preds[l], l)) != pws[l] {
 						t.TxAbort(1)
@@ -174,18 +190,13 @@ func (s *SimSkip) Insert(t *sim.Thread, key uint64) bool {
 				for l := 0; l <= top; l++ {
 					t.Store(skipNext(preds[l], l), uint64(n))
 				}
-				ok = true
 			})
-			if st == sim.OK && ok {
-				s.th.report(t, true)
+			if st == sim.OK {
 				return true
 			}
 			t.Free(n, 2+top+1)
-			if a < SkipAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
-		s.th.report(t, false)
+		r.Fallback()
 	}
 	// Original per-level CAS sequence.
 	for {
@@ -232,11 +243,12 @@ func (s *SimSkip) Remove(t *sim.Thread, key uint64) bool {
 	}
 	victim := succs[0]
 	top := int(t.Load(victim + 1))
-	if s.pto && s.th.allowed(t) {
-		for a := 0; a < SkipAttempts; a++ {
+	if s.pto {
+		r := s.rmSite.Begin(t)
+		for r.Next(0) {
 			marked := false
 			lost := false
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				w0 := t.Load(skipNext(victim, 0))
 				if w0&1 != 0 {
 					lost = true
@@ -252,21 +264,16 @@ func (s *SimSkip) Remove(t *sim.Thread, key uint64) bool {
 			})
 			if st == sim.OK {
 				if lost {
-					s.th.report(t, true)
 					return false
 				}
 				if marked {
-					s.th.report(t, true)
 					s.find(t, key, &preds, &succs, &pws) // physical unlink
 					s.retirers[t.ID()].Retire(t, victim, 2+top+1)
 					return true
 				}
 			}
-			if a < SkipAttempts-1 {
-				retryBackoff(t, a)
-			}
 		}
-		s.th.report(t, false)
+		r.Fallback()
 	}
 	// Original top-down marking.
 	for l := top; l >= 1; l-- {
@@ -322,6 +329,13 @@ func NewSimSkipQ(t *sim.Thread, pto bool, threads int) *SimSkipQ {
 	return &SimSkipQ{set: NewSimSkip(t, pto, threads), seq: make([]uint64, 16)}
 }
 
+// WithPolicy installs the speculation policy for the underlying skiplist's
+// sites, including the pop site. Call before the machine runs.
+func (q *SimSkipQ) WithPolicy(p speculate.Policy) *SimSkipQ {
+	q.set.WithPolicy(p)
+	return q
+}
+
 // Push inserts prio (duplicates allowed).
 func (q *SimSkipQ) Push(t *sim.Thread, prio uint64) {
 	for {
@@ -339,14 +353,16 @@ func (q *SimSkipQ) Pop(t *sim.Thread) (uint64, bool) {
 	s.epoch.Enter(t)
 	defer s.epoch.Exit(t)
 	if s.pto {
-		// Pops contend on the minimum by design; one attempt, with the
-		// abort itself serving as backoff (§2.4), then the original pop.
-		for a := 0; a < 1; a++ {
+		// Pops contend on the minimum by design; the site's level budget is
+		// one attempt, with the abort itself serving as backoff (§2.4),
+		// then the original pop.
+		r := s.popSite.Begin(t)
+		for r.Next(0) {
 			var key uint64
 			var victim sim.Addr
 			vtop := 0
 			empty, claimed := false, false
-			st := t.Atomic(func() {
+			st := r.Try(func() {
 				first := t.Load(skipNext(s.head, 0))
 				curr := skipAddr(first)
 				key = s.key(t, curr)
@@ -380,8 +396,8 @@ func (q *SimSkipQ) Pop(t *sim.Thread) (uint64, bool) {
 					return key >> SkipQSeqBits, true
 				}
 			}
-			_ = a
 		}
+		r.Fallback()
 	}
 	// Original Lotan–Shavit pop.
 restart:

@@ -1,0 +1,224 @@
+package simds
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simtxn"
+)
+
+// This file adapts the simulated BST, hash table, and MS queue to the
+// composition layer of internal/simtxn, mirroring the Tx* adapters the real
+// structures provide for internal/txn. The adapters follow the layer's two
+// conventions (see the simtxn package comment):
+//
+//   - Marker bit: only words whose legitimate values keep bit 63 clear are
+//     Read or Written — child pointers, update words, bucket words, queue
+//     head/tail/next words. Key words (whose sentinels use the full range)
+//     and value arrays are only ever read with PeekRaw, which skips the
+//     marker check; that is sound because no adapter Reads or Writes them,
+//     so no MultiCAS ever claims them.
+//
+//   - Closed world: while composed operations run, all mutations of the
+//     participating structures go through the composition layer, so no
+//     structure-private descriptor or in-place protocol runs concurrently.
+//     Composed removals leak the unlinked nodes instead of retiring them
+//     (no epoch bracket is active inside a composed body); the simulated
+//     machine never reuses addresses, so stale readers stay safe.
+//
+// Validation follows each structure's PTO2-style window: traversals are
+// Peeks, and only the words whose stability implies the answer's are Read.
+
+// txDescend descends to key's leaf with Peek reads, returning the
+// grandparent, parent, and leaf, plus the addresses of the child slots
+// followed out of gp and p. gp and gpSlot are zero when l hangs directly
+// off the root.
+func (b *SimBST) txDescend(c *simtxn.Ctx, key uint64) (gp, p, l, gpSlot, slot sim.Addr) {
+	p = b.root
+	slot = p + bstLeft
+	l = sim.Addr(c.Peek(slot))
+	for c.Peek(l+bstFlags)&1 == 0 {
+		gp, gpSlot = p, slot
+		p = l
+		if key < c.PeekRaw(p+bstKey) {
+			slot = p + bstLeft
+		} else {
+			slot = p + bstRight
+		}
+		l = sim.Addr(c.Peek(slot))
+	}
+	return
+}
+
+// txWindow validates the (parent update word, child slot) pair that led to
+// l: the update word must be clean and the slot must still hold l. The
+// "children change ⇒ update word changes" invariant then pins the leaf —
+// and with it the membership answer — for the life of the validation.
+func (b *SimBST) txWindow(c *simtxn.Ctx, p, l, slot sim.Addr) {
+	if bstState(c.Read(p+bstUpdate)) != bstClean {
+		c.Retry()
+	}
+	if sim.Addr(c.Read(slot)) != l {
+		c.Retry()
+	}
+}
+
+// TxContains reports membership as part of a composed operation.
+func (b *SimBST) TxContains(c *simtxn.Ctx, key uint64) bool {
+	_, p, l, _, slot := b.txDescend(c, key)
+	b.txWindow(c, p, l, slot)
+	return c.PeekRaw(l+bstKey) == key
+}
+
+// TxInsert adds key as part of a composed operation, reporting false if
+// present.
+func (b *SimBST) TxInsert(c *simtxn.Ctx, key uint64) bool {
+	t := c.Thread()
+	_, p, l, _, slot := b.txDescend(c, key)
+	b.txWindow(c, p, l, slot)
+	lkey := c.PeekRaw(l + bstKey)
+	if lkey == key {
+		return false
+	}
+	// The replacement subtree is private until the commit publishes the
+	// child slot, so it is built with plain stores.
+	ni := b.buildInsert(t, key, lkey, false)
+	c.Write(slot, uint64(ni))
+	c.Write(p+bstUpdate, b.freshClean(t))
+	return true
+}
+
+// TxRemove deletes key as part of a composed operation, reporting false if
+// absent.
+func (b *SimBST) TxRemove(c *simtxn.Ctx, key uint64) bool {
+	t := c.Thread()
+	gp, p, l, gpSlot, slot := b.txDescend(c, key)
+	b.txWindow(c, p, l, slot)
+	if c.PeekRaw(l+bstKey) != key {
+		return false
+	}
+	if gp == 0 {
+		// Real keys always sit at depth ≥ 2 (inserts replace sentinel
+		// leaves with internal nodes), so a root-level leaf can only be a
+		// sentinel — unreachable for a key that just compared equal.
+		c.Retry()
+	}
+	if bstState(c.Read(gp+bstUpdate)) != bstClean {
+		c.Retry()
+	}
+	if sim.Addr(c.Read(gpSlot)) != p {
+		c.Retry()
+	}
+	var other sim.Addr
+	if sim.Addr(c.Peek(p+bstRight)) == l {
+		other = sim.Addr(c.Peek(p + bstLeft))
+	} else {
+		other = sim.Addr(c.Peek(p + bstRight))
+	}
+	c.Write(p+bstUpdate, bstUpd(b.dummy, bstMark))
+	c.Write(gpSlot, uint64(other))
+	c.Write(gp+bstUpdate, b.freshClean(t))
+	return true
+}
+
+// txBucket locates key's bucket with Peeks and Reads the bucket word — the
+// hash table's whole validation window: copy-on-write updates replace the
+// node and bump the counter, so a stable bucket word pins the bucket's
+// contents. Requires a stabilized table (every bucket initialized, no
+// resize in flight); composed updates never grow the table, keeping the
+// closed world resize-free.
+func (h *SimHash) txBucket(c *simtxn.Ctx, key uint64) (bw sim.Addr, w uint64, n sim.Addr) {
+	hn := sim.Addr(c.Peek(h.headPtr))
+	size := c.Peek(hn + hnSize)
+	bw = bucketWordAddr(hn, hashIndex(key, size))
+	w = c.Read(bw)
+	n = hbNode(w)
+	if n == 0 || c.Peek(n+fsFlags)&1 == 0 {
+		c.Retry() // uninitialized or frozen: the table was not stabilized
+	}
+	return
+}
+
+// txScan reports whether key is in node n (Peek-only: published nodes are
+// immutable under the closed world's copy-on-write updates).
+func (h *SimHash) txScan(c *simtxn.Ctx, n sim.Addr, key uint64) bool {
+	ln := c.PeekRaw(n + fsLen)
+	for j := uint64(0); j < ln; j++ {
+		if c.PeekRaw(n+fsVals+sim.Addr(j)) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TxContains reports membership as part of a composed operation.
+func (h *SimHash) TxContains(c *simtxn.Ctx, key uint64) bool {
+	_, _, n := h.txBucket(c, key)
+	return h.txScan(c, n, key)
+}
+
+// txApply is the composed insert/remove: always copy-on-write (even for
+// the in-place variant — a single staged bucket-word write keeps the
+// MultiCAS footprint at one word per set operation).
+func (h *SimHash) txApply(c *simtxn.Ctx, key uint64, add bool) bool {
+	t := c.Thread()
+	bw, w, n := h.txBucket(c, key)
+	hasKey := h.txScan(c, n, key)
+	if add == hasKey {
+		return false
+	}
+	ln := c.PeekRaw(n + fsLen)
+	var vals []uint64
+	for j := uint64(0); j < ln; j++ {
+		v := c.PeekRaw(n + fsVals + sim.Addr(j))
+		if !add && v == key {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if add {
+		vals = append(vals, key)
+	}
+	nn := h.newNode(t, vals) // private until the bucket word publishes it
+	c.Write(bw, hbPack(nn, hbCtr(w)+1))
+	return true
+}
+
+// TxInsert adds key as part of a composed operation, reporting false if
+// present.
+func (h *SimHash) TxInsert(c *simtxn.Ctx, key uint64) bool {
+	return h.txApply(c, key, true)
+}
+
+// TxRemove deletes key as part of a composed operation, reporting false if
+// absent.
+func (h *SimHash) TxRemove(c *simtxn.Ctx, key uint64) bool {
+	return h.txApply(c, key, false)
+}
+
+// TxEnqueue appends v as part of a composed operation.
+func (q *SimMSQueue) TxEnqueue(c *simtxn.Ctx, v uint64) {
+	t := c.Thread()
+	n := t.AllocLocal(2)
+	t.Store(n, v)
+	t.Store(n+1, 0)
+	tail := sim.Addr(c.Read(q.tail))
+	if c.Read(tail+1) != 0 {
+		c.Retry() // lagging tail; cannot arise in a closed world
+	}
+	c.Write(tail+1, uint64(n))
+	c.Write(q.tail, uint64(n))
+}
+
+// TxDequeue removes and returns the oldest value as part of a composed
+// operation, reporting false when empty. Emptiness is part of the validated
+// footprint: the head node's next word commits as a no-op entry, so the
+// queue was observably empty at the commit point.
+func (q *SimMSQueue) TxDequeue(c *simtxn.Ctx) (uint64, bool) {
+	head := sim.Addr(c.Read(q.head))
+	next := c.Read(head + 1)
+	if next == 0 {
+		return 0, false
+	}
+	v := c.PeekRaw(sim.Addr(next)) // values are written once, before linking
+	c.Write(q.head, next)
+	return v, true
+}

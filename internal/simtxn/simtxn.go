@@ -1,0 +1,446 @@
+// Package simtxn is the simulated twin of internal/txn: the transactional
+// composition layer (NBTC-style Move/Transfer/ReadOnly over PTO structures)
+// rebuilt on the discrete-event machine of internal/sim, so composed
+// operations can be costed in modeled cycles next to the per-structure
+// figures. The fast path and the fallback mirror the real layer's:
+//
+//   - Fast path: the whole body runs inside one modeled prefix transaction
+//     (sim.Thread.Atomic), driven by the same speculation engine as every
+//     simds structure — a simspec.Site around a speculate.Core — so attempt
+//     budgets, conflict backoff, and adaptive disabling follow whatever
+//     speculate.Policy the Manager carries.
+//
+//   - Fallback publication: the body re-runs in capture mode. Reads execute
+//     directly and are recorded with their observed word; writes are staged
+//     (read-own-writes included); commit publishes the combined footprint
+//     with one modeled MultiCAS — a word-granularity descriptor protocol in
+//     simulated memory (the Harris-Fraser shape the Mound's DCAS fallback
+//     already uses, generalized to N words). The MultiCAS is lock-free with
+//     helping, so the composed fallback keeps the nonblocking progress of
+//     the structures it composes.
+//
+//   - Read-only validation: a captured body that staged no writes commits
+//     through the same MultiCAS with every entry a no-op (old == new): the
+//     claim pass locks and re-asserts each read word, modeling the
+//     validation window of the real layer's MultiValidate.
+//
+// Structures participate through adapter methods written against Ctx.Read /
+// Ctx.Peek / Ctx.Write (see simds' txnadapt.go). Two conventions make the
+// word-granularity MultiCAS sound:
+//
+//   - Marker bit: an in-flight MultiCAS parks markerBit|descriptor in each
+//     claimed word. Every word an adapter Reads or Writes must therefore
+//     keep bit 63 clear in its legitimate values; words whose values may use
+//     the full range (key sentinels like the BST's ^uint64(0)) may only be
+//     read with PeekRaw, which skips the marker check — sound exactly
+//     because such words are never Read or Written, so no MultiCAS ever
+//     claims them.
+//
+//   - Closed world: while composed operations run, every mutation of the
+//     participating structures goes through the composition layer. The
+//     adapters rely on this the way the real layer relies on shared
+//     domains: no structure-private descriptor protocol runs concurrently,
+//     so a marked word always denotes a composed MultiCAS.
+package simtxn
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simspec"
+	"repro/internal/speculate"
+)
+
+// DefaultAttempts is the fast-path retry budget for composed operations,
+// matching txn.DefaultAttempts.
+const DefaultAttempts = 4
+
+// abortRetry is the explicit-abort code used by Ctx.Retry on the fast path.
+const abortRetry = 1
+
+// markerBit flags a word claimed by an in-flight MultiCAS descriptor.
+const markerBit = uint64(1) << 63
+
+// Set is the composable set interface the simulated structures implement
+// (simds.SimBST, simds.SimHash). All methods must be called from inside a
+// Manager.Atomic or Manager.ReadOnly body.
+type Set interface {
+	TxContains(c *Ctx, key uint64) bool
+	TxInsert(c *Ctx, key uint64) bool
+	TxRemove(c *Ctx, key uint64) bool
+}
+
+// Queue is the composable queue interface (simds.SimMSQueue).
+type Queue interface {
+	TxEnqueue(c *Ctx, v uint64)
+	TxDequeue(c *Ctx) (uint64, bool)
+}
+
+// Manager runs composed operations. Unlike the real layer there is no
+// domain to share — the simulated machine's strong atomicity covers all of
+// simulated memory — so the only configuration is the speculation policy
+// and the fallback forcing used by the A8 ablation.
+type Manager struct {
+	attempts int
+	force    bool
+	site     *simspec.Site
+}
+
+// New returns a Manager; attempts ≤ 0 selects DefaultAttempts. The manager
+// runs under simspec.DefaultPolicy; use WithPolicy to change it.
+func New(attempts int) *Manager {
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	m := &Manager{attempts: attempts}
+	return m.WithPolicy(simspec.DefaultPolicy())
+}
+
+// WithPolicy replaces the speculation policy governing the fast-path
+// attempt loop. Retry's explicit abort is a transient condition (a marked
+// word, a racing window), so the level retries on explicit. Set before use.
+func (m *Manager) WithPolicy(p speculate.Policy) *Manager {
+	m.site = simspec.New("simtxn/atomic", p,
+		speculate.Level{Name: "fast", Attempts: m.attempts, RetryOnExplicit: true})
+	return m
+}
+
+// ForceFallback makes every composed operation skip the fast path and run
+// the capture/MultiCAS pipeline — the modeled analogue of zeroing the HTM
+// domain's capacity in the real layer (ablation A8's fallback arm).
+func (m *Manager) ForceFallback(on bool) *Manager {
+	m.force = on
+	return m
+}
+
+// restartSignal unwinds a capture-mode body back to the fallback loop.
+type restartSignal struct{}
+
+// entry is one captured word: the observed old value and the staged new
+// value (equal for pure reads).
+type entry struct {
+	addr     sim.Addr
+	old, new uint64
+	write    bool
+}
+
+// Ctx is the context of one composed-operation attempt. It is only valid
+// inside the body passed to Atomic/ReadOnly and must not be retained.
+type Ctx struct {
+	t     *sim.Thread
+	fast  bool
+	ents  []entry
+	idx   map[sim.Addr]int
+	wrote bool
+	hooks []func()
+}
+
+// Thread returns the simulated thread the attempt runs on, for adapters
+// that allocate private memory or draw thread-local nonces.
+func (c *Ctx) Thread() *sim.Thread { return c.t }
+
+// Speculative reports whether the body is running inside a fast-path
+// transaction. Adapters use it to choose between the §2.4 "abort, don't
+// help" discipline (fast path) and helping before a restart (capture mode).
+func (c *Ctx) Speculative() bool { return c.fast }
+
+// Retry abandons the current attempt: on the fast path it aborts the
+// transaction (consuming one attempt of the budget); in capture mode it
+// discards the capture buffer and re-runs the body. It does not return.
+func (c *Ctx) Retry() {
+	if c.fast {
+		c.t.TxAbort(abortRetry)
+	}
+	panic(restartSignal{})
+}
+
+// OnCommit registers f to run once, after the composed operation commits on
+// any path.
+func (c *Ctx) OnCommit(f func()) { c.hooks = append(c.hooks, f) }
+
+func (c *Ctx) runHooks() {
+	for _, f := range c.hooks {
+		f()
+	}
+}
+
+// Read reads the word at a as part of the operation's validated footprint.
+// On the fast path it is a transactional load that aborts on a marked word
+// (an in-flight fallback MultiCAS: do not help under speculation). In
+// capture mode it returns the operation's own staged write if any,
+// otherwise performs a direct marker-resolving load and records the
+// observed word; the commit-time MultiCAS re-asserts it.
+func (c *Ctx) Read(a sim.Addr) uint64 {
+	if c.fast {
+		w := c.t.Load(a)
+		if w&markerBit != 0 {
+			c.t.TxAbort(abortRetry)
+		}
+		return w
+	}
+	if i, ok := c.idx[a]; ok {
+		return c.ents[i].new
+	}
+	w := resolve(c.t, a)
+	c.idx[a] = len(c.ents)
+	c.ents = append(c.ents, entry{addr: a, old: w, new: w})
+	return w
+}
+
+// Peek reads the word at a without adding it to the validated footprint
+// (own staged writes still honored). Adapters use Peek for traversal reads
+// whose correctness is re-established by a narrower validation window, and
+// for words whose legitimate values may carry bit 63.
+func (c *Ctx) Peek(a sim.Addr) uint64 {
+	if c.fast {
+		w := c.t.Load(a)
+		if w&markerBit != 0 {
+			c.t.TxAbort(abortRetry)
+		}
+		return w
+	}
+	if i, ok := c.idx[a]; ok {
+		return c.ents[i].new
+	}
+	return resolve(c.t, a)
+}
+
+// PeekRaw reads the word at a with no marker interpretation: a plain
+// (transactional on the fast path, direct in capture mode) unrecorded load.
+// It is the only accessor safe for words whose legitimate values may carry
+// bit 63 — key words with full-range sentinels, user-value payloads — and is
+// sound only for words outside the MultiCAS universe: words no adapter ever
+// Reads or Writes, so no descriptor ever claims them.
+func (c *Ctx) PeekRaw(a sim.Addr) uint64 {
+	if c.fast {
+		return c.t.Load(a)
+	}
+	if i, ok := c.idx[a]; ok {
+		return c.ents[i].new
+	}
+	return c.t.Load(a)
+}
+
+// Write stages x as the word at a's new value. On the fast path it is a
+// transactional (buffered) store. In capture mode it stages the write —
+// recording the currently observed word as the MultiCAS old value if a was
+// not previously read — to be published at commit.
+func (c *Ctx) Write(a sim.Addr, x uint64) {
+	c.wrote = true
+	if c.fast {
+		c.t.Store(a, x)
+		return
+	}
+	if i, ok := c.idx[a]; ok {
+		c.ents[i].new = x
+		c.ents[i].write = true
+		return
+	}
+	w := resolve(c.t, a)
+	c.idx[a] = len(c.ents)
+	c.ents = append(c.ents, entry{addr: a, old: w, new: x, write: true})
+}
+
+// resolve loads the word at a, helping any MultiCAS that has it claimed
+// until an unmarked value is visible (capture mode may help; §2.4 forbids
+// it only under speculation).
+func resolve(t *sim.Thread, a sim.Addr) uint64 {
+	for {
+		w := t.Load(a)
+		if w&markerBit == 0 {
+			return w
+		}
+		help(t, sim.Addr(w&^markerBit))
+	}
+}
+
+// Atomic runs body as one composed atomic operation, retrying until it
+// commits. The body may be re-executed any number of times (fast-path
+// aborts, capture restarts, MultiCAS failures) and must be restartable:
+// all externally visible effects go through the Ctx accessors and OnCommit.
+func (m *Manager) Atomic(t *sim.Thread, body func(c *Ctx)) {
+	if !m.force {
+		r := m.site.Begin(t)
+		for r.Next(0) {
+			c := &Ctx{t: t, fast: true}
+			if r.Try(func() { body(c) }) == sim.OK {
+				c.runHooks()
+				return
+			}
+		}
+		r.Fallback()
+	}
+	m.fallback(t, body)
+}
+
+// ReadOnly runs body as a composed snapshot: identical to Atomic but the
+// body must not Write (it panics if it does). A non-writing capture commits
+// through an all-no-op MultiCAS — pure validation, no values change.
+func (m *Manager) ReadOnly(t *sim.Thread, body func(c *Ctx)) {
+	m.Atomic(t, func(c *Ctx) {
+		body(c)
+		if c.wrote {
+			panic("simtxn: ReadOnly body performed a write")
+		}
+	})
+}
+
+// fallback drives the capture/publish loop until the operation commits.
+func (m *Manager) fallback(t *sim.Thread, body func(c *Ctx)) {
+	for {
+		c := &Ctx{t: t, idx: make(map[sim.Addr]int, 8)}
+		if !runCapture(c, body) {
+			continue
+		}
+		if len(c.ents) == 0 {
+			c.runHooks() // touched nothing: trivially atomic
+			return
+		}
+		// Claim in ascending address order so concurrent MultiCASes meet
+		// head-on instead of deadlocking into mutual helping cycles.
+		sort.Slice(c.ents, func(i, j int) bool { return c.ents[i].addr < c.ents[j].addr })
+		if mcas(t, c.ents) {
+			c.runHooks()
+			return
+		}
+	}
+}
+
+// runCapture executes body in capture mode, reporting false when the body
+// requested a restart via Retry.
+func runCapture(c *Ctx, body func(c *Ctx)) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(restartSignal); ok {
+				completed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(c)
+	return true
+}
+
+// MultiCAS descriptor layout in simulated memory:
+// +0 status, +1 count, then (addr, old, new) triples.
+const (
+	mcStatus  = 0
+	mcCount   = 1
+	mcTriples = 2
+)
+
+const (
+	mcUndecided = 0
+	mcSucceeded = 1
+	mcFailed    = 2
+)
+
+// mcas publishes the entries (pre-sorted by address) atomically, reporting
+// success. Entries with old == new are validation-only: they are claimed
+// and re-asserted like writes, then restored. The descriptor lives in
+// thread-local simulated memory and is deliberately never freed — helpers
+// may still be reading it after the outcome is decided, and the machine's
+// addresses are never reused anyway (the real layer parks this problem on
+// its epoch reclaimer).
+func mcas(t *sim.Thread, ents []entry) bool {
+	d := t.AllocLocal(mcTriples + 3*len(ents))
+	t.Store(d+mcStatus, mcUndecided)
+	t.Store(d+mcCount, uint64(len(ents)))
+	for i, e := range ents {
+		t.Store(d+mcTriples+sim.Addr(3*i), uint64(e.addr))
+		t.Store(d+mcTriples+sim.Addr(3*i)+1, e.old)
+		t.Store(d+mcTriples+sim.Addr(3*i)+2, e.new)
+	}
+	t.Fence() // publish the descriptor before installing markers
+	help(t, d)
+	return t.Load(d+mcStatus) == mcSucceeded
+}
+
+// help drives the MultiCAS descriptor at d to completion: claim every word
+// (helping other descriptors met along the way), decide, then release each
+// claimed word to its new value (success) or old value (failure).
+func help(t *sim.Thread, d sim.Addr) {
+	marker := uint64(d) | markerBit
+	count := int(t.Load(d + mcCount))
+claim:
+	for i := 0; i < count; i++ {
+		a := sim.Addr(t.Load(d + mcTriples + sim.Addr(3*i)))
+		old := t.Load(d + mcTriples + sim.Addr(3*i) + 1)
+		for {
+			if t.Load(d+mcStatus) != mcUndecided {
+				break claim // decided: stop claiming
+			}
+			w := t.Load(a)
+			if w == marker {
+				break // already claimed (by us or a helper)
+			}
+			if w&markerBit != 0 {
+				help(t, sim.Addr(w&^markerBit))
+				continue
+			}
+			if w != old {
+				t.CAS(d+mcStatus, mcUndecided, mcFailed)
+				break claim
+			}
+			if t.CAS(a, old, marker) {
+				break
+			}
+		}
+	}
+	t.CAS(d+mcStatus, mcUndecided, mcSucceeded)
+	final := t.Load(d+mcStatus) == mcSucceeded
+	for i := 0; i < count; i++ {
+		a := sim.Addr(t.Load(d + mcTriples + sim.Addr(3*i)))
+		w := t.Load(a)
+		if w == marker {
+			v := t.Load(d + mcTriples + sim.Addr(3*i) + 1)
+			if final {
+				v = t.Load(d + mcTriples + sim.Addr(3*i) + 2)
+			}
+			t.CAS(a, marker, v)
+		}
+	}
+}
+
+// Move atomically moves key from src to dst, reporting whether it did. The
+// move happens only when key is present in src and absent from dst, so a
+// successful Move conserves the total key count across the two sets.
+func Move(m *Manager, t *sim.Thread, src, dst Set, key uint64) bool {
+	var moved bool
+	m.Atomic(t, func(c *Ctx) {
+		moved = false
+		if dst.TxContains(c, key) {
+			return
+		}
+		if !src.TxRemove(c, key) {
+			return
+		}
+		if !dst.TxInsert(c, key) {
+			// The insert's view disagrees with the TxContains probe above;
+			// the commit would not validate, so restart now.
+			c.Retry()
+		}
+		moved = true
+	})
+	return moved
+}
+
+// Transfer atomically dequeues up to n values from src and enqueues them on
+// dst, returning how many moved. The transfer is all-or-nothing: no
+// concurrent observer sees a value absent from both queues.
+func Transfer(m *Manager, t *sim.Thread, src, dst Queue, n int) int {
+	var moved int
+	m.Atomic(t, func(c *Ctx) {
+		moved = 0
+		for i := 0; i < n; i++ {
+			v, ok := src.TxDequeue(c)
+			if !ok {
+				break
+			}
+			dst.TxEnqueue(c, v)
+			moved++
+		}
+	})
+	return moved
+}

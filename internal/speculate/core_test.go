@@ -1,0 +1,213 @@
+package speculate
+
+import (
+	"fmt"
+	"testing"
+)
+
+// trace drives one walk over a scripted feed and records every decision
+// point: the backoff owed before each attempt, the outcome fed, and where
+// the walk stopped. Levels are tried outermost-first; each level consumes
+// feed entries until the walk refuses more attempts.
+func trace(c Core, feed []Outcome) []string {
+	var out []string
+	w := c.Begin()
+	i := 0
+	for level := 0; level < len(c.Levels()); level++ {
+		w.Enter(level)
+		for w.More() {
+			if i >= len(feed) {
+				out = append(out, fmt.Sprintf("L%d:feed-exhausted", level))
+				return out
+			}
+			o := feed[i]
+			i++
+			out = append(out, fmt.Sprintf("L%d:backoff=%d:%v", level, w.Backoff(), o))
+			w.Record(o)
+			if o == OutcomeCommit {
+				out = append(out, "commit")
+				return out
+			}
+		}
+	}
+	out = append(out, "fallback")
+	return out
+}
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeConflict:
+		return "conflict"
+	case OutcomeCapacity:
+		return "capacity"
+	case OutcomeExplicit:
+		return "explicit"
+	}
+	return "?"
+}
+
+func eq(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decision sequence mismatch:\n got %v\nwant %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d: got %q want %q (full: %v)", i, got[i], got[i], got)
+		}
+	}
+}
+
+func TestWalkDecisionTables(t *testing.T) {
+	one := Level{Name: "pto", Attempts: 3, RetryOnExplicit: true}
+	noRetry := Level{Name: "pto1", Attempts: 3}
+	cases := []struct {
+		name   string
+		pol    Policy
+		levels []Level
+		feed   []Outcome
+		want   []string
+	}{
+		{
+			name: "fixed exhausts budget on conflicts, no backoff",
+			pol:  Fixed(0), levels: []Level{one},
+			feed: []Outcome{OutcomeConflict, OutcomeConflict, OutcomeConflict},
+			want: []string{"L0:backoff=0:conflict", "L0:backoff=0:conflict", "L0:backoff=0:conflict", "fallback"},
+		},
+		{
+			name: "policy attempts override level budget",
+			pol:  Fixed(1), levels: []Level{one},
+			feed: []Outcome{OutcomeConflict},
+			want: []string{"L0:backoff=0:conflict", "fallback"},
+		},
+		{
+			name: "conflict backoff doubles from base and resets per level",
+			pol:  Policy{Attempts: 4, Backoff: true}, levels: []Level{one, one},
+			feed: []Outcome{OutcomeConflict, OutcomeConflict, OutcomeConflict, OutcomeConflict, OutcomeConflict},
+			want: []string{
+				"L0:backoff=0:conflict", "L0:backoff=1:conflict",
+				"L0:backoff=2:conflict", "L0:backoff=4:conflict",
+				"L1:backoff=0:conflict", "L1:feed-exhausted",
+			},
+		},
+		{
+			name: "capacity without failfast burns one attempt",
+			pol:  Fixed(0), levels: []Level{one},
+			feed: []Outcome{OutcomeCapacity, OutcomeCommit},
+			want: []string{"L0:backoff=0:capacity", "L0:backoff=0:commit", "commit"},
+		},
+		{
+			name: "failfast capacity exhausts the level",
+			pol:  Policy{FailFast: true}, levels: []Level{one, one},
+			feed: []Outcome{OutcomeCapacity, OutcomeCapacity},
+			want: []string{"L0:backoff=0:capacity", "L1:backoff=0:capacity", "fallback"},
+		},
+		{
+			name: "explicit retried when the level allows it",
+			pol:  Fixed(0), levels: []Level{one},
+			feed: []Outcome{OutcomeExplicit, OutcomeExplicit, OutcomeExplicit},
+			want: []string{"L0:backoff=0:explicit", "L0:backoff=0:explicit", "L0:backoff=0:explicit", "fallback"},
+		},
+		{
+			name: "explicit exhausts a no-retry level",
+			pol:  Fixed(0), levels: []Level{noRetry, one},
+			feed: []Outcome{OutcomeExplicit, OutcomeCommit},
+			want: []string{"L0:backoff=0:explicit", "L1:backoff=0:commit", "commit"},
+		},
+		{
+			name: "failfast overrides RetryOnExplicit",
+			pol:  Adaptive(), levels: []Level{one},
+			feed: []Outcome{OutcomeExplicit},
+			want: []string{"L0:backoff=0:explicit", "fallback"},
+		},
+		{
+			name: "zero-budget level is skipped entirely",
+			pol:  Fixed(0), levels: []Level{{Name: "off", Attempts: 0}, one},
+			feed: []Outcome{OutcomeCommit},
+			want: []string{"L1:backoff=0:commit", "commit"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.pol.Core(tc.levels...)
+			eq(t, trace(c, tc.feed), tc.want)
+		})
+	}
+}
+
+func TestWalkBackoffCap(t *testing.T) {
+	pol := Policy{Attempts: 32, Backoff: true, BackoffBase: 2, BackoffMax: 16}
+	c := pol.Core(Level{Name: "l", Attempts: 1})
+	w := c.Begin()
+	w.Enter(0)
+	var seq []int
+	for i := 0; i < 8; i++ {
+		seq = append(seq, w.Backoff())
+		w.Record(OutcomeConflict)
+	}
+	want := []int{0, 2, 4, 8, 16, 16, 16, 16}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("backoff progression %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestWalkDisableGate(t *testing.T) {
+	c := Fixed(0).Core(Level{Name: "a", Attempts: 2}, Level{Name: "b", Attempts: 2})
+	w := c.Begin()
+	if !w.Enter(0) {
+		t.Fatal("first Enter must report a fresh level")
+	}
+	w.Disable()
+	if w.More() {
+		t.Fatal("disabled level must refuse attempts")
+	}
+	if w.Enter(0) {
+		t.Fatal("re-Enter of the same level must not reset")
+	}
+	if !w.Enter(1) || !w.More() {
+		t.Fatal("next level must be attemptable after a disable")
+	}
+}
+
+func TestWalkSkipBurnsBudget(t *testing.T) {
+	c := Fixed(0).Core(Level{Name: "a", Attempts: 2})
+	w := c.Begin()
+	w.Enter(0)
+	w.Skip()
+	w.Skip()
+	if w.More() {
+		t.Fatal("Skip must consume budget")
+	}
+}
+
+func TestShouldDisableThreshold(t *testing.T) {
+	c := Adaptive().Core(Level{Name: "l", Attempts: 1})
+	// Defaults: window 64, min ratio 0.2 → the boundary sits at 12.8 commits.
+	if !c.ShouldDisable(64, 12) {
+		t.Fatal("12/64 commits must disable")
+	}
+	if c.ShouldDisable(64, 13) {
+		t.Fatal("13/64 commits must stay enabled")
+	}
+	if c.WindowSize() != DefaultWindow || c.DisableOps() != DefaultSkipOps {
+		t.Fatal("default window resolution changed")
+	}
+}
+
+func TestBackoffSpanBounds(t *testing.T) {
+	if BackoffSpan(0, 12345) != 0 {
+		t.Fatal("no pending units must mean no span")
+	}
+	for units := 1; units <= 64; units *= 2 {
+		for rnd := uint64(0); rnd < 200; rnd += 17 {
+			s := BackoffSpan(units, rnd)
+			if s < units/2 || s > units/2+units {
+				t.Fatalf("span %d out of [%d,%d] for units=%d", s, units/2, units/2+units, units)
+			}
+		}
+	}
+}

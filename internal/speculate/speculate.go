@@ -200,12 +200,12 @@ type levelState struct {
 	skip        atomic.Int64
 }
 
-// Site is the per-(structure instance, operation kind) speculation state: a
-// Policy bound to the operation's level budgets, its adaptive-disable
-// state, and its metric destinations.
+// Site is the per-(structure instance, operation kind) speculation state:
+// the wall-clock driver over a policy Core — the operation's level budgets
+// plus the shared state a Walk cannot hold (adaptive windows, the jitter
+// stream) and the site's metric destinations.
 type Site struct {
-	pol    Policy
-	levels []Level
+	c      Core
 	legacy *core.Stats     // historical per-structure counters; may be nil
 	tel    *telemetry.Site // nil when the policy has no registry
 
@@ -222,7 +222,7 @@ type Site struct {
 // the structure's historical core.Stats to keep updated (may be nil);
 // levels are the PTO composition's tiers, outermost first.
 func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site {
-	s := &Site{pol: p, levels: levels, legacy: legacy, adapt: make([]levelState, len(levels))}
+	s := &Site{c: p.Core(levels...), legacy: legacy, adapt: make([]levelState, len(levels))}
 	if p.Metrics != nil {
 		s.tel = p.Metrics.Site(name)
 	}
@@ -234,22 +234,11 @@ func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site 
 // carries no registry.
 func (s *Site) Telemetry() *telemetry.Site { return s.tel }
 
-// budget returns the attempt budget for the given level.
-func (s *Site) budget(level int) int {
-	if level >= len(s.levels) {
-		return 0
-	}
-	if s.pol.Attempts > 0 {
-		return s.pol.Attempts
-	}
-	return s.levels[level].Attempts
-}
-
 // recordAttempt feeds one attempt outcome into the level's adaptive window
-// and, on window close, disables the level if the commit ratio fell below
-// threshold.
+// and, on window close, disables the level if the core's threshold says the
+// commit ratio fell too low.
 func (s *Site) recordAttempt(level int, committed bool) {
-	if !s.pol.Adapt || level >= len(s.adapt) {
+	if !s.c.Adaptive() || level >= len(s.adapt) {
 		return
 	}
 	ls := &s.adapt[level]
@@ -257,8 +246,7 @@ func (s *Site) recordAttempt(level int, committed bool) {
 		ls.winCommits.Add(1)
 	}
 	a := ls.winAttempts.Add(1)
-	w := s.pol.window()
-	if a < w {
+	if a < s.c.WindowSize() {
 		return
 	}
 	c := ls.winCommits.Load()
@@ -268,8 +256,8 @@ func (s *Site) recordAttempt(level int, committed bool) {
 		return
 	}
 	ls.winCommits.Store(0)
-	if float64(c) < s.pol.minRatio()*float64(a) {
-		ls.skip.Store(s.pol.skipOps())
+	if s.c.ShouldDisable(a, c) {
+		ls.skip.Store(s.c.DisableOps())
 		if s.tel != nil {
 			s.tel.Disables.Add(1)
 		}
@@ -279,7 +267,7 @@ func (s *Site) recordAttempt(level int, committed bool) {
 // levelDisabled consumes one skip credit of the level's disable period,
 // reporting whether this entry to the level should bypass speculation.
 func (s *Site) levelDisabled(level int) bool {
-	if !s.pol.Adapt || level >= len(s.adapt) {
+	if !s.c.Adaptive() || level >= len(s.adapt) {
 		return false
 	}
 	ls := &s.adapt[level]
@@ -304,21 +292,20 @@ func (s *Site) jitter() uint64 {
 
 // Run tracks one operation's passage through a site's attempt loop. It is a
 // value type created by Site.Begin; it must not be shared between
-// goroutines.
+// goroutines. The retry decisions themselves live in the embedded Walk
+// (core.go); Run contributes the wall-clock substrate — Gosched backoff,
+// htm transactions, nanosecond latency — and the site's shared adaptive
+// windows.
 type Run struct {
 	s       *Site
 	d       *htm.Domain
-	level   int
-	entered bool  // whether the current level's disable gate was evaluated
-	skipped bool  // the current level is adaptively disabled for this run
-	used    int   // attempts consumed at the current level
-	backoff int   // pending backoff units before the next Try
+	w       Walk
 	startNs int64 // telemetry only; 0 when disabled
 }
 
 // Begin starts one operation at the site against domain d.
 func (s *Site) Begin(d *htm.Domain) Run {
-	r := Run{s: s, d: d}
+	r := Run{s: s, d: d, w: s.c.Begin()}
 	if s.tel != nil {
 		r.startNs = time.Now().UnixNano()
 	}
@@ -332,23 +319,16 @@ func (s *Site) Begin(d *htm.Domain) Run {
 // the run attempt the inner tiers. It consumes no budget itself: budget is
 // spent by Try and Skip.
 func (r *Run) Next(level int) bool {
-	if level != r.level || !r.entered {
-		r.level = level
-		r.entered = true
-		r.used = 0
-		r.backoff = 0
-		r.skipped = r.s.levelDisabled(level)
+	if r.w.Enter(level) && r.s.levelDisabled(level) {
+		r.w.Disable()
 	}
-	if r.skipped {
-		return false
-	}
-	return r.used < r.s.budget(level)
+	return r.w.More()
 }
 
 // Skip burns one attempt of the current level without running a
 // transaction. Structures use it when per-attempt preparation observed a
 // state not worth speculating on (e.g. a flagged node, §2.4).
-func (r *Run) Skip() { r.used++ }
+func (r *Run) Skip() { r.w.Skip() }
 
 // Try runs one speculative attempt of the current level: waits out any
 // pending backoff, executes body as a transaction against the Run's
@@ -358,15 +338,16 @@ func (r *Run) Skip() { r.used++ }
 // htm.Committed).
 func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 	s := r.s
-	if r.backoff > 0 {
-		spins := r.backoff/2 + int(s.jitter()%uint64(r.backoff+1))
+	if b := r.w.Backoff(); b > 0 {
+		spins := BackoffSpan(b, s.jitter())
 		for i := 0; i < spins; i++ {
 			runtime.Gosched()
 		}
 	}
 	st := r.d.Atomically(body)
-	r.used++
-	s.recordAttempt(r.level, st == htm.Committed)
+	r.w.Record(outcomeOf(st))
+	level := r.w.Level()
+	s.recordAttempt(level, st == htm.Committed)
 	if s.tel != nil {
 		s.tel.Attempts.Add(1)
 		switch st {
@@ -381,8 +362,8 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 		}
 	}
 	if st == htm.Committed {
-		if s.legacy != nil && r.level < len(s.legacy.CommitsByLevel) {
-			s.legacy.CommitsByLevel[r.level].Add(1)
+		if s.legacy != nil && level < len(s.legacy.CommitsByLevel) {
+			s.legacy.CommitsByLevel[level].Add(1)
 		}
 		r.observeLatency()
 		return st
@@ -390,32 +371,21 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 	if s.legacy != nil {
 		s.legacy.Aborts.Add(1)
 	}
-	switch st {
-	case htm.AbortConflict:
-		if s.pol.Backoff {
-			if r.backoff == 0 {
-				r.backoff = s.pol.backoffBase()
-			} else if r.backoff < s.pol.backoffMax() {
-				r.backoff *= 2
-			}
-		}
-	case htm.AbortCapacity:
-		if s.pol.FailFast {
-			r.used = r.s.budget(r.level) // deterministic: exhaust the level
-		}
-	case htm.AbortExplicit:
-		if s.pol.FailFast || !r.levelRetryOnExplicit() {
-			r.used = r.s.budget(r.level)
-		}
-	}
 	return st
 }
 
-func (r *Run) levelRetryOnExplicit() bool {
-	if r.level < len(r.s.levels) {
-		return r.s.levels[r.level].RetryOnExplicit
+// outcomeOf maps an htm status onto the core's transport-neutral outcome.
+func outcomeOf(st htm.Status) Outcome {
+	switch st {
+	case htm.Committed:
+		return OutcomeCommit
+	case htm.AbortCapacity:
+		return OutcomeCapacity
+	case htm.AbortExplicit:
+		return OutcomeExplicit
+	default:
+		return OutcomeConflict
 	}
-	return false
 }
 
 // Fallback records that the operation is completing on the nonblocking
