@@ -1,0 +1,247 @@
+// Command benchreport emits one machine-readable benchmark artifact
+// (BENCH_pto.json by default) for CI trend tracking and offline comparison.
+// It combines:
+//
+//   - Deterministic figures: the selected paper figures and ablations run on
+//     the simulated machine, reported in operations per simulated
+//     millisecond. Identical inputs produce identical numbers, so these are
+//     diffable across commits.
+//
+//   - One real-concurrency stress sample: a short mixed insert/remove/lookup
+//     churn on the PTO tree under GOMAXPROCS goroutines, reported as
+//     wall-clock throughput plus the full telemetry snapshot and an
+//     aggregated abort mix — commits, true conflicts, stripe-alias (false)
+//     conflicts, capacity, explicit, fallbacks. Wall-clock numbers vary with
+//     the host; the abort mix is the stable signal.
+//
+// Usage:
+//
+//	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
+//	            [-ops 20000] [-keys 256] [-out BENCH_pto.json]
+//
+// -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
+// rejected: everything under "figures" must be deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bst"
+	"repro/internal/speculate"
+	"repro/internal/telemetry"
+)
+
+type pointJSON struct {
+	X          int     `json:"x"`
+	Throughput float64 `json:"ops_per_simms"`
+}
+
+type seriesJSON struct {
+	Name   string      `json:"name"`
+	Points []pointJSON `json:"points"`
+}
+
+type figureJSON struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	Series []seriesJSON `json:"series"`
+}
+
+// abortMix aggregates the attempt partition across every telemetry site of
+// the stress sample.
+type abortMix struct {
+	Attempts       uint64  `json:"attempts"`
+	Commits        uint64  `json:"commits"`
+	Conflicts      uint64  `json:"conflicts"`
+	FalseConflicts uint64  `json:"false_conflicts"`
+	Capacity       uint64  `json:"capacity"`
+	Explicit       uint64  `json:"explicit"`
+	Fallbacks      uint64  `json:"fallbacks"`
+	CommitRatio    float64 `json:"commit_ratio"`
+	// FalseConflictRate is false conflicts over all conflicts (0 when no
+	// conflict occurred): the share of aborts charged to stripe aliasing
+	// rather than true data races.
+	FalseConflictRate float64 `json:"false_conflict_rate"`
+}
+
+type stressJSON struct {
+	Structure string             `json:"structure"`
+	Threads   int                `json:"threads"`
+	Ops       int                `json:"ops_total"`
+	Keys      int                `json:"keys"`
+	WallMs    float64            `json:"wall_ms"`
+	OpsPerMs  float64            `json:"ops_per_ms"`
+	AbortMix  abortMix           `json:"abort_mix"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+type report struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Scale       float64      `json:"scale"`
+	Figures     []figureJSON `json:"figures"`
+	Stress      stressJSON   `json:"stress"`
+}
+
+// deterministic maps figure IDs to their runners, excluding the wall-clock
+// ablations (A6, A7) whose numbers are not reproducible across hosts.
+var deterministic = map[string]func(float64) bench.Figure{
+	"2a": bench.Fig2a,
+	"2b": bench.Fig2b,
+	"3a": func(s float64) bench.Figure { return bench.Fig3(0, s) },
+	"3b": func(s float64) bench.Figure { return bench.Fig3(34, s) },
+	"3c": func(s float64) bench.Figure { return bench.Fig3(100, s) },
+	"4a": func(s float64) bench.Figure { return bench.Fig4(0, s) },
+	"4b": func(s float64) bench.Figure { return bench.Fig4(80, s) },
+	"4c": func(s float64) bench.Figure { return bench.Fig4(100, s) },
+	"5a": bench.Fig5a,
+	"5b": bench.Fig5b,
+	"5c": bench.Fig5c,
+	"a1": bench.AblationMindicatorRetries,
+	"a2": bench.AblationMoundRetries,
+	"a3": bench.AblationBSTBudgets,
+	"a4": bench.AblationCapacity,
+	"a5": bench.AblationSMT,
+	"a8": bench.AblationComposedMoveSim,
+	"e1": func(s float64) bench.Figure { return bench.ExtList(34, s) },
+	"e2": bench.ExtQueue,
+}
+
+func toJSON(f bench.Figure) figureJSON {
+	x := f.XLabel
+	if x == "" {
+		x = "threads"
+	}
+	out := figureJSON{ID: f.ID, Title: f.Title, XLabel: x, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		sj := seriesJSON{Name: s.Name}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, pointJSON{X: p.Threads, Throughput: p.Throughput})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	return out
+}
+
+// stressSample runs the real-concurrency churn: threads goroutines of mixed
+// insert/remove/contains on one PTO tree, telemetry routed to a private
+// registry so the abort mix covers exactly this run.
+func stressSample(threads, ops, keys int) stressJSON {
+	reg := telemetry.NewRegistry()
+	tree := bst.NewPTO12().WithPolicy(speculate.Fixed(0).WithMetrics(reg))
+	for k := 0; k < keys; k += 2 {
+		tree.Insert(int64(k))
+	}
+	per := ops / threads
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < per; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int64(rng % uint64(keys))
+				switch rng >> 60 & 3 {
+				case 0:
+					tree.Insert(k)
+				case 1:
+					tree.Remove(k)
+				default:
+					tree.Contains(k)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	wallMs := float64(time.Since(start)) / float64(time.Millisecond)
+
+	snap := reg.Snapshot()
+	var mix abortMix
+	for _, s := range snap.Sites {
+		mix.Attempts += s.Attempts
+		mix.Commits += s.Commits
+		mix.Conflicts += s.Conflicts
+		mix.FalseConflicts += s.FalseConflicts
+		mix.Capacity += s.Capacity
+		mix.Explicit += s.Explicit
+		mix.Fallbacks += s.Fallbacks
+	}
+	if mix.Attempts > 0 {
+		mix.CommitRatio = float64(mix.Commits) / float64(mix.Attempts)
+	}
+	if mix.Conflicts > 0 {
+		mix.FalseConflictRate = float64(mix.FalseConflicts) / float64(mix.Conflicts)
+	}
+	return stressJSON{
+		Structure: "bst/pto12",
+		Threads:   threads,
+		Ops:       per * threads,
+		Keys:      keys,
+		WallMs:    wallMs,
+		OpsPerMs:  float64(per*threads) / wallMs,
+		AbortMix:  mix,
+		Telemetry: snap,
+	}
+}
+
+func main() {
+	figures := flag.String("figures", "2a,4b,a4,a8", "comma-separated deterministic figure IDs")
+	scale := flag.Float64("scale", 0.05, "simulated measurement window scale")
+	threads := flag.Int("threads", 4, "stress sample goroutines")
+	ops := flag.Int("ops", 20000, "stress sample total operations")
+	keys := flag.Int("keys", 256, "stress sample key range")
+	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
+	flag.Parse()
+
+	rep := report{
+		GeneratedBy: "benchreport",
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Scale:       *scale,
+	}
+	for _, id := range strings.Split(*figures, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		run, ok := deterministic[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown or non-deterministic figure %q\n", id)
+			os.Exit(2)
+		}
+		rep.Figures = append(rep.Figures, toJSON(run(*scale)))
+	}
+	rep.Stress = stressSample(*threads, *ops, *keys)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d figures, stress %d ops @ %d threads)\n",
+		*out, len(rep.Figures), rep.Stress.Ops, rep.Stress.Threads)
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/simds"
 	"repro/internal/simtxn"
@@ -43,7 +45,21 @@ func AblationComposedMoveSim(scale float64) Figure {
 	for _, m := range modes {
 		s := Series{Name: m.name}
 		for _, threads := range []int{2, 4, 8} {
-			tput := measure(threads, w, buildComposedMoveSim(m.mode))
+			tput := measure(threads, w, buildComposedMoveSim(m.mode, 0))
+			s.Points = append(s.Points, Point{Threads: threads, Throughput: tput})
+		}
+		f.Series = append(f.Series, s)
+	}
+	// Footprint sweep: modeled read/write-set caps on the composed fast path
+	// (simtxn.WithCaps), the composition-layer analogue of A4's per-structure
+	// capacity sweep. A tight cap turns every Move's fast-path attempt into a
+	// deterministic capacity abort, sliding the arm onto the MultiCAS
+	// fallback; a generous cap recovers the fast-path curve — so the sweep
+	// pins where the composed footprint sits between the two.
+	for _, caps := range []int{4, 16, 64} {
+		s := Series{Name: fmt.Sprintf("Composed (caps %d words)", caps)}
+		for _, threads := range []int{2, 4, 8} {
+			tput := measure(threads, w, buildComposedMoveSim(composeFast, caps))
 			s.Points = append(s.Points, Point{Threads: threads, Throughput: tput})
 		}
 		f.Series = append(f.Series, s)
@@ -54,8 +70,10 @@ func AblationComposedMoveSim(scale float64) Figure {
 // buildComposedMoveSim prefills half the key range into the tree and runs
 // random-direction Moves between tree and hash table. The composed arms keep
 // the closed world the simtxn adapters require: while the machine runs, the
-// two structures are mutated only through the composition layer.
-func buildComposedMoveSim(mode composeMode) buildFunc {
+// two structures are mutated only through the composition layer. caps > 0
+// bounds the fast path's modeled read- and write-set footprint in distinct
+// words; 0 leaves it machine-limited.
+func buildComposedMoveSim(mode composeMode, caps int) buildFunc {
 	const keyRange = 256
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
 		if mode == composeLocked {
@@ -94,6 +112,9 @@ func buildComposedMoveSim(mode composeMode) buildFunc {
 		mgr := simtxn.New(0).WithPolicy(simPolicy())
 		if mode == composeFallback {
 			mgr.ForceFallback(true)
+		}
+		if caps > 0 {
+			mgr.WithCaps(caps, caps)
 		}
 		b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithPolicy(simPolicy())
 		h := simds.NewSimHash(setup, simds.HashPTO, 64, m.Config().Threads).WithPolicy(simPolicy())

@@ -12,27 +12,45 @@
 //   - committed transactions are strongly atomic: no concurrent reader,
 //     transactional or not, observes a partial commit.
 //
-// Internally this is a single-version, eager-validation STM built on a global
-// sequence lock per Domain (in the spirit of TML/NOrec). Values live in
-// Var[T] cells. Transactional writes are buffered and applied at commit while
-// the domain's sequence lock is held; transactional reads validate that the
-// domain clock has not moved since the transaction began and abort otherwise.
-// Non-transactional writes acquire the same sequence lock for their single
-// update, and non-transactional reads validate against the clock, so no code
-// path can observe a half-applied commit.
+// Internally this is a single-version, lazy-versioning STM in the TL2
+// style: a global commit clock per Domain plus a fixed array of striped
+// ownership records (orecs) — versioned stripe locks hashed by Var
+// identity, each padded to its own cache line. Values live in Var[T]
+// cells. A transaction snapshots the commit clock at begin; every
+// transactional read validates only the stripe of the Var it touches
+// (unlocked, version no newer than the snapshot). Transactional writes are
+// buffered and applied at commit while holding only the written stripes'
+// locks, acquired in ascending stripe order so commits stay deadlock-free.
+// Non-transactional writes lock only their own stripe, and
+// non-transactional reads validate against their stripe word, so no code
+// path can observe a half-applied commit — but, unlike the whole-domain
+// sequence lock this package used to carry, writers to one stripe no
+// longer abort readers and committers of every other stripe. Conflicts are
+// detected per location (modulo stripe aliasing), which is what lets
+// disjoint-footprint operations — different hash buckets, distant skiplist
+// keys, separate BST subtrees — commit concurrently, the way they do under
+// real per-cache-line HTM conflict detection.
+//
+// Stripe aliasing makes conflict detection conservative: two Vars that
+// hash to the same stripe can abort each other without a true data
+// conflict, exactly as two addresses sharing a cache set can on real
+// hardware. The engine classifies each conflict abort (true vs
+// stripe-alias, via the stripe's last-writer record) so telemetry can
+// report the false-conflict rate; see AtomicallyClassified.
 //
 // The one property of real HTM this emulation cannot preserve is progress of
-// the combined system: the commit path holds a lock, so a preempted committer
-// can delay others, whereas real RTM commits in a bounded number of hardware
-// steps. The deterministic machine simulator in internal/sim models true
-// requester-wins HTM and carries the paper's progress and performance claims;
-// this package carries correctness of the PTO code structure under real Go
-// concurrency.
+// the combined system: the commit path holds stripe locks, so a preempted
+// committer can delay others, whereas real RTM commits in a bounded number of
+// hardware steps. The deterministic machine simulator in internal/sim models
+// true requester-wins HTM and carries the paper's progress and performance
+// claims; this package carries correctness of the PTO code structure under
+// real Go concurrency.
 package htm
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync/atomic"
 )
 
@@ -73,32 +91,76 @@ func (s Status) String() string {
 }
 
 // Stats counts transaction outcomes for a Domain. All fields are cumulative.
+// FalseConflicts is the subset of Conflicts the engine attributed to stripe
+// aliasing rather than a true data conflict (see AtomicallyClassified).
 type Stats struct {
-	Commits   uint64
-	Conflicts uint64
-	Capacity  uint64
-	Explicit  uint64
+	Commits        uint64
+	Conflicts      uint64
+	FalseConflicts uint64
+	Capacity       uint64
+	Explicit       uint64
+}
+
+// numStripes is the ownership-record table size. 256 stripes keep the whole
+// table at 16KB (one cache line each) while making accidental aliasing of a
+// handful of hot Vars unlikely; it is a power of two so the hash reduces by
+// mask.
+const numStripes = 256
+
+// stripeWords is the size of a stripe bitmap in 64-bit words.
+const stripeWords = numStripes / 64
+
+// stripe is one ownership record: a versioned lock word guarding every Var
+// that hashes to it, padded out to its own cache line so stripe traffic
+// does not false-share.
+type stripe struct {
+	// word is the ownership record proper. Unlocked it packs version<<1
+	// (version = the domain commit-clock value of the last write through
+	// the stripe); locked it packs ownerVarID<<1 | 1, naming the Var on
+	// whose behalf a writer (a committing transaction, a direct
+	// store/CAS/Add, or a deciding MultiCAS) holds the stripe. Carrying
+	// the owner in the lock word is what lets an aborting reader attribute
+	// a busy-stripe conflict exactly.
+	word atomic.Uint64
+	// lastWriter records the id of the Var most recently written through
+	// this stripe, published before the new version while the stripe is
+	// still locked. It exists purely for conflict attribution: an aborted
+	// reader of Var v that finds lastWriter != v's id was the victim of
+	// stripe aliasing, not of a true data conflict.
+	lastWriter atomic.Uint64
+	_          [48]byte
+}
+
+// stripeOf hashes a Var id onto a stripe index (Fibonacci hashing; the ids
+// are small sequential integers, so multiplicative scrambling is what
+// spreads consecutively allocated Vars across the table).
+func stripeOf(id uint64) uint32 {
+	return uint32((id * 0x9E3779B97F4A7C15) >> 56) % numStripes
 }
 
 // Domain is an independent transactional memory. Transactions in different
 // domains never conflict with each other; a data structure instance typically
 // owns one Domain. The zero value is ready to use.
 type Domain struct {
-	// clock is the sequence lock: even = quiescent, odd = a writer (either a
-	// committing transaction or a non-transactional store/CAS) is applying
-	// updates. Every completed write bumps it by 2.
+	// clock is the TL2-style global commit clock: it only ever advances, by
+	// one per writing commit (transactional or direct). A transaction
+	// snapshots it at begin; a stripe whose version exceeds the snapshot
+	// has been written since the transaction began.
 	clock atomic.Uint64
 
-	commits   atomic.Uint64
-	conflicts atomic.Uint64
-	capacity  atomic.Uint64
-	explicit  atomic.Uint64
+	commits        atomic.Uint64
+	conflicts      atomic.Uint64
+	falseConflicts atomic.Uint64
+	capacity       atomic.Uint64
+	explicit       atomic.Uint64
 
 	// readCap and writeCap bound the transactional footprint; zero means the
 	// package defaults. They model HTM capacity limits and are stored
 	// atomically so they can be retuned while transactions are in flight.
 	readCap  atomic.Int64
 	writeCap atomic.Int64
+
+	stripes [numStripes]stripe
 }
 
 // Default capacity limits, chosen to approximate an L1-bounded write set and
@@ -134,10 +196,11 @@ func (d *Domain) SetCapacity(readCap, writeCap int) {
 // Stats returns a snapshot of the domain's cumulative transaction outcomes.
 func (d *Domain) Stats() Stats {
 	return Stats{
-		Commits:   d.commits.Load(),
-		Conflicts: d.conflicts.Load(),
-		Capacity:  d.capacity.Load(),
-		Explicit:  d.explicit.Load(),
+		Commits:        d.commits.Load(),
+		Conflicts:      d.conflicts.Load(),
+		FalseConflicts: d.falseConflicts.Load(),
+		Capacity:       d.capacity.Load(),
+		Explicit:       d.explicit.Load(),
 	}
 }
 
@@ -158,21 +221,39 @@ func (d *Domain) caps() (int, int) {
 	return r, w
 }
 
-// lock spins until it holds the domain's sequence lock and returns the value
-// the clock had before it was taken (always even).
-func (d *Domain) lock() uint64 {
+// acquire spins until it holds stripe idx's lock on behalf of Var owner,
+// returning the stripe and its pre-lock word (even: version<<1). Only
+// single-stripe writers and the MultiCAS decision use it; transactional
+// commits never spin on a stripe (they abort instead), which is what keeps
+// the spin here short.
+func (d *Domain) acquire(idx uint32, owner uint64) (*stripe, uint64) {
+	s := &d.stripes[idx]
 	for {
-		s := d.clock.Load()
-		if s&1 == 0 && d.clock.CompareAndSwap(s, s+1) {
-			return s
+		w := s.word.Load()
+		if w&1 == 0 && s.word.CompareAndSwap(w, owner<<1|1) {
+			return s, w
 		}
 		runtime.Gosched()
 	}
 }
 
-// unlock releases the sequence lock taken at clock value s.
-func (d *Domain) unlock(s uint64) {
-	d.clock.Store(s + 2)
+// aliasConflict classifies a conflict that Var varID's owner observed as
+// stripe word (the word that failed validation): true when the interfering
+// writer was a *different* Var, i.e. the abort is due to stripe aliasing
+// rather than a write to the data the transaction actually touched. A
+// locked word names its owner directly; an advanced version is attributed
+// to the stripe's last-writer record, which every writer publishes before
+// the version it installs. The split can still misattribute when a true
+// and an aliased writer pass through the stripe back to back — attribution
+// goes to the latest — which is the same precision real HTM offers
+// profilers: per-line, not per-address.
+func (d *Domain) aliasConflict(word uint64, idx uint32, varID uint64) bool {
+	if word&1 != 0 {
+		owner := word >> 1
+		return owner != 0 && owner != varID
+	}
+	w := d.stripes[idx].lastWriter.Load()
+	return w != 0 && w != varID
 }
 
 // cell is the immutable box a Var points at. desc == nil means the Var holds
@@ -184,8 +265,8 @@ type cell[T comparable] struct {
 	desc *MultiDesc
 }
 
-// varIDs issues the global order MultiCAS claims follow; ids are assigned
-// lazily so Vars that never participate in a MultiCAS pay nothing.
+// varIDs issues Var identities: the global order MultiCAS claims follow and
+// the input of the stripe hash.
 var varIDs atomic.Uint64
 
 // Var is a transactional cell holding a value of comparable type T. Vars must
@@ -195,26 +276,21 @@ var varIDs atomic.Uint64
 // path used by fallback code. Vars additionally participate in MultiCAS, the
 // lock-free multi-Var publication primitive of the composition layer.
 type Var[T comparable] struct {
-	d  *Domain
-	id atomic.Uint64
-	p  atomic.Pointer[cell[T]]
+	d    *Domain
+	id   uint64
+	sidx uint32
+	p    atomic.Pointer[cell[T]]
 }
 
 // Init binds an embedded Var to domain d and sets its initial value. It must
 // be called exactly once, before any concurrent access; it is intended for
-// initializing Var fields of freshly allocated nodes.
+// initializing Var fields of freshly allocated nodes. Init assigns the Var
+// its identity — its MultiCAS ordering id and its conflict-detection stripe.
 func (v *Var[T]) Init(d *Domain, init T) {
 	v.d = d
+	v.id = varIDs.Add(1)
+	v.sidx = stripeOf(v.id)
 	v.p.Store(&cell[T]{val: init})
-}
-
-// ensureID returns the Var's MultiCAS ordering id, assigning it on first use.
-func (v *Var[T]) ensureID() uint64 {
-	if id := v.id.Load(); id != 0 {
-		return id
-	}
-	v.id.CompareAndSwap(0, varIDs.Add(1))
-	return v.id.Load()
 }
 
 // NewVar allocates a Var bound to domain d holding init.
@@ -231,26 +307,48 @@ func (v *Var[T]) Domain() *Domain { return v.d }
 type abortSignal struct {
 	status Status
 	code   int
+	// alias marks a conflict abort attributed to stripe aliasing.
+	alias bool
+}
+
+// stripeRec is one touched stripe of a transaction: the stripe index, the
+// id of the (first) Var the transaction touched there — kept for conflict
+// attribution — and, on the commit path, the stripe's pre-lock word for
+// validation and rollback.
+type stripeRec struct {
+	idx   uint32
+	varID uint64
+	prev  uint64
 }
 
 // Tx is an in-flight transaction. A Tx is only valid inside the function
 // passed to Atomically and must not be retained, shared between goroutines,
 // or used after that function returns.
 type Tx struct {
-	d        *Domain
-	snapshot uint64
+	d  *Domain
+	rv uint64 // commit-clock snapshot taken at begin (the TL2 read version)
+
 	reads    int
+	readSet  [stripeWords]uint64 // stripes with at least one transactional read
+	readRecs []stripeRec         // one record per read stripe, first-touch order
+
 	// writes is the redo log: insertion-ordered so commit write-back follows
 	// program order of first-writes, plus an index for read-own-writes.
 	writeIdx map[any]int
 	writeLog []writeEntry
+
 	readCap  int
 	writeCap int
 	code     int
+	// alias records whether the abort that ended this attempt (if any) was
+	// a conflict attributed to stripe aliasing.
+	alias bool
 }
 
 type writeEntry struct {
 	key   any
+	sidx  uint32
+	varID uint64
 	boxed any // the pending value, boxed, for read-own-writes
 	apply func(boxed any)
 }
@@ -266,13 +364,21 @@ func (tx *Tx) Abort(code int) {
 	panic(abortSignal{status: AbortExplicit, code: code})
 }
 
-// validate aborts the transaction if the domain clock has moved since the
-// snapshot was taken, i.e. some writer committed; this is the conservative
-// conflict detection of a global-clock STM.
-func (tx *Tx) validate() {
-	if tx.d.clock.Load() != tx.snapshot {
-		panic(abortSignal{status: AbortConflict})
+// conflict aborts the transaction with AbortConflict, classifying the
+// abort against the stripe word that failed validation. It does not return.
+func (tx *Tx) conflict(word uint64, idx uint32, varID uint64) {
+	panic(abortSignal{status: AbortConflict, alias: tx.d.aliasConflict(word, idx, varID)})
+}
+
+// recordRead adds the stripe to the transaction's read set (first touch
+// only; later reads through the same stripe are already covered).
+func (tx *Tx) recordRead(idx uint32, varID uint64) {
+	w, b := idx>>6, uint64(1)<<(idx&63)
+	if tx.readSet[w]&b != 0 {
+		return
 	}
+	tx.readSet[w] |= b
+	tx.readRecs = append(tx.readRecs, stripeRec{idx: idx, varID: varID})
 }
 
 // Atomically runs f as a single transaction attempt against domain d and
@@ -289,21 +395,26 @@ func (tx *Tx) validate() {
 //
 // Nesting is not supported: f must not call Atomically.
 func (d *Domain) Atomically(f func(tx *Tx)) Status {
+	st, _ := d.AtomicallyClassified(f)
+	return st
+}
+
+// AtomicallyClassified is Atomically plus conflict attribution: when the
+// attempt ends in AbortConflict, the second result reports whether the
+// engine classified the conflict as a stripe-alias (false) conflict — an
+// abort caused by an unrelated Var sharing the touched Var's ownership
+// record — rather than a true data conflict. It is always false for the
+// other statuses. Retry policies treat both kinds the same (both are
+// transient); the split exists for telemetry, so tuning can distinguish
+// contention that more stripes would cure from contention that is real.
+func (d *Domain) AtomicallyClassified(f func(tx *Tx)) (Status, bool) {
 	rc, wc := d.caps()
 	tx := &Tx{
 		d:        d,
+		rv:       d.clock.Load(),
 		writeIdx: make(map[any]int, 8),
 		readCap:  rc,
 		writeCap: wc,
-	}
-	// Wait for a quiescent clock so the snapshot is even.
-	for {
-		s := d.clock.Load()
-		if s&1 == 0 {
-			tx.snapshot = s
-			break
-		}
-		runtime.Gosched()
 	}
 	status := d.attempt(tx, f)
 	switch status {
@@ -311,12 +422,15 @@ func (d *Domain) Atomically(f func(tx *Tx)) Status {
 		d.commits.Add(1)
 	case AbortConflict:
 		d.conflicts.Add(1)
+		if tx.alias {
+			d.falseConflicts.Add(1)
+		}
 	case AbortCapacity:
 		d.capacity.Add(1)
 	case AbortExplicit:
 		d.explicit.Add(1)
 	}
-	return status
+	return status, status == AbortConflict && tx.alias
 }
 
 func (d *Domain) attempt(tx *Tx, f func(tx *Tx)) (status Status) {
@@ -324,6 +438,7 @@ func (d *Domain) attempt(tx *Tx, f func(tx *Tx)) (status Status) {
 		if r := recover(); r != nil {
 			if sig, ok := r.(abortSignal); ok {
 				status = sig.status
+				tx.alias = sig.alias
 				return
 			}
 			panic(r)
@@ -333,31 +448,107 @@ func (d *Domain) attempt(tx *Tx, f func(tx *Tx)) (status Status) {
 	return tx.commit()
 }
 
-// commit publishes the write log. Read-only transactions commit without
-// touching the clock, mirroring the cheapness of read-only HTM commits.
+// commit publishes the write log with the TL2 protocol: lock the written
+// stripes in ascending stripe order (aborting, never spinning, on a busy
+// stripe — deadlock freedom against other committers and MultiCAS
+// decisions), draw a new commit timestamp, validate the read set, apply the
+// log, and release the stripes at the new version. Read-only transactions
+// commit without any locking or validation at all — every read was already
+// validated against the begin snapshot, so the transaction serializes
+// there — mirroring the cheapness of read-only HTM commits.
 func (tx *Tx) commit() Status {
 	if len(tx.writeLog) == 0 {
-		tx.validate()
 		return Committed
 	}
-	// Acquire the sequence lock only if the clock still equals our snapshot;
-	// any other value means a writer committed during our execution and our
-	// reads may be stale.
-	if !tx.d.clock.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
-		return AbortConflict
+	d := tx.d
+
+	// Deduplicate the write log onto stripes and sort ascending.
+	var wset [stripeWords]uint64
+	recs := make([]stripeRec, 0, 8)
+	for i := range tx.writeLog {
+		e := &tx.writeLog[i]
+		w, b := e.sidx>>6, uint64(1)<<(e.sidx&63)
+		if wset[w]&b != 0 {
+			continue
+		}
+		wset[w] |= b
+		recs = append(recs, stripeRec{idx: e.sidx, varID: e.varID})
 	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].idx < recs[j].idx })
+
+	// Lock phase. On failure restore every stripe already taken.
+	for i := range recs {
+		s := &d.stripes[recs[i].idx]
+		w := s.word.Load()
+		if w&1 != 0 || !s.word.CompareAndSwap(w, recs[i].varID<<1|1) {
+			tx.alias = d.aliasConflict(s.word.Load(), recs[i].idx, recs[i].varID)
+			tx.unlock(recs[:i], 0)
+			return AbortConflict
+		}
+		recs[i].prev = w
+	}
+
+	wv := d.clock.Add(1)
+	// Validate the read set unless no one committed since our snapshot (in
+	// which case every read is trivially still current).
+	if wv != tx.rv+1 {
+		for _, r := range tx.readRecs {
+			if wset[r.idx>>6]&(1<<(r.idx&63)) != 0 {
+				// We hold this stripe's lock; judge it by its pre-lock word.
+				if prev := prevOf(recs, r.idx); prev>>1 > tx.rv {
+					tx.alias = d.aliasConflict(prev, r.idx, r.varID)
+					tx.unlock(recs, 0)
+					return AbortConflict
+				}
+				continue
+			}
+			if w := d.stripes[r.idx].word.Load(); w&1 != 0 || w>>1 > tx.rv {
+				tx.alias = d.aliasConflict(w, r.idx, r.varID)
+				tx.unlock(recs, 0)
+				return AbortConflict
+			}
+		}
+	}
+
+	// Apply the redo log and release the stripes at the new version.
 	for i := range tx.writeLog {
 		e := &tx.writeLog[i]
 		e.apply(e.boxed)
 	}
-	tx.d.unlock(tx.snapshot)
+	tx.unlock(recs, wv<<1)
 	return Committed
 }
 
+// unlock releases the given locked stripe records: to word (the new
+// version) when non-zero — publishing each stripe's last-writer record
+// first, while still holding the lock — or back to each stripe's pre-lock
+// word on abort, leaving the attribution records untouched (an aborted
+// commit wrote nothing).
+func (tx *Tx) unlock(recs []stripeRec, word uint64) {
+	for i := range recs {
+		s := &tx.d.stripes[recs[i].idx]
+		if word == 0 {
+			s.word.Store(recs[i].prev)
+			continue
+		}
+		s.lastWriter.Store(recs[i].varID)
+		s.word.Store(word)
+	}
+}
+
+// prevOf returns the pre-lock word recorded for stripe idx in the sorted
+// lock records.
+func prevOf(recs []stripeRec, idx uint32) uint64 {
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].idx >= idx })
+	return recs[i].prev
+}
+
 // Load reads v. With a non-nil tx it is a transactional read: it returns the
-// transaction's own pending write if any, validates the snapshot, and counts
-// against the read capacity. With tx == nil it is a direct read that never
-// observes a partially applied commit (it retries across writer windows).
+// transaction's own pending write if any, validates v's stripe against the
+// begin snapshot (aborting if the stripe is locked or has been written since
+// the transaction began), and counts against the read capacity. With
+// tx == nil it is a direct read that never observes a partially applied
+// commit (it retries across the stripe's writer windows).
 func Load[T comparable](tx *Tx, v *Var[T]) T {
 	if tx != nil {
 		if i, ok := tx.writeIdx[v]; ok {
@@ -367,19 +558,27 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 		if tx.reads > tx.readCap {
 			panic(abortSignal{status: AbortCapacity})
 		}
+		s := &v.d.stripes[v.sidx]
+		pre := s.word.Load()
+		if pre&1 != 0 || pre>>1 > tx.rv {
+			tx.conflict(pre, v.sidx, v.id)
+		}
 		x := loadResolved(v)
-		tx.validate()
+		if w := s.word.Load(); w != pre {
+			tx.conflict(w, v.sidx, v.id)
+		}
+		tx.recordRead(v.sidx, v.id)
 		return x
 	}
-	d := v.d
+	s := &v.d.stripes[v.sidx]
 	for {
-		s := d.clock.Load()
-		if s&1 != 0 {
+		pre := s.word.Load()
+		if pre&1 != 0 {
 			runtime.Gosched()
 			continue
 		}
 		x := loadResolved(v)
-		if d.clock.Load() == s {
+		if s.word.Load() == pre {
 			return x
 		}
 	}
@@ -388,8 +587,8 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 // loadResolved reads v's cell, finishing the release phase of any completed
 // MultiCAS it encounters. An undecided or failed descriptor is transparent:
 // the claimed cell still carries the logical (old) value, and if the
-// operation later succeeds its decision bumps the clock, which the caller's
-// validation catches.
+// operation later succeeds its decision bumps the stripes of its write
+// legs, which the caller's stripe validation catches.
 func loadResolved[T comparable](v *Var[T]) T {
 	for {
 		c := v.p.Load()
@@ -401,12 +600,11 @@ func loadResolved[T comparable](v *Var[T]) T {
 	}
 }
 
-// storeLocked installs x in v's cell. It must be called with v's domain
-// sequence lock held: an undecided MultiCAS descriptor found on the cell is
-// killed (it cannot reach its decision while we hold the lock, so the status
-// CAS cannot race with a commit), and a decided one — whose clock bump
-// necessarily preceded our lock acquisition — is released before we
-// overwrite.
+// storeLocked installs x in v's cell. It must be called with v's stripe
+// lock held: an undecided MultiCAS descriptor found on the cell is killed
+// (its decision must acquire this stripe too, so the status CAS cannot race
+// with a commit), and a decided one — whose stripe bump necessarily
+// preceded our lock acquisition — is released before we overwrite.
 func storeLocked[T comparable](v *Var[T], x T) {
 	for {
 		c := v.p.Load()
@@ -423,7 +621,7 @@ func storeLocked[T comparable](v *Var[T], x T) {
 
 // Store writes x to v. With a non-nil tx the write is buffered and becomes
 // visible atomically at commit; with tx == nil it is applied immediately
-// under the domain's sequence lock.
+// under v's stripe lock.
 func Store[T comparable](tx *Tx, v *Var[T], x T) {
 	if tx != nil {
 		if i, ok := tx.writeIdx[v]; ok {
@@ -436,6 +634,8 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		tx.writeIdx[v] = len(tx.writeLog)
 		tx.writeLog = append(tx.writeLog, writeEntry{
 			key:   v,
+			sidx:  v.sidx,
+			varID: v.id,
 			boxed: x,
 			apply: func(boxed any) {
 				storeLocked(v, boxed.(T))
@@ -444,16 +644,19 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		return
 	}
 	d := v.d
-	s := d.lock()
+	s, _ := d.acquire(v.sidx, v.id)
 	storeLocked(v, x)
-	d.unlock(s)
+	s.lastWriter.Store(v.id)
+	s.word.Store(d.clock.Add(1) << 1)
 }
 
 // CAS atomically compares v against old and, if equal, replaces it with new,
 // reporting whether the swap happened. Inside a transaction this degenerates
 // to a load, a comparison, and a buffered store — exactly the CAS-to-branch
 // strength reduction of §2.3 — at no extra synchronization cost. Outside a
-// transaction it is a linearizable compare-and-swap.
+// transaction it is a linearizable compare-and-swap. A failed direct CAS
+// does not advance the stripe version: the logical value did not change, so
+// overlapping transactions have nothing to observe.
 func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 	if tx != nil {
 		if Load(tx, v) != old {
@@ -463,7 +666,7 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 		return true
 	}
 	d := v.d
-	s := d.lock()
+	s, prev := d.acquire(v.sidx, v.id)
 	ok := false
 	for {
 		c := v.p.Load()
@@ -480,7 +683,12 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 			break
 		}
 	}
-	d.unlock(s)
+	if ok {
+		s.lastWriter.Store(v.id)
+		s.word.Store(d.clock.Add(1) << 1)
+	} else {
+		s.word.Store(prev)
+	}
 	return ok
 }
 
@@ -492,7 +700,7 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 		return x
 	}
 	d := v.d
-	s := d.lock()
+	s, _ := d.acquire(v.sidx, v.id)
 	var x uint64
 	for {
 		c := v.p.Load()
@@ -506,6 +714,7 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 			break
 		}
 	}
-	d.unlock(s)
+	s.lastWriter.Store(v.id)
+	s.word.Store(d.clock.Add(1) << 1)
 	return x
 }

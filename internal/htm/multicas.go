@@ -9,10 +9,10 @@ import (
 // This file implements a lock-free multi-word CAS over Var cells — the
 // internal/mcas algorithm (Harris-Fraser-Pratt style claims with helping)
 // lifted from raw 64-bit words to typed transactional Vars, and made
-// interoperable with the domain's sequence-lock STM. It is the publication
-// primitive for the transactional composition layer (internal/txn): when the
-// HTM fast path is unavailable, a composed operation's validated read-set and
-// staged write-set are installed in one MultiCAS.
+// interoperable with the striped-orec STM. It is the publication primitive
+// for the transactional composition layer (internal/txn): when the HTM fast
+// path is unavailable, a composed operation's validated read-set and staged
+// write-set are installed in one MultiCAS.
 //
 // Interoperation protocol with the STM (the part raw MCAS does not need):
 //
@@ -21,25 +21,32 @@ import (
 //     foreign descriptor encountered. A claimed cell still carries the old
 //     value, so readers never block on an undecided operation.
 //   - The decision (undecided → succeeded) happens while holding the
-//     domain's sequence lock. Acquiring and releasing the lock bumps the
-//     domain clock, which aborts every overlapping transaction — exactly the
-//     conflict a committed MCAS must signal — and, symmetrically, a
-//     transaction that commits first makes the MCAS decision wait.
+//     stripes of every entry's Var, acquired in ascending stripe order —
+//     the same order committing transactions lock their write stripes, so
+//     the two can never deadlock (and committers abort rather than wait on
+//     a busy stripe anyway). A successful decision bumps the domain commit
+//     clock and releases each write leg's stripe at the new version, which
+//     aborts exactly the transactions that overlap the MCAS's write
+//     footprint — no longer every transaction in the domain, as the old
+//     whole-domain sequence lock did. Validation-only legs (Old == New)
+//     leave their stripe version untouched: their values do not change, so
+//     overlapping readers have nothing to observe.
 //   - A committing transaction or direct writer that finds an *undecided*
 //     descriptor on a cell it writes kills it (undecided → failed): the
-//     descriptor cannot reach its decision while the writer holds the lock,
-//     so the kill is race-free, and the failed MCAS simply re-captures and
-//     retries. Every kill is paid for by a successful commit, so the system
-//     as a whole remains lock-free (the Theorem 2 analogue for composition).
+//     writer holds that cell's stripe, which the descriptor's decision must
+//     also acquire, so the kill cannot race with a concurrent decision, and
+//     the failed MCAS simply re-captures and retries. Every kill is paid
+//     for by a successful commit, so the system as a whole remains
+//     lock-free (the Theorem 2 analogue for composition).
 //   - Readers (transactional or direct) that find a *succeeded* descriptor
 //     finish its release phase and re-read; undecided and failed descriptors
 //     are transparent (the cell's value is still the logical value).
 //
 // On real RTM none of this is needed — the fallback MCAS and hardware
-// transactions conflict through the cache-coherence protocol. The
-// sequence-lock choreography is the software-emulation analogue, and it
-// inherits the package's documented caveat that a preempted lock holder can
-// delay (but not block) the decision of concurrent MCASes.
+// transactions conflict through the cache-coherence protocol. The stripe
+// choreography is the software-emulation analogue, and it inherits the
+// package's documented caveat that a preempted stripe holder can delay
+// (but not block) the decision of concurrent MCASes.
 
 // MultiCAS descriptor statuses.
 const (
@@ -70,6 +77,8 @@ type MultiDesc struct {
 // makes the leg a pure validation (a DCSS read-guard generalized to N legs).
 type Entry interface {
 	varID() uint64
+	stripeIdx() uint32
+	writes() bool
 	dom() *Domain
 	claim(m *MultiDesc) (claimResult, *MultiDesc)
 	release(m *MultiDesc, success bool)
@@ -85,7 +94,6 @@ type Update[T comparable] struct {
 
 // NewUpdate stages a MultiCAS leg replacing old with new on v.
 func NewUpdate[T comparable](v *Var[T], old, new T) *Update[T] {
-	v.ensureID()
 	return &Update[T]{v: v, old: old, new: new}
 }
 
@@ -102,8 +110,10 @@ func (u *Update[T]) SetNew(x T) { u.new = x }
 // IsWrite reports whether the leg changes the value.
 func (u *Update[T]) IsWrite() bool { return u.old != u.new }
 
-func (u *Update[T]) varID() uint64 { return u.v.ensureID() }
-func (u *Update[T]) dom() *Domain  { return u.v.d }
+func (u *Update[T]) varID() uint64     { return u.v.id }
+func (u *Update[T]) stripeIdx() uint32 { return u.v.sidx }
+func (u *Update[T]) writes() bool      { return u.old != u.new }
+func (u *Update[T]) dom() *Domain      { return u.v.d }
 
 func (u *Update[T]) claim(m *MultiDesc) (claimResult, *MultiDesc) {
 	for {
@@ -137,7 +147,7 @@ func (u *Update[T]) release(m *MultiDesc, success bool) {
 
 // holds reports whether the Var currently contains the leg's old value,
 // resolving any completed MultiCAS first. It is only meaningful inside a
-// stable clock window (see MultiValidate).
+// stable stripe window (see MultiValidate).
 func (u *Update[T]) holds() bool {
 	for {
 		c := u.v.p.Load()
@@ -199,17 +209,69 @@ claim:
 	m.releaseAll()
 }
 
-// decide moves an undecided descriptor to succeeded under the domain's
-// sequence lock. Holding the lock serializes the decision against committing
-// transactions (which kill undecided descriptors they collide with), and the
-// clock bump aborts every transaction whose snapshot predates the MCAS.
+// decStripe is one stripe involved in a MultiCAS decision: a stripe with at
+// least one write leg is a write stripe and gets the new commit version; a
+// validation-only stripe is restored to its pre-lock word.
+type decStripe struct {
+	idx   uint32
+	varID uint64 // a writing Var in the stripe, for the last-writer record
+	write bool
+	prev  uint64
+}
+
+// decide moves an undecided descriptor to succeeded while holding the
+// stripes of every entry, acquired in ascending stripe order (deadlock-free
+// against committing transactions, direct writers, and other decisions).
+// Holding the stripes serializes the decision against writers that kill
+// undecided descriptors they collide with; exactly one caller wins the
+// status CAS under the locks, and only the winner bumps the commit clock
+// and publishes the new stripe versions — which aborts precisely the
+// transactions overlapping the operation's write footprint.
 func (m *MultiDesc) decide() {
 	if m.status.Load() != mwUndecided {
 		return
 	}
-	s := m.d.lock()
-	m.status.CompareAndSwap(mwUndecided, mwSucceeded)
-	m.d.unlock(s)
+	d := m.d
+	stripes := make([]decStripe, 0, len(m.entries))
+merge:
+	for _, e := range m.entries {
+		idx := e.stripeIdx()
+		for i := range stripes {
+			if stripes[i].idx == idx {
+				if e.writes() && !stripes[i].write {
+					stripes[i].write = true
+					stripes[i].varID = e.varID()
+				}
+				continue merge
+			}
+		}
+		stripes = append(stripes, decStripe{idx: idx, varID: e.varID(), write: e.writes()})
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i].idx < stripes[j].idx })
+	for i := range stripes {
+		_, prev := d.acquire(stripes[i].idx, stripes[i].varID)
+		stripes[i].prev = prev
+	}
+	if m.status.CompareAndSwap(mwUndecided, mwSucceeded) {
+		wv := d.clock.Add(1)
+		for i := range stripes {
+			s := &d.stripes[stripes[i].idx]
+			if stripes[i].write {
+				s.lastWriter.Store(stripes[i].varID)
+				s.word.Store(wv << 1)
+			} else {
+				s.word.Store(stripes[i].prev)
+			}
+		}
+		return
+	}
+	// Lost the race: another helper already decided (and, if it succeeded,
+	// already published the new versions — our pre-lock words are those),
+	// or a writer killed the descriptor. Either way the stripes go back to
+	// what we found.
+	for i := range stripes {
+		d.stripes[stripes[i].idx].word.Store(stripes[i].prev)
+	}
 }
 
 // releaseAll returns every claimed cell to a plain value: the new value if
@@ -222,32 +284,53 @@ func (m *MultiDesc) releaseAll() {
 }
 
 // MultiValidate reports whether every entry holds its old value at a single
-// instant: the checks run inside one even-clock window, so no transaction or
-// MultiCAS committed while they ran. It is the read-only commit of the
-// composition layer's fallback path — validation without publication.
+// instant: the checks run inside one window in which every involved stripe
+// stayed unlocked and unchanged, so no writer touched any of the entries'
+// Vars while they ran — but, unlike the old whole-domain even-clock window,
+// writers elsewhere in the domain no longer invalidate the window. It is
+// the read-only commit of the composition layer's fallback path —
+// validation without publication.
 func MultiValidate(entries ...Entry) bool {
 	if len(entries) == 0 {
 		return true
 	}
 	d := entries[0].dom()
+	var seen [stripeWords]uint64
+	idxs := make([]uint32, 0, len(entries))
+	for _, e := range entries {
+		if e.dom() != d {
+			panic("htm: MultiValidate entries span domains")
+		}
+		i := e.stripeIdx()
+		w, b := i>>6, uint64(1)<<(i&63)
+		if seen[w]&b == 0 {
+			seen[w] |= b
+			idxs = append(idxs, i)
+		}
+	}
+	snaps := make([]uint64, len(idxs))
+retry:
 	for {
-		s := d.clock.Load()
-		if s&1 != 0 {
-			runtime.Gosched()
-			continue
+		for i, idx := range idxs {
+			w := d.stripes[idx].word.Load()
+			if w&1 != 0 {
+				runtime.Gosched()
+				continue retry
+			}
+			snaps[i] = w
 		}
 		ok := true
 		for _, e := range entries {
-			if e.dom() != d {
-				panic("htm: MultiValidate entries span domains")
-			}
 			if !e.holds() {
 				ok = false
 				break
 			}
 		}
-		if d.clock.Load() == s {
-			return ok
+		for i, idx := range idxs {
+			if d.stripes[idx].word.Load() != snaps[i] {
+				continue retry
+			}
 		}
+		return ok
 	}
 }

@@ -1,0 +1,220 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+)
+
+// aliasVar allocates Vars until one hashes to the same stripe as a — the
+// deliberate stripe-alias pair the classification tests need. The Fibonacci
+// stripe hash walks every bucket within a few multiples of the table size,
+// so the loop bound is generous.
+func aliasVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
+	t.Helper()
+	for i := 0; i < 16*numStripes; i++ {
+		b := NewVar(d, 0)
+		if b.sidx == a.sidx {
+			return b
+		}
+	}
+	t.Fatalf("no Var aliasing stripe %d after %d allocations", a.sidx, 16*numStripes)
+	return nil
+}
+
+// disjointVar allocates Vars until one hashes to a different stripe than a.
+func disjointVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
+	t.Helper()
+	for i := 0; i < 16*numStripes; i++ {
+		b := NewVar(d, 0)
+		if b.sidx != a.sidx {
+			return b
+		}
+	}
+	t.Fatalf("no Var avoiding stripe %d after %d allocations", a.sidx, 16*numStripes)
+	return nil
+}
+
+// TestDisjointWriterDoesNotAbort is the tentpole's deterministic payoff: a
+// non-transactional write to a Var on a *different* stripe lands mid-
+// transaction and the transaction still commits — under the old whole-
+// domain sequence lock any writer anywhere aborted every in-flight
+// transaction.
+func TestDisjointWriterDoesNotAbort(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 1)
+	b := disjointVar(t, d, a)
+	st := d.Atomically(func(tx *Tx) {
+		if Load(tx, a) != 1 {
+			t.Error("wrong initial read")
+		}
+		Store(nil, b, 9) // disjoint stripe: must not doom this tx
+		if Load(tx, a) != 1 {
+			t.Error("re-read after disjoint write changed value")
+		}
+		Store(tx, a, 2)
+	})
+	if st != Committed {
+		t.Fatalf("status = %v, want commit despite disjoint writer", st)
+	}
+	if Load(nil, a) != 2 || Load(nil, b) != 9 {
+		t.Fatalf("a=%d b=%d after commit", Load(nil, a), Load(nil, b))
+	}
+	if s := d.Stats(); s.Conflicts != 0 {
+		t.Fatalf("conflicts = %d, want 0", s.Conflicts)
+	}
+}
+
+// TestMultiCASDisjointFromTxDoesNotAbort checks the MultiCAS interop under
+// striping: a MultiCAS whose footprint shares no stripe with an overlapping
+// transaction no longer aborts it (the old decision bumped the whole-domain
+// clock).
+func TestMultiCASDisjointFromTxDoesNotAbort(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 1)
+	x := disjointVar(t, d, a)
+	y := disjointVar(t, d, a)
+	st := d.Atomically(func(tx *Tx) {
+		Load(tx, a)
+		if !MultiCAS(NewUpdate(x, 0, 5), NewUpdate(y, 0, 6)) {
+			t.Error("MultiCAS failed")
+		}
+		Load(tx, a)
+		Store(tx, a, 2)
+	})
+	if st != Committed {
+		t.Fatalf("status = %v, want commit despite disjoint MultiCAS", st)
+	}
+	if Load(nil, x) != 5 || Load(nil, y) != 6 || Load(nil, a) != 2 {
+		t.Fatal("values after disjoint MultiCAS + commit are wrong")
+	}
+}
+
+// TestAliasConflictClassifiedFalse: a write to an unrelated Var that shares
+// the read Var's stripe aborts the transaction (striping is conservative),
+// and the engine attributes the abort to aliasing.
+func TestAliasConflictClassifiedFalse(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 1)
+	b := aliasVar(t, d, a)
+	st, alias := d.AtomicallyClassified(func(tx *Tx) {
+		Load(tx, a)
+		Store(nil, b, 7) // same stripe, different Var
+		Load(tx, a)      // stripe version moved: must abort
+		t.Error("read survived an aliased stripe write")
+	})
+	if st != AbortConflict || !alias {
+		t.Fatalf("(status, alias) = (%v, %v), want (conflict, true)", st, alias)
+	}
+	if s := d.Stats(); s.Conflicts != 1 || s.FalseConflicts != 1 {
+		t.Fatalf("stats = %+v, want the conflict counted as false", s)
+	}
+}
+
+// TestTrueConflictClassifiedTrue: a write to the Var the transaction
+// actually read is attributed as a true conflict.
+func TestTrueConflictClassifiedTrue(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 1)
+	st, alias := d.AtomicallyClassified(func(tx *Tx) {
+		Load(tx, a)
+		Store(nil, a, 7)
+		Load(tx, a)
+		t.Error("read survived a write to the same Var")
+	})
+	if st != AbortConflict || alias {
+		t.Fatalf("(status, alias) = (%v, %v), want (conflict, false)", st, alias)
+	}
+	if s := d.Stats(); s.Conflicts != 1 || s.FalseConflicts != 0 {
+		t.Fatalf("stats = %+v, want the conflict counted as true", s)
+	}
+}
+
+// TestCommitValidationClassifiesAlias drives the classification through the
+// commit-time read-set validation path rather than the read path: the
+// transaction's last action before returning is the aliased write, so only
+// commit can detect it.
+func TestCommitValidationClassifiesAlias(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 1)
+	w := NewVar(d, 0) // write target, any stripe not aliasing a
+	if w.sidx == a.sidx {
+		w = disjointVar(t, d, a)
+	}
+	b := aliasVar(t, d, a)
+	st, alias := d.AtomicallyClassified(func(tx *Tx) {
+		Load(tx, a)
+		Store(tx, w, 1)
+		Store(nil, b, 7) // aliases a's stripe; caught at commit validation
+	})
+	if st != AbortConflict || !alias {
+		t.Fatalf("(status, alias) = (%v, %v), want (conflict, true)", st, alias)
+	}
+}
+
+// TestDisjointCommitParallelism: transactions whose footprints live on
+// different stripes run concurrently without ever aborting one another.
+func TestDisjointCommitParallelism(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 0)
+	b := disjointVar(t, d, a)
+	const opsPer = 5000
+	var wg sync.WaitGroup
+	for _, v := range []*Var[int]{a, b} {
+		wg.Add(1)
+		go func(v *Var[int]) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				if st := d.Atomically(func(tx *Tx) {
+					Store(tx, v, Load(tx, v)+1)
+				}); st != Committed {
+					t.Errorf("disjoint tx aborted: %v", st)
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	if Load(nil, a) != opsPer || Load(nil, b) != opsPer {
+		t.Fatalf("a=%d b=%d, want %d each", Load(nil, a), Load(nil, b), opsPer)
+	}
+	if s := d.Stats(); s.Conflicts != 0 {
+		t.Fatalf("conflicts = %d on disjoint stripes, want 0", s.Conflicts)
+	}
+}
+
+// TestAliasedStripesLinearizable hammers two Vars that share a stripe from
+// one goroutine each (run it under -race): every increment must survive
+// despite the aliased footprints, and — since each Var has a single writer —
+// every conflict between the two goroutines is by construction a stripe
+// alias, so the classifier must attribute all of them as false.
+func TestAliasedStripesLinearizable(t *testing.T) {
+	d := NewDomain(0, 0)
+	a := NewVar(d, 0)
+	b := aliasVar(t, d, a)
+	const opsPer = 5000
+	var wg sync.WaitGroup
+	for _, v := range []*Var[int]{a, b} {
+		wg.Add(1)
+		go func(v *Var[int]) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				for {
+					if d.Atomically(func(tx *Tx) {
+						Store(tx, v, Load(tx, v)+1)
+					}) == Committed {
+						break
+					}
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	if Load(nil, a) != opsPer || Load(nil, b) != opsPer {
+		t.Fatalf("a=%d b=%d, want %d each: aliased stripes lost updates",
+			Load(nil, a), Load(nil, b), opsPer)
+	}
+	s := d.Stats()
+	if s.FalseConflicts != s.Conflicts {
+		t.Fatalf("stats = %+v: single-writer aliased Vars must classify every conflict as false", s)
+	}
+}

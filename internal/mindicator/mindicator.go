@@ -15,8 +15,10 @@
 // whose value the update does not change. Because the two child reads and the
 // parent CAS are not atomic, an upward pass alone can install a stale
 // minimum; the baseline therefore makes a second, downward validation pass
-// over the same ancestors — re-reading children and re-fixing any node that
-// went stale — before returning. This up-then-down structure (a versioned
+// over the same ancestors — re-reading children, re-fixing any node that
+// went stale, and bubbling each such fix toward the root (a value installed
+// by validation must be propagated by its writer, or a concurrent updater's
+// early-stopped ascent would strand it) — before returning. This up-then-down structure (a versioned
 // write per node in each direction) plays the role of the original
 // Mindicator's mark-up/unmark-down discipline and is exactly the redundancy
 // PTO eliminates: inside a transaction the child reads and the parent write
@@ -112,9 +114,22 @@ func (t *Tree) repair(i int) bool {
 }
 
 // validate repairs node i until a fresh read of the children confirms the
-// installed value; this is the downward double-check pass.
+// installed value, then bubbles any value it wrote toward the root. The
+// upward pass's early stop is sound only under the discipline that every
+// installed value is propagated upward by its writer: without the bubbling,
+// a validation write could park a concurrent updater's minimum at i while
+// that updater early-stops below, trusting i's writer to carry it up — and
+// the root would never reflect a settled value.
 func (t *Tree) validate(i int) {
-	for t.repair(i) {
+	for {
+		wrote := false
+		for t.repair(i) {
+			wrote = true
+		}
+		if !wrote || i == 0 {
+			return
+		}
+		i = parent(i)
 	}
 }
 
@@ -276,7 +291,19 @@ func (p *PTO) fallback(slot int, val uint32) {
 		}
 	}
 	for k := n - 1; k >= 0; k-- {
-		for p.repairVar(visited[k]) {
+		// Settle the node, and bubble any write toward the root — same
+		// discipline as Tree.validate: a value installed by the validation
+		// pass must be propagated by its writer, or a concurrent updater's
+		// early-stopped ascent strands it below the root.
+		for i := visited[k]; ; {
+			wrote := false
+			for p.repairVar(i) {
+				wrote = true
+			}
+			if !wrote || i == 0 {
+				break
+			}
+			i = parent(i)
 		}
 	}
 }

@@ -101,9 +101,10 @@ type request struct {
 	tid  int
 	kind opKind
 	addr Addr
-	val  uint64 // store value / CAS new / work cycles / alloc words
-	old  uint64 // CAS expected
-	code int    // explicit abort code
+	val    uint64 // store value / CAS new / work cycles / alloc words
+	old    uint64 // CAS expected
+	code   int    // explicit abort code
+	status Status // opTxAbort reason (OK means AbortExplicit)
 }
 
 type reply struct {
@@ -555,6 +556,9 @@ func (m *Machine) process(t *thread, r *request) reply {
 		t.resetTx()
 	case opTxAbort:
 		t.txStatus = AbortExplicit
+		if r.status != OK {
+			t.txStatus = r.status
+		}
 		t.txAborted = true
 		rep := m.finishAbort(t)
 		return rep

@@ -22,7 +22,11 @@ func (t *Thread) do(r request) reply {
 	if !t.m.running {
 		if r.kind == opTxAbort {
 			t.inTx = false
-			panic(txSignal{status: AbortExplicit})
+			st := AbortExplicit
+			if r.status != OK {
+				st = r.status
+			}
+			panic(txSignal{status: st})
 		}
 		return t.m.direct(&r)
 	}
@@ -155,7 +159,20 @@ func (t *Thread) TxAbort(code int) {
 		panic("sim: TxAbort outside a transaction")
 	}
 	t.abortCode = code
-	t.do(request{kind: opTxAbort, code: code})
+	t.do(request{kind: opTxAbort, code: code, status: AbortExplicit})
+	panic("unreachable") // the abort reply always panics with txSignal
+}
+
+// TxAbortCapacity aborts the running transaction with AbortCapacity. It
+// models a footprint overflow decided by software — a modeled read- or
+// write-set budget (internal/simtxn) rather than the machine's own cache
+// geometry — and, like TxAbort, must be called inside Atomic and does not
+// return.
+func (t *Thread) TxAbortCapacity() {
+	if !t.inTx {
+		panic("sim: TxAbortCapacity outside a transaction")
+	}
+	t.do(request{kind: opTxAbort, status: AbortCapacity})
 	panic("unreachable") // the abort reply always panics with txSignal
 }
 

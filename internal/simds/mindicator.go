@@ -68,20 +68,6 @@ func (m *Mindicator) WithPolicy(p speculate.Policy) *Mindicator {
 	return m
 }
 
-// WithAttempts overrides the transaction retry budget (default 3, the
-// paper's tuning). For the retry-threshold ablation; set before use.
-//
-// Deprecated: WithAttempts is a shim over WithPolicy; use WithPolicy with
-// Policy.Attempts set instead.
-func (m *Mindicator) WithAttempts(n int) *Mindicator {
-	if n <= 0 {
-		return m
-	}
-	p := simspec.DefaultPolicy()
-	p.Attempts = n
-	return m.WithPolicy(p)
-}
-
 func (m *Mindicator) node(i int) sim.Addr { return m.base + sim.Addr(i*sim.LineWords) }
 
 func mindEnc(v int32) uint64 { return uint64(uint32(v) ^ 0x80000000) }

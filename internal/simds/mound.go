@@ -95,20 +95,6 @@ func (m *SimMound) WithPolicy(p speculate.Policy) *SimMound {
 	return m
 }
 
-// WithAttempts overrides the DCAS transaction retry budget (default 4, the
-// paper's tuning). For the retry-threshold ablation; set before use.
-//
-// Deprecated: WithAttempts is a shim over WithPolicy; use WithPolicy with
-// Policy.Attempts set instead.
-func (m *SimMound) WithAttempts(n int) *SimMound {
-	if n <= 0 {
-		return m
-	}
-	p := simspec.DefaultPolicy()
-	p.Attempts = n
-	return m.WithPolicy(p)
-}
-
 func (m *SimMound) node(id int) sim.Addr { return m.base + sim.Addr(id*sim.LineWords) }
 
 // val reads the head value of a resolved (descriptor-free) word.

@@ -344,7 +344,7 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 			runtime.Gosched()
 		}
 	}
-	st := r.d.Atomically(body)
+	st, alias := r.d.AtomicallyClassified(body)
 	r.w.Record(outcomeOf(st))
 	level := r.w.Level()
 	s.recordAttempt(level, st == htm.Committed)
@@ -355,6 +355,9 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 			s.tel.Commits.Add(1)
 		case htm.AbortConflict:
 			s.tel.Conflicts.Add(1)
+			if alias {
+				s.tel.FalseConflicts.Add(1)
+			}
 		case htm.AbortCapacity:
 			s.tel.Capacity.Add(1)
 		case htm.AbortExplicit:

@@ -177,12 +177,11 @@ func TestSkipBurnsBudgetWithoutTransaction(t *testing.T) {
 func TestConflictAbortRetriesWithBackoff(t *testing.T) {
 	d := htm.NewDomain(0, 0)
 	v := htm.NewVar(d, 0)
-	other := htm.NewVar(d, 0)
-	// The body bumps the domain clock non-transactionally before its
-	// transactional read, so validation always fails: a deterministic
-	// conflict abort.
+	// The body writes the Var non-transactionally before its transactional
+	// read of the same Var, so the stripe validation always fails: a
+	// deterministic conflict abort.
 	conflict := func(tx *htm.Tx) {
-		htm.Store(nil, other, 1)
+		htm.Store(nil, v, 1)
 		htm.Load(tx, v)
 	}
 	pol := Policy{Backoff: true, BackoffBase: 1, BackoffMax: 4}

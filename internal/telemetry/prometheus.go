@@ -52,7 +52,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s Aborted speculative attempts per site, by abort reason.\n", MetricAborts)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricAborts)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict\"} %d\n", MetricAborts, s.Name, s.Conflicts)
+		// Conflicts are split by the engine's attribution: "conflict" is
+		// true data conflicts, "conflict_alias" the stripe-alias (false)
+		// share, so the two sum to the total conflict aborts.
+		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict\"} %d\n", MetricAborts, s.Name, s.Conflicts-s.FalseConflicts)
+		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict_alias\"} %d\n", MetricAborts, s.Name, s.FalseConflicts)
 		fmt.Fprintf(w, "%s{site=%q,reason=\"capacity\"} %d\n", MetricAborts, s.Name, s.Capacity)
 		fmt.Fprintf(w, "%s{site=%q,reason=\"explicit\"} %d\n", MetricAborts, s.Name, s.Explicit)
 	}

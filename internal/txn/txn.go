@@ -24,8 +24,9 @@
 //     analogue — see DESIGN.md).
 //
 //   - Read-only validation: a captured body that staged no writes commits by
-//     htm.MultiValidate — one even-clock window over the read set, no
-//     publication at all — mirroring the cheapness of read-only HTM commits.
+//     htm.MultiValidate — one stable-stripe window over the read set's
+//     ownership records, no publication at all — mirroring the cheapness of
+//     read-only HTM commits.
 //
 // Structures participate through small adapter methods (TxContains,
 // TxInsert, TxRemove, TxEnqueue, TxDequeue) written once against the Ctx
@@ -248,7 +249,7 @@ func (m *Manager) Atomic(body func(c *Ctx)) {
 // ReadOnly runs body as a composed snapshot: identical to Atomic but the
 // body must not Write (it panics if it does). A read-only body commits
 // without any publication — a read-only HTM transaction on the fast path,
-// a MultiValidate clock window in the fallback.
+// a MultiValidate stripe window in the fallback.
 func (m *Manager) ReadOnly(body func(c *Ctx)) {
 	m.Atomic(func(c *Ctx) {
 		body(c)
