@@ -14,13 +14,23 @@
 //     conflicts, capacity, explicit, fallbacks. Wall-clock numbers vary with
 //     the host; the abort mix is the stable signal.
 //
+//   - One composed-layer sample (under -compose, on by default): concurrent
+//     txn.Move traffic between a BST pair through the transactional
+//     composition layer, reported as the composed-site abort mix (including
+//     the false-conflict rate), the composed-path counters (fast vs fallback
+//     vs read-only commits, MultiCAS attempts/failures, mean width), and the
+//     deterministic batched-Move amortization table — prefix transactions
+//     per moved key for independent Moves vs batched MoveAll on the modeled
+//     machine, the figure the batched arm's acceptance test pins.
+//
 // Usage:
 //
 //	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
-//	            [-ops 20000] [-keys 256] [-out BENCH_pto.json]
+//	            [-ops 20000] [-keys 256] [-compose] [-out BENCH_pto.json]
 //
 // -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
-// rejected: everything under "figures" must be deterministic.
+// rejected: everything under "figures" must be deterministic; A8 carries
+// the deterministic composed arms (matrix pairs and batched MoveAll).
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"repro/internal/bst"
 	"repro/internal/speculate"
 	"repro/internal/telemetry"
+	"repro/internal/txn"
 )
 
 type pointJSON struct {
@@ -85,13 +96,39 @@ type stressJSON struct {
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 }
 
+// batchedJSON is one row of the deterministic batched-Move amortization
+// table: how many atomic publications (fast commits + MultiCAS fallbacks)
+// moving 64 keys costs at the given batch size on the modeled machine.
+type batchedJSON struct {
+	Batch        int     `json:"batch"`
+	Publications uint64  `json:"publications"`
+	Moved        int     `json:"moved"`
+	TxnsPerKey   float64 `json:"txns_per_key"`
+}
+
+// composedJSON is the composed-layer sample: wall-clock Move churn between a
+// BST pair plus the deterministic batched amortization table. As with the
+// stress sample, the abort mix (and its false-conflict rate) is the stable
+// signal; MovesPerMs varies with the host.
+type composedJSON struct {
+	Threads    int                `json:"threads"`
+	Moves      int                `json:"moves_total"`
+	Keys       int                `json:"keys"`
+	WallMs     float64            `json:"wall_ms"`
+	MovesPerMs float64            `json:"moves_per_ms"`
+	AbortMix   abortMix           `json:"abort_mix"`
+	Batched    []batchedJSON      `json:"batched_amortization"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+}
+
 type report struct {
-	GeneratedBy string       `json:"generated_by"`
-	GoVersion   string       `json:"go_version"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	Scale       float64      `json:"scale"`
-	Figures     []figureJSON `json:"figures"`
-	Stress      stressJSON   `json:"stress"`
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Scale       float64       `json:"scale"`
+	Figures     []figureJSON  `json:"figures"`
+	Stress      stressJSON    `json:"stress"`
+	Composed    *composedJSON `json:"composed,omitempty"`
 }
 
 // deterministic maps figure IDs to their runners, excluding the wall-clock
@@ -171,6 +208,22 @@ func stressSample(threads, ops, keys int) stressJSON {
 	wallMs := float64(time.Since(start)) / float64(time.Millisecond)
 
 	snap := reg.Snapshot()
+	mix := mixFrom(snap)
+	return stressJSON{
+		Structure: "bst/pto12",
+		Threads:   threads,
+		Ops:       per * threads,
+		Keys:      keys,
+		WallMs:    wallMs,
+		OpsPerMs:  float64(per*threads) / wallMs,
+		AbortMix:  mix,
+		Telemetry: snap,
+	}
+}
+
+// mixFrom aggregates the attempt partition across every telemetry site of a
+// snapshot.
+func mixFrom(snap telemetry.Snapshot) abortMix {
 	var mix abortMix
 	for _, s := range snap.Sites {
 		mix.Attempts += s.Attempts
@@ -187,16 +240,66 @@ func stressSample(threads, ops, keys int) stressJSON {
 	if mix.Conflicts > 0 {
 		mix.FalseConflictRate = float64(mix.FalseConflicts) / float64(mix.Conflicts)
 	}
-	return stressJSON{
-		Structure: "bst/pto12",
-		Threads:   threads,
-		Ops:       per * threads,
-		Keys:      keys,
-		WallMs:    wallMs,
-		OpsPerMs:  float64(per*threads) / wallMs,
-		AbortMix:  mix,
-		Telemetry: snap,
+	return mix
+}
+
+// composedSample runs the composed-layer churn: threads goroutines of
+// random-direction txn.Move between two PTO trees sharing one domain, with
+// telemetry routed to a private registry so the composed-site abort mix
+// (including the stripe-alias false-conflict rate) covers exactly this run.
+// It also attaches the deterministic batched-Move amortization table.
+func composedSample(threads, moves, keys int) *composedJSON {
+	reg := telemetry.NewRegistry()
+	pol := speculate.Fixed(0).WithMetrics(reg)
+	m := txn.New(0).WithPolicy(pol)
+	src := bst.NewPTOIn(m.Domain(), -1, -1).WithPolicy(pol)
+	dst := bst.NewPTOIn(m.Domain(), -1, -1).WithPolicy(pol)
+	for k := 0; k < keys; k += 2 {
+		kk := int64(k)
+		m.Atomic(func(c *txn.Ctx) { src.TxInsert(c, kk) })
 	}
+	per := moves / threads
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < per; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int64(rng % uint64(keys))
+				if rng&(1<<40) != 0 {
+					txn.Move(m, src, dst, k)
+				} else {
+					txn.Move(m, dst, src, k)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	wallMs := float64(time.Since(start)) / float64(time.Millisecond)
+
+	out := &composedJSON{
+		Threads:    threads,
+		Moves:      per * threads,
+		Keys:       keys,
+		WallMs:     wallMs,
+		MovesPerMs: float64(per*threads) / wallMs,
+		AbortMix:   mixFrom(reg.Snapshot()),
+		Telemetry:  reg.Snapshot(),
+	}
+	for _, batch := range []int{1, 8} {
+		pubs, moved := bench.BatchedMoveAmortization(batch)
+		row := batchedJSON{Batch: batch, Publications: pubs, Moved: moved}
+		if moved > 0 {
+			row.TxnsPerKey = float64(pubs) / float64(moved)
+		}
+		out.Batched = append(out.Batched, row)
+	}
+	return out
 }
 
 func main() {
@@ -205,6 +308,7 @@ func main() {
 	threads := flag.Int("threads", 4, "stress sample goroutines")
 	ops := flag.Int("ops", 20000, "stress sample total operations")
 	keys := flag.Int("keys", 256, "stress sample key range")
+	compose := flag.Bool("compose", true, "include the composed-layer sample")
 	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
 	flag.Parse()
 
@@ -227,6 +331,9 @@ func main() {
 		rep.Figures = append(rep.Figures, toJSON(run(*scale)))
 	}
 	rep.Stress = stressSample(*threads, *ops, *keys)
+	if *compose {
+		rep.Composed = composedSample(*threads, *ops, *keys)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

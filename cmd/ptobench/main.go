@@ -23,6 +23,12 @@
 //	5b  Fence elimination on the Mound
 //	5c  Fence elimination on the BST
 //
+// The composed-layer ablations carry the full structure×substrate matrix of
+// the shared adapter contract: A7 (wall clock) adds a Harris-list pair arm,
+// a mound+list MoveMin/MoveToPQ arm (the mound's DCAS-vs-MultiCAS
+// handshake), and a batched-MoveAll sweep (k=4, 16); A8 (deterministic)
+// adds a simulated-skiplist pair arm and the same batched sweep.
+//
 // -scale shrinks or stretches the simulated measurement window (1.0 is the
 // duration used for EXPERIMENTS.md). Runs are deterministic.
 package main

@@ -25,10 +25,12 @@
 // (expvar) for the duration of the run plus -hold.
 //
 // -compose adds the composed-transaction workload (requires -variant pto):
-// txn.Move between set pairs of every structure kind, txn.Transfer between
-// queues, and composed read-only snapshots asserting each key lives in
-// exactly one set of its pair, with key-count conservation verified at
-// quiescence. -lincheck N runs N online linearizability spot-check windows
+// txn.Move and batched txn.MoveAll between set pairs of every composable
+// structure kind (BST, hash table, skiplist, Harris list), txn.Transfer
+// between queues, txn.MoveMin/txn.MoveToPQ between a mound and a skiplist
+// set, and composed read-only snapshots asserting each key lives in exactly
+// one set of its pair, with key-count/value conservation verified at
+// quiescence. The structures are enumerated through the manager's Registry. -lincheck N runs N online linearizability spot-check windows
 // per stressed structure, concurrent with the main churn: each window
 // hammers one fresh reserved key from several goroutines, records the
 // operations' real-time windows, and checks the small history against the
@@ -50,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -359,10 +362,17 @@ func (t txnSet) Contains(k int64) bool {
 }
 
 // stressCompose drives the transactional composition layer: concurrent
-// txn.Move traffic over a src/dst pair of every composable set kind plus
-// txn.Transfer traffic between two queues, with composed read-only snapshots
-// asserting online that each key lives in exactly one set of its pair, and
-// key-count/value conservation verified at quiescence. The linearizability
+// txn.Move and batched txn.MoveAll traffic over a src/dst pair of every
+// composable set kind (BST, hash table, skiplist, Harris list), txn.Transfer
+// traffic between two queues, and txn.MoveMin/txn.MoveToPQ traffic between a
+// mound and a skiplist set — the arm that exercises the mound's DCAS-vs-
+// MultiCAS handshake, since every committed pop's moundify runs the mound's
+// own CAS protocol against in-flight composed publications. Composed
+// read-only snapshots assert online that each key lives in exactly one set
+// of its pair, and key-count/value conservation is verified at quiescence.
+// Every structure is registered with the manager's Registry and the pair
+// matrix is enumerated from it, so adding a composable structure to this
+// stress is one AddSet call, not a new code path. The linearizability
 // spot-check runs concurrently through the txn layer.
 func stressCompose(pol speculate.Policy) bool {
 	m := txn.New(0).WithPolicy(pol)
@@ -371,21 +381,32 @@ func stressCompose(pol speculate.Policy) bool {
 		// composed transaction down the MultiCAS fallback.
 		m.Domain().SetCapacity(*readCap, *writeCap)
 	}
-	b1, b2 := bst.NewPTOIn(m.Domain(), -1, -1), bst.NewPTOIn(m.Domain(), -1, -1)
-	h1, h2 := hashtable.NewPTOTableIn(m.Domain(), 16, 0), hashtable.NewPTOTableIn(m.Domain(), 16, 0)
-	s1, s2 := skiplist.NewPTOSetIn(m.Domain(), 0), skiplist.NewPTOSetIn(m.Domain(), 0)
+	reg := m.Structures()
+	reg.AddSet("bst/src", bst.NewPTOIn(m.Domain(), -1, -1))
+	reg.AddSet("bst/dst", bst.NewPTOIn(m.Domain(), -1, -1))
+	reg.AddSet("hashtable/src", hashtable.NewPTOTableIn(m.Domain(), 16, 0))
+	reg.AddSet("hashtable/dst", hashtable.NewPTOTableIn(m.Domain(), 16, 0))
+	reg.AddSet("skiplist/src", skiplist.NewPTOSetIn(m.Domain(), 0))
+	reg.AddSet("skiplist/dst", skiplist.NewPTOSetIn(m.Domain(), 0))
+	reg.AddSet("list/src", list.NewPTOIn(m.Domain(), 0))
+	reg.AddSet("list/dst", list.NewPTOIn(m.Domain(), 0))
+	reg.AddSet("mound/set", skiplist.NewPTOSetIn(m.Domain(), 0))
+	reg.AddPQ("mound/pq", mound.NewPTOIn(m.Domain(), 10, 0))
+	reg.AddQueue("queue/a", msqueue.NewPTOIn(m.Domain(), 0))
+	reg.AddQueue("queue/b", msqueue.NewPTOIn(m.Domain(), 0))
+
 	type cpair struct {
 		name     string
 		src, dst txn.Set
-		total    func() int
 	}
-	pairs := []cpair{
-		{"bst", b1, b2, func() int { return b1.Len() + b2.Len() }},
-		{"hashtable", h1, h2, func() int { return h1.Len() + h2.Len() }},
-		{"skiplist", s1, s2, func() int { return s1.Len() + s2.Len() }},
+	var pairs []cpair
+	for _, n := range reg.SetNames() {
+		if kind, ok := strings.CutSuffix(n, "/src"); ok {
+			pairs = append(pairs, cpair{kind, reg.Set(n), reg.Set(kind + "/dst")})
+		}
 	}
-	q1 := msqueue.NewPTOIn(m.Domain(), 0)
-	q2 := msqueue.NewPTOIn(m.Domain(), 0)
+	pq, pqSet := reg.PQ("mound/pq"), reg.Set("mound/set")
+	q1, q2 := reg.Queue("queue/a"), reg.Queue("queue/b")
 	for _, p := range pairs {
 		for k := int64(0); k < int64(*keys); k++ {
 			m.Atomic(func(c *txn.Ctx) { p.src.TxInsert(c, k) })
@@ -394,11 +415,17 @@ func stressCompose(pol speculate.Policy) bool {
 	for v := int64(0); v < int64(*keys); v++ {
 		m.Atomic(func(c *txn.Ctx) { q1.TxEnqueue(c, v) })
 	}
+	// The mound arm conserves its own value universe 1..keys: value 0 would
+	// collide with TxPopMin's zero return on an empty queue.
+	for v := int64(1); v <= int64(*keys); v++ {
+		m.Atomic(func(c *txn.Ctx) { pq.TxPush(c, v) })
+	}
 
 	linOK := true
 	linDone := make(chan struct{})
 	if *linWindows > 0 {
-		go func() { defer close(linDone); linOK = linSpotCheck("compose/bst", txnSet{m, b1}) }()
+		bs := reg.Set("bst/src")
+		go func() { defer close(linDone); linOK = linSpotCheck("compose/bst", txnSet{m, bs}) }()
 	} else {
 		close(linDone)
 	}
@@ -415,18 +442,35 @@ func stressCompose(pol speculate.Policy) bool {
 				p := pairs[(x>>8)%uint64(len(pairs))]
 				k := int64(x >> 16 % uint64(*keys))
 				switch x % 8 {
-				case 0, 1, 2, 3:
+				case 0, 1, 2:
 					if x&(1<<40) != 0 {
 						txn.Move(m, p.src, p.dst, k)
 					} else {
 						txn.Move(m, p.dst, p.src, k)
 					}
-				case 4, 5:
+				case 3:
+					// Batched arm: one composed publication moves the slice.
+					ks := make([]int64, 2+x>>48%3)
+					for j := range ks {
+						ks[j] = int64((uint64(k) + uint64(j)*0x9E3779B9) % uint64(*keys))
+					}
+					if x&(1<<40) != 0 {
+						txn.MoveAll(m, p.src, p.dst, ks...)
+					} else {
+						txn.MoveAll(m, p.dst, p.src, ks...)
+					}
+				case 4:
 					n := 1 + int(x>>48%3)
 					if x&(1<<40) != 0 {
 						txn.Transfer(m, q1, q2, n)
 					} else {
 						txn.Transfer(m, q2, q1, n)
+					}
+				case 5:
+					if x&(1<<40) != 0 {
+						txn.MoveMin(m, pq, pqSet)
+					} else {
+						txn.MoveToPQ(m, pqSet, pq, k+1)
 					}
 				default:
 					var inSrc, inDst bool
@@ -452,15 +496,32 @@ func stressCompose(pol speculate.Policy) bool {
 		fmt.Fprintf(out, "  FAIL compose: %d snapshots saw a key in zero or two sets\n", n)
 		bad++
 	}
+	// Pair conservation, enumerated generically through the registry: every
+	// key of the range must live in exactly one set of its pair, counted via
+	// composed read-only snapshots (a key in both sets also breaks the count).
 	for _, p := range pairs {
-		if got := p.total(); got != *keys {
+		got := 0
+		for k := int64(0); k < int64(*keys); k++ {
+			var inSrc, inDst bool
+			m.ReadOnly(func(c *txn.Ctx) {
+				inSrc = p.src.TxContains(c, k)
+				inDst = p.dst.TxContains(c, k)
+			})
+			if inSrc {
+				got++
+			}
+			if inDst {
+				got++
+			}
+		}
+		if got != *keys {
 			fmt.Fprintf(out, "  FAIL compose: %s pair holds %d keys, want %d\n", p.name, got, *keys)
 			bad++
 		}
 	}
 	// Queue conservation: every enqueued value is in exactly one queue.
 	seen := make([]int, *keys)
-	drain := func(q *msqueue.PTOQueue) {
+	drain := func(q txn.Queue) {
 		for {
 			var v int64
 			var ok bool
@@ -476,6 +537,37 @@ func stressCompose(pol speculate.Policy) bool {
 	for v, c := range seen {
 		if c != 1 {
 			fmt.Fprintf(out, "  FAIL compose: queue value %d seen %d times\n", v, c)
+			bad++
+		}
+	}
+	// Mound arm conservation: every value 1..keys lives in exactly one of
+	// {mound, its set} — count set membership through composed snapshots,
+	// then drain the mound through composed pops.
+	pqSeen := make([]int, *keys+1)
+	for k := int64(1); k <= int64(*keys); k++ {
+		var in bool
+		m.ReadOnly(func(c *txn.Ctx) { in = pqSet.TxContains(c, k) })
+		if in {
+			pqSeen[k]++
+		}
+	}
+	for {
+		var v int64
+		var ok bool
+		m.Atomic(func(c *txn.Ctx) { v, ok = pq.TxPopMin(c) })
+		if !ok {
+			break
+		}
+		if v < 1 || v > int64(*keys) {
+			fmt.Fprintf(out, "  FAIL compose: mound popped out-of-range value %d\n", v)
+			bad++
+			continue
+		}
+		pqSeen[v]++
+	}
+	for v := 1; v <= *keys; v++ {
+		if pqSeen[v] != 1 {
+			fmt.Fprintf(out, "  FAIL compose: mound value %d seen %d times\n", v, pqSeen[v])
 			bad++
 		}
 	}

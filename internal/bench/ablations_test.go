@@ -84,7 +84,10 @@ func TestAblationSMTKnee(t *testing.T) {
 func TestAblationComposedMoveSim(t *testing.T) {
 	f := AblationComposedMoveSim(ablationTestScale)
 	allPositive(t, f)
-	if len(f.Series) != 6 {
+	// Three historical arms + the caps sweep, then the matrix arm (skiplist
+	// pair) and the batched MoveAll sweep appended by the adapter-contract
+	// refactor.
+	if len(f.Series) != 9 {
 		t.Fatalf("unexpected table shape: %+v", f)
 	}
 	fast := byName(f, "Composed (modeled fast path)")

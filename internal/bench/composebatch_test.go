@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestBatchedMoveAmortizesTransactions pins the batched-Move acceptance
+// claim on the deterministic machine: MoveAll spends strictly fewer prefix
+// transactions per moved key than k independent Moves, and the counts are
+// reproducible run to run.
+func TestBatchedMoveAmortizesTransactions(t *testing.T) {
+	p1, m1 := BatchedMoveAmortization(1)
+	p8, m8 := BatchedMoveAmortization(8)
+	if m1 != 64 || m8 != 64 {
+		t.Fatalf("moved %d (singles) / %d (batched), want 64 each", m1, m8)
+	}
+	if p1 == 0 || p8 == 0 {
+		t.Fatalf("no publications recorded: singles=%d batched=%d", p1, p8)
+	}
+	perKey1 := float64(p1) / float64(m1)
+	perKey8 := float64(p8) / float64(m8)
+	if perKey8 >= perKey1 {
+		t.Fatalf("batched MoveAll did not amortize: %.3f txns/key (k=8) vs %.3f (k=1)",
+			perKey8, perKey1)
+	}
+	// Deterministic machine: the counts must reproduce bit-for-bit.
+	p8b, m8b := BatchedMoveAmortization(8)
+	if p8b != p8 || m8b != m8 {
+		t.Fatalf("batched run not deterministic: %d/%d then %d/%d", p8, m8, p8b, m8b)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simds"
 	"repro/internal/simtxn"
+	"repro/internal/speculate"
+	"repro/internal/telemetry"
 )
 
 // AblationComposedMoveSim (A8) is A7's experiment replayed on the modeled
@@ -64,7 +66,68 @@ func AblationComposedMoveSim(scale float64) Figure {
 		}
 		f.Series = append(f.Series, s)
 	}
+	// Matrix arm: the same experiment over the simulated skiplist pair (the
+	// adapter the shared contract added on this substrate). Appended after
+	// the historical series so their figures stay bit-for-bit.
+	skip := Series{Name: "Composed skiplist pair (modeled fast path)"}
+	for _, threads := range []int{2, 4, 8} {
+		tput := measure(threads, w, buildComposedSkipMoveSim())
+		skip.Points = append(skip.Points, Point{Threads: threads, Throughput: tput})
+	}
+	f.Series = append(f.Series, skip)
+	// Batched sweep: one composed operation moves k keys, amortizing one
+	// modeled prefix transaction (or one N-word MultiCAS) across the batch;
+	// throughput stays in key-move attempts per ms for comparability.
+	for _, k := range []int{4, 16} {
+		s := Series{Name: fmt.Sprintf("Composed batched MoveAll (k=%d)", k)}
+		for _, threads := range []int{2, 4, 8} {
+			tput := measure(threads, w, buildComposedMoveAllSim(k)) * float64(k)
+			s.Points = append(s.Points, Point{Threads: threads, Throughput: tput})
+		}
+		f.Series = append(f.Series, s)
+	}
 	return f
+}
+
+// BatchedMoveAmortization moves keys 1..64 from a simulated BST to a hash
+// table on a single-thread machine — batch ≤ 1 as independent Moves,
+// otherwise as MoveAll calls over batch-sized slices — and returns the
+// number of atomic publications (fast-path commits plus MultiCAS fallbacks)
+// and keys moved. The machine is deterministic, so the counts reproduce
+// bit-for-bit: they pin the batched-Move acceptance claim (fewer prefix
+// transactions per moved key than k independent Moves) in both the test
+// suite and the benchreport artifact.
+func BatchedMoveAmortization(batch int) (publications uint64, moved int) {
+	const keys = 64
+	reg := telemetry.NewRegistry()
+	m := sim.New(sim.DefaultConfig(1))
+	setup := m.Thread(0)
+	mgr := simtxn.New(0).WithPolicy(speculate.Fixed(0).WithMetrics(reg))
+	b := simds.NewSimBST(setup, simds.BSTPTO12, false, 1)
+	h := simds.NewSimHash(setup, simds.HashPTO, 16, 1)
+	h.Stabilize(setup)
+	for k := uint64(1); k <= keys; k++ {
+		b.Insert(setup, k)
+	}
+	m.Run(func(th *sim.Thread) {
+		if batch <= 1 {
+			for k := uint64(1); k <= keys; k++ {
+				if simtxn.Move(mgr, th, b, h, k) {
+					moved++
+				}
+			}
+			return
+		}
+		for lo := uint64(1); lo <= keys; lo += uint64(batch) {
+			var ks []uint64
+			for k := lo; k < lo+uint64(batch) && k <= keys; k++ {
+				ks = append(ks, k)
+			}
+			moved += simtxn.MoveAll(mgr, th, b, h, ks...)
+		}
+	})
+	s := reg.Site("simtxn/atomic/fast").Snapshot()
+	return s.Commits + s.Fallbacks, moved
 }
 
 // buildComposedMoveSim prefills half the key range into the tree and runs
@@ -128,6 +191,57 @@ func buildComposedMoveSim(mode composeMode, caps int) buildFunc {
 				simtxn.Move(mgr, t, b, h, k)
 			} else {
 				simtxn.Move(mgr, t, h, b, k)
+			}
+		}
+	}
+}
+
+// buildComposedSkipMoveSim prefills half the key range into one simulated
+// skiplist and runs random-direction Moves between the pair on the modeled
+// fast path (closed world: the pair is mutated only through the layer).
+func buildComposedSkipMoveSim() buildFunc {
+	const keyRange = 256
+	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
+		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		s1 := simds.NewSimSkip(setup, false, m.Config().Threads)
+		s2 := simds.NewSimSkip(setup, false, m.Config().Threads)
+		prefillSet(setup, keyRange, s1.Insert)
+		return func(t *sim.Thread) {
+			t.Work(opOverhead)
+			x := t.Rand()
+			k := x%keyRange + 1
+			if x>>40&1 == 0 {
+				simtxn.Move(mgr, t, s1, s2, k)
+			} else {
+				simtxn.Move(mgr, t, s2, s1, k)
+			}
+		}
+	}
+}
+
+// buildComposedMoveAllSim is buildComposedMoveSim's batched twin: each op is
+// one MoveAll over k keys derived deterministically from the thread's random
+// draw. The measure() figure counts composed ops; the caller scales by k to
+// report key-move attempts.
+func buildComposedMoveAllSim(k int) buildFunc {
+	const keyRange = 256
+	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
+		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithPolicy(simPolicy())
+		h := simds.NewSimHash(setup, simds.HashPTO, 64, m.Config().Threads).WithPolicy(simPolicy())
+		h.Stabilize(setup)
+		prefillSet(setup, keyRange, b.Insert)
+		return func(t *sim.Thread) {
+			t.Work(opOverhead)
+			x := t.Rand()
+			keys := make([]uint64, k)
+			for i := range keys {
+				keys[i] = (x+uint64(i)*0x9E3779B9)%keyRange + 1
+			}
+			if x>>40&1 == 0 {
+				simtxn.MoveAll(mgr, t, b, h, keys...)
+			} else {
+				simtxn.MoveAll(mgr, t, h, b, keys...)
 			}
 		}
 	}

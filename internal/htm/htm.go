@@ -49,6 +49,7 @@ package htm
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -101,14 +102,13 @@ type Stats struct {
 	Explicit       uint64
 }
 
-// numStripes is the ownership-record table size. 256 stripes keep the whole
-// table at 16KB (one cache line each) while making accidental aliasing of a
-// handful of hot Vars unlikely; it is a power of two so the hash reduces by
-// mask.
-const numStripes = 256
-
-// stripeWords is the size of a stripe bitmap in 64-bit words.
-const stripeWords = numStripes / 64
+// DefaultStripes is the default ownership-record table size. 256 stripes
+// keep the whole table at 16KB (one cache line each) while making accidental
+// aliasing of a handful of hot Vars unlikely. The count is a per-Domain
+// option (NewDomainStripes): fewer stripes model a smaller conflict-detection
+// granularity — more aliasing, as on HTM with fewer cache sets — and the
+// 4-stripe configuration is the aliasing stress fixture.
+const DefaultStripes = 256
 
 // stripe is one ownership record: a versioned lock word guarding every Var
 // that hashes to it, padded out to its own cache line so stripe traffic
@@ -131,11 +131,34 @@ type stripe struct {
 	_          [48]byte
 }
 
-// stripeOf hashes a Var id onto a stripe index (Fibonacci hashing; the ids
+// stripeTable is one domain's ownership-record table: a power-of-two count
+// of stripes plus the derived hash shift and bitmap width. Built once per
+// domain (lazily on first Var.Init, or eagerly by NewDomainStripes) and
+// immutable afterwards, so hot paths read it without synchronization.
+type stripeTable struct {
+	shift   uint32 // 64 - log2(len(stripes)): the Fibonacci-hash shift
+	words   int    // stripe bitmap size in 64-bit words
+	stripes []stripe
+}
+
+func newStripeTable(n int) *stripeTable {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("htm: stripe count %d is not a power of two", n))
+	}
+	return &stripeTable{
+		shift:   uint32(64 - bits.TrailingZeros(uint(n))),
+		words:   (n + 63) / 64,
+		stripes: make([]stripe, n),
+	}
+}
+
+// indexOf hashes a Var id onto a stripe index (Fibonacci hashing; the ids
 // are small sequential integers, so multiplicative scrambling is what
-// spreads consecutively allocated Vars across the table).
-func stripeOf(id uint64) uint32 {
-	return uint32((id * 0x9E3779B97F4A7C15) >> 56) % numStripes
+// spreads consecutively allocated Vars across the table). For the default
+// 256-stripe table the shift is 56, reproducing the historical fixed hash
+// bit for bit.
+func (t *stripeTable) indexOf(id uint64) uint32 {
+	return uint32((id * 0x9E3779B97F4A7C15) >> t.shift)
 }
 
 // Domain is an independent transactional memory. Transactions in different
@@ -160,7 +183,11 @@ type Domain struct {
 	readCap  atomic.Int64
 	writeCap atomic.Int64
 
-	stripes [numStripes]stripe
+	// stripeCfg is the requested stripe count (0 = DefaultStripes); tbl is
+	// the table itself, built on first use. The indirection keeps the zero
+	// Domain ready to use while making the count a per-domain option.
+	stripeCfg atomic.Int64
+	tbl       atomic.Pointer[stripeTable]
 }
 
 // Default capacity limits, chosen to approximate an L1-bounded write set and
@@ -176,6 +203,40 @@ func NewDomain(readCap, writeCap int) *Domain {
 	d := &Domain{}
 	d.SetCapacity(readCap, writeCap)
 	return d
+}
+
+// NewDomainStripes is NewDomain with an explicit ownership-record stripe
+// count: a power of two (panics otherwise), 0 selecting DefaultStripes.
+// Fewer stripes coarsen conflict detection — more false (aliasing)
+// conflicts, same correctness — which is the knob the aliasing stress tests
+// and stripe-tuning experiments turn. The table is built here, before the
+// domain is shared.
+func NewDomainStripes(readCap, writeCap, stripes int) *Domain {
+	d := NewDomain(readCap, writeCap)
+	if stripes != 0 {
+		d.stripeCfg.Store(int64(stripes))
+	}
+	d.table()
+	return d
+}
+
+// Stripes returns the domain's ownership-record stripe count.
+func (d *Domain) Stripes() int { return len(d.table().stripes) }
+
+// table returns the domain's stripe table, building it on first use.
+func (d *Domain) table() *stripeTable {
+	if t := d.tbl.Load(); t != nil {
+		return t
+	}
+	n := int(d.stripeCfg.Load())
+	if n == 0 {
+		n = DefaultStripes
+	}
+	t := newStripeTable(n)
+	if d.tbl.CompareAndSwap(nil, t) {
+		return t
+	}
+	return d.tbl.Load()
 }
 
 // SetCapacity changes the domain's footprint limits. Zero selects the
@@ -221,17 +282,15 @@ func (d *Domain) caps() (int, int) {
 	return r, w
 }
 
-// acquire spins until it holds stripe idx's lock on behalf of Var owner,
-// returning the stripe and its pre-lock word (even: version<<1). Only
-// single-stripe writers and the MultiCAS decision use it; transactional
-// commits never spin on a stripe (they abort instead), which is what keeps
-// the spin here short.
-func (d *Domain) acquire(idx uint32, owner uint64) (*stripe, uint64) {
-	s := &d.stripes[idx]
+// acquire spins until it holds s's lock on behalf of Var owner, returning
+// the stripe's pre-lock word (even: version<<1). Only single-stripe writers
+// and the MultiCAS decision use it; transactional commits never spin on a
+// stripe (they abort instead), which is what keeps the spin here short.
+func acquire(s *stripe, owner uint64) uint64 {
 	for {
 		w := s.word.Load()
 		if w&1 == 0 && s.word.CompareAndSwap(w, owner<<1|1) {
-			return s, w
+			return w
 		}
 		runtime.Gosched()
 	}
@@ -247,12 +306,12 @@ func (d *Domain) acquire(idx uint32, owner uint64) (*stripe, uint64) {
 // and an aliased writer pass through the stripe back to back — attribution
 // goes to the latest — which is the same precision real HTM offers
 // profilers: per-line, not per-address.
-func (d *Domain) aliasConflict(word uint64, idx uint32, varID uint64) bool {
+func aliasConflict(word uint64, s *stripe, varID uint64) bool {
 	if word&1 != 0 {
 		owner := word >> 1
 		return owner != 0 && owner != varID
 	}
-	w := d.stripes[idx].lastWriter.Load()
+	w := s.lastWriter.Load()
 	return w != 0 && w != varID
 }
 
@@ -279,6 +338,7 @@ type Var[T comparable] struct {
 	d    *Domain
 	id   uint64
 	sidx uint32
+	st   *stripe // the stripe at sidx, cached so hot paths skip the table
 	p    atomic.Pointer[cell[T]]
 }
 
@@ -289,7 +349,9 @@ type Var[T comparable] struct {
 func (v *Var[T]) Init(d *Domain, init T) {
 	v.d = d
 	v.id = varIDs.Add(1)
-	v.sidx = stripeOf(v.id)
+	t := d.table()
+	v.sidx = t.indexOf(v.id)
+	v.st = &t.stripes[v.sidx]
 	v.p.Store(&cell[T]{val: init})
 }
 
@@ -311,11 +373,12 @@ type abortSignal struct {
 	alias bool
 }
 
-// stripeRec is one touched stripe of a transaction: the stripe index, the
-// id of the (first) Var the transaction touched there — kept for conflict
-// attribution — and, on the commit path, the stripe's pre-lock word for
-// validation and rollback.
+// stripeRec is one touched stripe of a transaction: the stripe (pointer and
+// index), the id of the (first) Var the transaction touched there — kept for
+// conflict attribution — and, on the commit path, the stripe's pre-lock word
+// for validation and rollback.
 type stripeRec struct {
+	s     *stripe
 	idx   uint32
 	varID uint64
 	prev  uint64
@@ -329,8 +392,9 @@ type Tx struct {
 	rv uint64 // commit-clock snapshot taken at begin (the TL2 read version)
 
 	reads    int
-	readSet  [stripeWords]uint64 // stripes with at least one transactional read
-	readRecs []stripeRec         // one record per read stripe, first-touch order
+	sw       int         // stripe bitmap size in words (from the domain table)
+	readSet  []uint64    // stripes with at least one transactional read
+	readRecs []stripeRec // one record per read stripe, first-touch order
 
 	// writes is the redo log: insertion-ordered so commit write-back follows
 	// program order of first-writes, plus an index for read-own-writes.
@@ -347,6 +411,7 @@ type Tx struct {
 
 type writeEntry struct {
 	key   any
+	s     *stripe
 	sidx  uint32
 	varID uint64
 	boxed any // the pending value, boxed, for read-own-writes
@@ -366,19 +431,19 @@ func (tx *Tx) Abort(code int) {
 
 // conflict aborts the transaction with AbortConflict, classifying the
 // abort against the stripe word that failed validation. It does not return.
-func (tx *Tx) conflict(word uint64, idx uint32, varID uint64) {
-	panic(abortSignal{status: AbortConflict, alias: tx.d.aliasConflict(word, idx, varID)})
+func (tx *Tx) conflict(word uint64, s *stripe, varID uint64) {
+	panic(abortSignal{status: AbortConflict, alias: aliasConflict(word, s, varID)})
 }
 
 // recordRead adds the stripe to the transaction's read set (first touch
 // only; later reads through the same stripe are already covered).
-func (tx *Tx) recordRead(idx uint32, varID uint64) {
+func (tx *Tx) recordRead(s *stripe, idx uint32, varID uint64) {
 	w, b := idx>>6, uint64(1)<<(idx&63)
 	if tx.readSet[w]&b != 0 {
 		return
 	}
 	tx.readSet[w] |= b
-	tx.readRecs = append(tx.readRecs, stripeRec{idx: idx, varID: varID})
+	tx.readRecs = append(tx.readRecs, stripeRec{s: s, idx: idx, varID: varID})
 }
 
 // Atomically runs f as a single transaction attempt against domain d and
@@ -409,9 +474,12 @@ func (d *Domain) Atomically(f func(tx *Tx)) Status {
 // contention that more stripes would cure from contention that is real.
 func (d *Domain) AtomicallyClassified(f func(tx *Tx)) (Status, bool) {
 	rc, wc := d.caps()
+	sw := d.table().words
 	tx := &Tx{
 		d:        d,
 		rv:       d.clock.Load(),
+		sw:       sw,
+		readSet:  make([]uint64, sw),
 		writeIdx: make(map[any]int, 8),
 		readCap:  rc,
 		writeCap: wc,
@@ -463,7 +531,7 @@ func (tx *Tx) commit() Status {
 	d := tx.d
 
 	// Deduplicate the write log onto stripes and sort ascending.
-	var wset [stripeWords]uint64
+	wset := make([]uint64, tx.sw)
 	recs := make([]stripeRec, 0, 8)
 	for i := range tx.writeLog {
 		e := &tx.writeLog[i]
@@ -472,16 +540,16 @@ func (tx *Tx) commit() Status {
 			continue
 		}
 		wset[w] |= b
-		recs = append(recs, stripeRec{idx: e.sidx, varID: e.varID})
+		recs = append(recs, stripeRec{s: e.s, idx: e.sidx, varID: e.varID})
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].idx < recs[j].idx })
 
 	// Lock phase. On failure restore every stripe already taken.
 	for i := range recs {
-		s := &d.stripes[recs[i].idx]
+		s := recs[i].s
 		w := s.word.Load()
 		if w&1 != 0 || !s.word.CompareAndSwap(w, recs[i].varID<<1|1) {
-			tx.alias = d.aliasConflict(s.word.Load(), recs[i].idx, recs[i].varID)
+			tx.alias = aliasConflict(s.word.Load(), s, recs[i].varID)
 			tx.unlock(recs[:i], 0)
 			return AbortConflict
 		}
@@ -496,14 +564,14 @@ func (tx *Tx) commit() Status {
 			if wset[r.idx>>6]&(1<<(r.idx&63)) != 0 {
 				// We hold this stripe's lock; judge it by its pre-lock word.
 				if prev := prevOf(recs, r.idx); prev>>1 > tx.rv {
-					tx.alias = d.aliasConflict(prev, r.idx, r.varID)
+					tx.alias = aliasConflict(prev, r.s, r.varID)
 					tx.unlock(recs, 0)
 					return AbortConflict
 				}
 				continue
 			}
-			if w := d.stripes[r.idx].word.Load(); w&1 != 0 || w>>1 > tx.rv {
-				tx.alias = d.aliasConflict(w, r.idx, r.varID)
+			if w := r.s.word.Load(); w&1 != 0 || w>>1 > tx.rv {
+				tx.alias = aliasConflict(w, r.s, r.varID)
 				tx.unlock(recs, 0)
 				return AbortConflict
 			}
@@ -526,7 +594,7 @@ func (tx *Tx) commit() Status {
 // commit wrote nothing).
 func (tx *Tx) unlock(recs []stripeRec, word uint64) {
 	for i := range recs {
-		s := &tx.d.stripes[recs[i].idx]
+		s := recs[i].s
 		if word == 0 {
 			s.word.Store(recs[i].prev)
 			continue
@@ -558,19 +626,19 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 		if tx.reads > tx.readCap {
 			panic(abortSignal{status: AbortCapacity})
 		}
-		s := &v.d.stripes[v.sidx]
+		s := v.st
 		pre := s.word.Load()
 		if pre&1 != 0 || pre>>1 > tx.rv {
-			tx.conflict(pre, v.sidx, v.id)
+			tx.conflict(pre, s, v.id)
 		}
 		x := loadResolved(v)
 		if w := s.word.Load(); w != pre {
-			tx.conflict(w, v.sidx, v.id)
+			tx.conflict(w, s, v.id)
 		}
-		tx.recordRead(v.sidx, v.id)
+		tx.recordRead(s, v.sidx, v.id)
 		return x
 	}
-	s := &v.d.stripes[v.sidx]
+	s := v.st
 	for {
 		pre := s.word.Load()
 		if pre&1 != 0 {
@@ -634,6 +702,7 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		tx.writeIdx[v] = len(tx.writeLog)
 		tx.writeLog = append(tx.writeLog, writeEntry{
 			key:   v,
+			s:     v.st,
 			sidx:  v.sidx,
 			varID: v.id,
 			boxed: x,
@@ -644,7 +713,8 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		return
 	}
 	d := v.d
-	s, _ := d.acquire(v.sidx, v.id)
+	s := v.st
+	acquire(s, v.id)
 	storeLocked(v, x)
 	s.lastWriter.Store(v.id)
 	s.word.Store(d.clock.Add(1) << 1)
@@ -657,6 +727,17 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 // transaction it is a linearizable compare-and-swap. A failed direct CAS
 // does not advance the stripe version: the logical value did not change, so
 // overlapping transactions have nothing to observe.
+//
+// Interplay with MultiCAS descriptors refines the kill-paid-by-commit rule:
+// a direct CAS that finds an undecided descriptor on its cell kills it only
+// when the CAS is itself going to succeed — the cell's logical value matches
+// old, so the swap proceeds and its commit pays for the kill. When the
+// logical value already disagrees, the CAS fails WITHOUT killing: it aborts
+// its own operation and defers to the in-flight descriptor instead of
+// spinning on (or destroying) it. Eager descriptor-based fallbacks — the
+// Mound's DCAS — lean on this: their retry loop re-reads, helps the
+// descriptor to completion, and tries again, and no unpaid kill ever
+// degrades a concurrent composed operation's progress.
 func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 	if tx != nil {
 		if Load(tx, v) != old {
@@ -666,11 +747,24 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 		return true
 	}
 	d := v.d
-	s, prev := d.acquire(v.sidx, v.id)
+	s := v.st
+	prev := acquire(s, v.id)
 	ok := false
 	for {
 		c := v.p.Load()
 		if c.desc != nil {
+			if c.desc.status.Load() != mwUndecided {
+				c.desc.releaseAll()
+				continue
+			}
+			if c.val != old {
+				// Undecided claim and the logical value already disagrees:
+				// fail without killing (abort-and-defer). The descriptor's
+				// outcome cannot change our answer — its decision needs this
+				// stripe, which we hold — and a kill here would be paid for
+				// by nothing.
+				break
+			}
 			c.desc.status.CompareAndSwap(mwUndecided, mwFailed)
 			c.desc.releaseAll()
 			continue
@@ -700,7 +794,8 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 		return x
 	}
 	d := v.d
-	s, _ := d.acquire(v.sidx, v.id)
+	s := v.st
+	acquire(s, v.id)
 	var x uint64
 	for {
 		c := v.p.Load()

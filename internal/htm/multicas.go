@@ -78,6 +78,7 @@ type MultiDesc struct {
 type Entry interface {
 	varID() uint64
 	stripeIdx() uint32
+	stripePtr() *stripe
 	writes() bool
 	dom() *Domain
 	claim(m *MultiDesc) (claimResult, *MultiDesc)
@@ -110,10 +111,11 @@ func (u *Update[T]) SetNew(x T) { u.new = x }
 // IsWrite reports whether the leg changes the value.
 func (u *Update[T]) IsWrite() bool { return u.old != u.new }
 
-func (u *Update[T]) varID() uint64     { return u.v.id }
-func (u *Update[T]) stripeIdx() uint32 { return u.v.sidx }
-func (u *Update[T]) writes() bool      { return u.old != u.new }
-func (u *Update[T]) dom() *Domain      { return u.v.d }
+func (u *Update[T]) varID() uint64      { return u.v.id }
+func (u *Update[T]) stripeIdx() uint32  { return u.v.sidx }
+func (u *Update[T]) stripePtr() *stripe { return u.v.st }
+func (u *Update[T]) writes() bool       { return u.old != u.new }
+func (u *Update[T]) dom() *Domain       { return u.v.d }
 
 func (u *Update[T]) claim(m *MultiDesc) (claimResult, *MultiDesc) {
 	for {
@@ -213,6 +215,7 @@ claim:
 // least one write leg is a write stripe and gets the new commit version; a
 // validation-only stripe is restored to its pre-lock word.
 type decStripe struct {
+	s     *stripe
 	idx   uint32
 	varID uint64 // a writing Var in the stripe, for the last-writer record
 	write bool
@@ -245,17 +248,16 @@ merge:
 				continue merge
 			}
 		}
-		stripes = append(stripes, decStripe{idx: idx, varID: e.varID(), write: e.writes()})
+		stripes = append(stripes, decStripe{s: e.stripePtr(), idx: idx, varID: e.varID(), write: e.writes()})
 	}
 	sort.Slice(stripes, func(i, j int) bool { return stripes[i].idx < stripes[j].idx })
 	for i := range stripes {
-		_, prev := d.acquire(stripes[i].idx, stripes[i].varID)
-		stripes[i].prev = prev
+		stripes[i].prev = acquire(stripes[i].s, stripes[i].varID)
 	}
 	if m.status.CompareAndSwap(mwUndecided, mwSucceeded) {
 		wv := d.clock.Add(1)
 		for i := range stripes {
-			s := &d.stripes[stripes[i].idx]
+			s := stripes[i].s
 			if stripes[i].write {
 				s.lastWriter.Store(stripes[i].varID)
 				s.word.Store(wv << 1)
@@ -270,7 +272,7 @@ merge:
 	// or a writer killed the descriptor. Either way the stripes go back to
 	// what we found.
 	for i := range stripes {
-		d.stripes[stripes[i].idx].word.Store(stripes[i].prev)
+		stripes[i].s.word.Store(stripes[i].prev)
 	}
 }
 
@@ -295,8 +297,8 @@ func MultiValidate(entries ...Entry) bool {
 		return true
 	}
 	d := entries[0].dom()
-	var seen [stripeWords]uint64
-	idxs := make([]uint32, 0, len(entries))
+	seen := make([]uint64, d.table().words)
+	strps := make([]*stripe, 0, len(entries))
 	for _, e := range entries {
 		if e.dom() != d {
 			panic("htm: MultiValidate entries span domains")
@@ -305,14 +307,14 @@ func MultiValidate(entries ...Entry) bool {
 		w, b := i>>6, uint64(1)<<(i&63)
 		if seen[w]&b == 0 {
 			seen[w] |= b
-			idxs = append(idxs, i)
+			strps = append(strps, e.stripePtr())
 		}
 	}
-	snaps := make([]uint64, len(idxs))
+	snaps := make([]uint64, len(strps))
 retry:
 	for {
-		for i, idx := range idxs {
-			w := d.stripes[idx].word.Load()
+		for i, s := range strps {
+			w := s.word.Load()
 			if w&1 != 0 {
 				runtime.Gosched()
 				continue retry
@@ -326,8 +328,8 @@ retry:
 				break
 			}
 		}
-		for i, idx := range idxs {
-			if d.stripes[idx].word.Load() != snaps[i] {
+		for i, s := range strps {
+			if s.word.Load() != snaps[i] {
 				continue retry
 			}
 		}

@@ -11,26 +11,26 @@ import (
 // so the loop bound is generous.
 func aliasVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
 	t.Helper()
-	for i := 0; i < 16*numStripes; i++ {
+	for i := 0; i < 16*d.Stripes(); i++ {
 		b := NewVar(d, 0)
 		if b.sidx == a.sidx {
 			return b
 		}
 	}
-	t.Fatalf("no Var aliasing stripe %d after %d allocations", a.sidx, 16*numStripes)
+	t.Fatalf("no Var aliasing stripe %d after %d allocations", a.sidx, 16*d.Stripes())
 	return nil
 }
 
 // disjointVar allocates Vars until one hashes to a different stripe than a.
 func disjointVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
 	t.Helper()
-	for i := 0; i < 16*numStripes; i++ {
+	for i := 0; i < 16*d.Stripes(); i++ {
 		b := NewVar(d, 0)
 		if b.sidx != a.sidx {
 			return b
 		}
 	}
-	t.Fatalf("no Var avoiding stripe %d after %d allocations", a.sidx, 16*numStripes)
+	t.Fatalf("no Var avoiding stripe %d after %d allocations", a.sidx, 16*d.Stripes())
 	return nil
 }
 

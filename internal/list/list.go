@@ -200,20 +200,10 @@ type pnode struct {
 	next htm.Var[*pbox]
 }
 
-// NewPTO returns an empty PTO-accelerated set (attempts ≤ 0 selects
-// DefaultAttempts).
+// NewPTO returns an empty PTO-accelerated set in its own domain (attempts
+// ≤ 0 selects DefaultAttempts); see NewPTOIn for composition.
 func NewPTO(attempts int) *PTOSet {
-	if attempts <= 0 {
-		attempts = DefaultAttempts
-	}
-	s := &PTOSet{domain: htm.NewDomain(0, 0), attempts: attempts, stats: core.NewStats(1)}
-	s.WithPolicy(speculate.Fixed(0))
-	tail := &pnode{key: tailKey}
-	tail.next.Init(s.domain, nil)
-	htm.Store(nil, &tail.next, &pbox{})
-	s.head = &pnode{key: headKey}
-	s.head.next.Init(s.domain, &pbox{n: tail})
-	return s
+	return NewPTOIn(htm.NewDomain(0, 0), attempts)
 }
 
 // WithPolicy replaces the speculation policy governing the retry loops. The

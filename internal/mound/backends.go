@@ -80,10 +80,14 @@ type ptoBackend struct {
 }
 
 func newPTOBackend(size, attempts int) *ptoBackend {
+	return newPTOBackendIn(htm.NewDomain(0, 0), size, attempts)
+}
+
+func newPTOBackendIn(d *htm.Domain, size, attempts int) *ptoBackend {
 	if attempts <= 0 {
 		attempts = DefaultAttempts
 	}
-	b := &ptoBackend{domain: htm.NewDomain(0, 0), words: make([]htm.Var[mword], size),
+	b := &ptoBackend{domain: d, words: make([]htm.Var[mword], size),
 		attempts: attempts, stats: core.NewStats(1)}
 	b.withPolicy(speculate.Fixed(0))
 	for i := range b.words {

@@ -1,0 +1,187 @@
+package mound
+
+import (
+	"repro/internal/htm"
+	"repro/internal/txn"
+)
+
+// This file is the Mound's adapter to the transactional composition layer
+// (internal/txn), on the shared txnops PQ contract.
+//
+// The Mound is the one composed structure whose own fallback is an *eager*
+// descriptor protocol: its software DCAS claims words (mword.desc) before
+// deciding, rather than staging into a capture buffer. Two protocols
+// therefore meet on the same htm.Var cells and the handshake goes both ways:
+//
+//   - Composed operation meets a mound DCAS claim (mword.desc != nil): on
+//     the fast path the adapter aborts (§2.4 — never help under
+//     speculation); in capture mode it helps the DCAS to completion and
+//     restarts, exactly as the structure's own load would.
+//
+//   - Mound DCAS meets an in-flight composed MultiCAS (the htm-level claim
+//     on the cell): the backend's direct CAS aborts-and-defers rather than
+//     spinning — htm.CAS fails without killing an undecided MultiCAS
+//     descriptor when the cell's logical value already disagrees, and kills
+//     it only when the CAS itself proceeds, so every kill is still paid for
+//     by a commit (the kill-paid-by-commit extension in internal/htm). The
+//     mound's retry loop then re-reads through htm.Load, which resolves the
+//     completed MultiCAS, and tries again against the new value.
+
+// NewPTOIn returns an empty PTO-accelerated mound living in the shared
+// domain d, so it can participate in composed transactions with other
+// structures in d. maxDepth and attempts follow NewPTO.
+func NewPTOIn(d *htm.Domain, maxDepth, attempts int) *Mound {
+	m := newMound(maxDepth)
+	m.be = newPTOBackendIn(d, m.size, attempts)
+	return m
+}
+
+// pto asserts the composed-capable backend: composition is a PTO feature
+// (the baseline's raw mcas words cannot join an htm domain).
+func (m *Mound) pto() *ptoBackend {
+	b, ok := m.be.(*ptoBackend)
+	if !ok {
+		panic("mound: composed operations require a PTO-backed mound (NewPTO/NewPTOIn)")
+	}
+	return b
+}
+
+// txPeek reads node word id without adding it to the validated footprint,
+// resolving the descriptor handshake: a mound-DCAS claim aborts the fast
+// path and is helped-then-restarted in capture mode.
+func (b *ptoBackend) txPeek(c *txn.Ctx, id int) uint64 {
+	w := txn.Peek(c, &b.words[id])
+	if w.desc != nil {
+		if !c.Speculative() {
+			b.help(w.desc)
+		}
+		c.Retry()
+	}
+	return w.val
+}
+
+// txRead is txPeek with the word added to the validated footprint.
+func (b *ptoBackend) txRead(c *txn.Ctx, id int) uint64 {
+	w := txn.Read(c, &b.words[id])
+	if w.desc != nil {
+		if !c.Speculative() {
+			b.help(w.desc)
+		}
+		c.Retry()
+	}
+	return w.val
+}
+
+// txWrite stages a plain (unclaimed) value for node word id.
+func (b *ptoBackend) txWrite(c *txn.Ctx, id int, v uint64) {
+	txn.Write(c, &b.words[id], mword{val: v})
+}
+
+// TxPush adds v to the queue as part of a composed transaction. The search
+// mirrors Insert — random leaf probes, then a binary search of the
+// root-to-leaf path — over Peek reads; the validated window is the target
+// word plus, off the root, the parent word as the DCSS guard leg (a
+// validation-only read: its value is re-asserted at commit but not
+// written).
+//
+// Unlike the raw Insert, TxPush accepts a *dirty* candidate node, preserving
+// its dirty bit: pushing v ≤ head only lowers the node's list head, which
+// cannot worsen the heap-order violation the dirt already flags, and whoever
+// dirtied the node still owns the moundify that clears it. This is load-
+// bearing for composition — MoveMin's undo path pushes the just-popped
+// minimum back into a root this same transaction staged dirty, where no
+// amount of helping can clean the (purely speculative) dirt; rejecting dirty
+// nodes there retries forever. The parent guard still requires a *clean*
+// parent ≤ v, so order above the insertion point is asserted, not assumed.
+func (m *Mound) TxPush(c *txn.Ctx, v int64) {
+	if v < 0 || v > MaxValue {
+		panic("mound: value out of range")
+	}
+	b := m.pto()
+	probes := 0
+	for {
+		d := m.depth.Load()
+		leaf := m.randomLeaf(int(d))
+		lw := b.txPeek(c, leaf)
+		if m.val(lw) < v || wordDirty(lw) {
+			probes++
+			if probes >= probesPerLevel {
+				probes = 0
+				if int(d) < m.maxDepth {
+					m.grow(d)
+					continue
+				}
+				leaf = 0
+				for id := 1 << d; id < m.size; id++ {
+					if w := b.txPeek(c, id); !wordDirty(w) && m.val(w) >= v {
+						leaf, lw = id, w
+						break
+					}
+				}
+				if leaf == 0 {
+					panic("mound: capacity exhausted at maximum depth")
+				}
+			} else {
+				continue
+			}
+		}
+		nID, nw := leaf, lw
+		lo, hi := 0, int(d)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			id := leaf >> (int(d) - mid)
+			w := b.txPeek(c, id)
+			if m.val(w) >= v {
+				hi = mid
+				nID, nw = id, w
+			} else {
+				lo = mid + 1
+			}
+		}
+		if m.val(nw) < v {
+			continue
+		}
+		if b.txRead(c, nID) != nw {
+			c.Retry()
+		}
+		if nID != 1 {
+			pw := b.txRead(c, nID>>1) // DCSS guard: parent must stay clean and ≤ v
+			if wordDirty(pw) || m.val(pw) > v {
+				c.Retry()
+			}
+		}
+		idx := m.pool.alloc(v, wordIdx(nw))
+		b.txWrite(c, nID, bump(nw, wordDirty(nw), idx))
+		return
+	}
+}
+
+// TxPopMin removes and returns the minimum as part of a composed
+// transaction, reporting false on an empty mound. The pop writes the root
+// word dirty in the atomic step; the invariant restoration (moundify) runs
+// after commit, exactly as the structure's own RemoveMin runs it after its
+// root CAS.
+//
+// At most one TxPopMin per mound per transaction: the pop stages a dirty
+// root, and the next minimum is unknowable until the post-commit moundify
+// runs, so a second pop in the same atomic step would retry without bound
+// (helping cannot clear dirt that exists only in this transaction's view).
+// TxPush after TxPopMin is fine — that is MoveMin's undo path.
+func (m *Mound) TxPopMin(c *txn.Ctx) (int64, bool) {
+	b := m.pto()
+	w := b.txRead(c, 1)
+	if wordDirty(w) {
+		if !c.Speculative() {
+			m.moundify(1) // help clear the dirt, then re-run the body
+		}
+		c.Retry()
+	}
+	i := wordIdx(w)
+	if i == 0 {
+		return 0, false // clean empty root, validated at commit
+	}
+	ln := m.pool.node(i)
+	b.txWrite(c, 1, bump(w, true, ln.next))
+	c.OnCommit(func() { m.moundify(1) })
+	return ln.val, true
+}

@@ -98,9 +98,9 @@ const (
 )
 
 type request struct {
-	tid  int
-	kind opKind
-	addr Addr
+	tid    int
+	kind   opKind
+	addr   Addr
 	val    uint64 // store value / CAS new / work cycles / alloc words
 	old    uint64 // CAS expected
 	code   int    // explicit abort code

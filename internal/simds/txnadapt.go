@@ -222,3 +222,112 @@ func (q *SimMSQueue) TxDequeue(c *simtxn.Ctx) (uint64, bool) {
 	c.Write(q.head, next)
 	return v, true
 }
+
+// txFind is the skiplist's non-helping search (cf. the runtime adapter in
+// internal/skiplist): marked nodes are skipped in place rather than snipped,
+// because a next word, once marked, is never written again — so a chain of
+// marked nodes between a validated predecessor and its successor is
+// immutable, and recording just the predecessor's word proves the whole gap
+// unchanged. Next words keep bit 63 clear (line-aligned addresses with the
+// mark in bit 0), so they are Read/Write-safe; key words use PeekRaw (the
+// tail sentinel is all-ones).
+func (s *SimSkip) txFind(c *simtxn.Ctx, key uint64, preds, succs *[SkipMaxLevel]sim.Addr, pws *[SkipMaxLevel]uint64) bool {
+	pred := s.head
+	for lvl := SkipMaxLevel - 1; lvl >= 0; lvl-- {
+		pw := c.Peek(skipNext(pred, lvl))
+		if pw&1 != 0 {
+			c.Retry() // pred was deleted under us; re-run the body
+		}
+		curr := skipAddr(pw)
+		for {
+			cw := c.Peek(skipNext(curr, lvl))
+			for cw&1 != 0 {
+				curr = skipAddr(cw)
+				cw = c.Peek(skipNext(curr, lvl))
+			}
+			if c.PeekRaw(curr) < key {
+				pred, pw, curr = curr, cw, skipAddr(cw)
+			} else {
+				break
+			}
+		}
+		preds[lvl], succs[lvl], pws[lvl] = pred, curr, pw
+	}
+	return c.PeekRaw(succs[0]) == key
+}
+
+// TxContains reports membership as part of a composed operation. Presence
+// is witnessed by the key node's own unmarked level-0 word; absence by the
+// predecessor's level-0 word spanning the gap.
+func (s *SimSkip) TxContains(c *simtxn.Ctx, key uint64) bool {
+	var preds, succs [SkipMaxLevel]sim.Addr
+	var pws [SkipMaxLevel]uint64
+	if s.txFind(c, key, &preds, &succs, &pws) {
+		if c.Read(skipNext(succs[0], 0))&1 != 0 {
+			c.Retry() // deleted between search and record; re-run
+		}
+		return true
+	}
+	if c.Read(skipNext(preds[0], 0)) != pws[0] {
+		c.Retry()
+	}
+	return false
+}
+
+// TxInsert adds key as part of a composed operation, reporting false if
+// present. All top+1 predecessor links swing to the new node in the one
+// atomic step, as in the structure's own prefix transaction.
+func (s *SimSkip) TxInsert(c *simtxn.Ctx, key uint64) bool {
+	t := c.Thread()
+	var preds, succs [SkipMaxLevel]sim.Addr
+	var pws [SkipMaxLevel]uint64
+	if s.txFind(c, key, &preds, &succs, &pws) {
+		if c.Read(skipNext(succs[0], 0))&1 != 0 {
+			c.Retry()
+		}
+		return false
+	}
+	top := s.randomLevel(t)
+	for l := 0; l <= top; l++ {
+		if c.Read(skipNext(preds[l], l)) != pws[l] {
+			c.Retry()
+		}
+	}
+	n := s.newNode(t, key, top, &succs) // private until the commit publishes the links
+	for l := 0; l <= top; l++ {
+		c.Write(skipNext(preds[l], l), uint64(n))
+	}
+	return true
+}
+
+// TxRemove deletes key as part of a composed operation, reporting false if
+// absent: every level of the victim is marked in the one atomic step. Unlike
+// the runtime adapter there is no post-commit physical unlink — the
+// structure's own find uses raw loads, which cannot run while other threads'
+// MultiCAS descriptors may hold marker claims on next words. Marked nodes
+// stay linked (and leak — closed world, no epoch bracket) until a later
+// composed insert swings a predecessor word over them.
+func (s *SimSkip) TxRemove(c *simtxn.Ctx, key uint64) bool {
+	var preds, succs [SkipMaxLevel]sim.Addr
+	var pws [SkipMaxLevel]uint64
+	if !s.txFind(c, key, &preds, &succs, &pws) {
+		if c.Read(skipNext(preds[0], 0)) != pws[0] {
+			c.Retry()
+		}
+		return false
+	}
+	victim := succs[0]
+	w0 := c.Read(skipNext(victim, 0))
+	if w0&1 != 0 {
+		return false // lost the race: linearized as "absent"
+	}
+	top := int(c.PeekRaw(victim + 1))
+	for l := top; l >= 1; l-- {
+		w := c.Read(skipNext(victim, l))
+		if w&1 == 0 {
+			c.Write(skipNext(victim, l), w|1)
+		}
+	}
+	c.Write(skipNext(victim, 0), w0|1)
+	return true
+}

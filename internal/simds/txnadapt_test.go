@@ -97,6 +97,53 @@ func checkTransferConservation(t *testing.T, force bool) {
 	}
 }
 
+func checkSkipMoveConservation(t *testing.T, force bool) {
+	const threads = 8
+	const keyRange = 64
+	const opsPer = 120
+
+	m := sim.New(sim.DefaultConfig(threads))
+	setup := m.Thread(0)
+	mgr := simtxn.New(0).ForceFallback(force)
+	s := NewSimSkip(setup, false, threads)
+	h := NewSimHash(setup, HashPTO, 16, threads)
+	h.Stabilize(setup)
+	want := make([]uint64, 0, keyRange)
+	for k := uint64(1); k <= keyRange; k++ {
+		s.Insert(setup, k)
+		want = append(want, k)
+	}
+	m.Run(func(th *sim.Thread) {
+		for i := 0; i < opsPer; i++ {
+			x := th.Rand()
+			k := x%keyRange + 1
+			if x>>40&1 == 0 {
+				simtxn.Move(mgr, th, s, h, k)
+			} else {
+				simtxn.Move(mgr, th, h, s, k)
+			}
+		}
+	})
+	inSkip := s.Keys(setup)
+	inHash := h.Keys(setup)
+	got := append(append([]uint64{}, inSkip...), inHash...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != len(want) {
+		t.Fatalf("key count drifted: %d in skiplist + %d in hash, want %d total",
+			len(inSkip), len(inHash), len(want))
+	}
+	for i, k := range want {
+		if got[i] != k {
+			t.Fatalf("union mismatch at %d: got %d want %d (duplicate or lost key)",
+				i, got[i], k)
+		}
+	}
+}
+
+func TestComposedSkipMoveConservationFast(t *testing.T) { checkSkipMoveConservation(t, false) }
+
+func TestComposedSkipMoveConservationFallback(t *testing.T) { checkSkipMoveConservation(t, true) }
+
 func TestComposedTransferConservationFast(t *testing.T) { checkTransferConservation(t, false) }
 
 func TestComposedTransferConservationFallback(t *testing.T) { checkTransferConservation(t, true) }

@@ -49,6 +49,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simspec"
 	"repro/internal/speculate"
+	"repro/internal/txnops"
 )
 
 // DefaultAttempts is the fast-path retry budget for composed operations,
@@ -61,20 +62,20 @@ const abortRetry = 1
 // markerBit flags a word claimed by an in-flight MultiCAS descriptor.
 const markerBit = uint64(1) << 63
 
-// Set is the composable set interface the simulated structures implement
-// (simds.SimBST, simds.SimHash). All methods must be called from inside a
+// Set is the composable set capability the simulated structures implement
+// (simds.SimBST, simds.SimHash, simds.SimSkip) — the shared txnops contract
+// instantiated for this substrate. All methods must be called from inside a
 // Manager.Atomic or Manager.ReadOnly body.
-type Set interface {
-	TxContains(c *Ctx, key uint64) bool
-	TxInsert(c *Ctx, key uint64) bool
-	TxRemove(c *Ctx, key uint64) bool
-}
+type Set = txnops.Set[*Ctx, uint64]
 
-// Queue is the composable queue interface (simds.SimMSQueue).
-type Queue interface {
-	TxEnqueue(c *Ctx, v uint64)
-	TxDequeue(c *Ctx) (uint64, bool)
-}
+// Queue is the composable queue capability (simds.SimMSQueue).
+type Queue = txnops.Queue[*Ctx, uint64]
+
+// PQ is the composable priority-queue capability.
+type PQ = txnops.PQ[*Ctx, uint64]
+
+// Registry is this substrate's registration surface (see txnops.Registry).
+type Registry = txnops.Registry[*Ctx, uint64]
 
 // Manager runs composed operations. Unlike the real layer there is no
 // domain to share — the simulated machine's strong atomicity covers all of
@@ -86,6 +87,7 @@ type Manager struct {
 	readCap  int
 	writeCap int
 	site     *simspec.Site
+	reg      Registry
 }
 
 // New returns a Manager; attempts ≤ 0 selects DefaultAttempts. The manager
@@ -127,6 +129,28 @@ func (m *Manager) WithCaps(readCap, writeCap int) *Manager {
 	m.readCap, m.writeCap = readCap, writeCap
 	return m
 }
+
+// Structures is the manager's registration surface: drivers register each
+// participating simulated structure once and enumerate them generically. The
+// manager holds no per-structure code.
+func (m *Manager) Structures() *Registry { return &m.reg }
+
+// Bound is a Manager bound to one simulated thread. It satisfies the shared
+// txnops.Exec contract — the simulated twin of txn.Manager's Atomic — so the
+// generic composition algorithms run unchanged on this substrate.
+type Bound struct {
+	m *Manager
+	t *sim.Thread
+}
+
+// On binds the manager to t for use as a txnops.Exec.
+func (m *Manager) On(t *sim.Thread) Bound { return Bound{m: m, t: t} }
+
+// Atomic runs body as one composed atomic operation on the bound thread.
+func (b Bound) Atomic(body func(c *Ctx)) { b.m.Atomic(b.t, body) }
+
+// ReadOnly runs body as a composed snapshot on the bound thread.
+func (b Bound) ReadOnly(body func(c *Ctx)) { b.m.ReadOnly(b.t, body) }
 
 // restartSignal unwinds a capture-mode body back to the fallback loop.
 type restartSignal struct{}
@@ -468,44 +492,32 @@ claim:
 	}
 }
 
-// Move atomically moves key from src to dst, reporting whether it did. The
-// move happens only when key is present in src and absent from dst, so a
-// successful Move conserves the total key count across the two sets.
+// Move atomically moves key from src to dst, reporting whether it did; see
+// txnops.Move for the semantics (and the conservation invariant).
 func Move(m *Manager, t *sim.Thread, src, dst Set, key uint64) bool {
-	var moved bool
-	m.Atomic(t, func(c *Ctx) {
-		moved = false
-		if dst.TxContains(c, key) {
-			return
-		}
-		if !src.TxRemove(c, key) {
-			return
-		}
-		if !dst.TxInsert(c, key) {
-			// The insert's view disagrees with the TxContains probe above;
-			// the commit would not validate, so restart now.
-			c.Retry()
-		}
-		moved = true
-	})
-	return moved
+	return txnops.Move(m.On(t), src, dst, key)
+}
+
+// MoveAll atomically moves every key in keys from src to dst in one composed
+// operation — one modeled prefix transaction or one N-word MultiCAS for the
+// whole batch; see txnops.MoveAll.
+func MoveAll(m *Manager, t *sim.Thread, src, dst Set, keys ...uint64) int {
+	return txnops.MoveAll(m.On(t), src, dst, keys...)
 }
 
 // Transfer atomically dequeues up to n values from src and enqueues them on
-// dst, returning how many moved. The transfer is all-or-nothing: no
-// concurrent observer sees a value absent from both queues.
+// dst, returning how many moved; see txnops.Transfer.
 func Transfer(m *Manager, t *sim.Thread, src, dst Queue, n int) int {
-	var moved int
-	m.Atomic(t, func(c *Ctx) {
-		moved = 0
-		for i := 0; i < n; i++ {
-			v, ok := src.TxDequeue(c)
-			if !ok {
-				break
-			}
-			dst.TxEnqueue(c, v)
-			moved++
-		}
-	})
-	return moved
+	return txnops.Transfer(m.On(t), src, dst, n)
+}
+
+// MoveMin atomically pops src's minimum into dst; see txnops.MoveMin.
+func MoveMin(m *Manager, t *sim.Thread, src PQ, dst Set) (uint64, bool) {
+	return txnops.MoveMin(m.On(t), src, dst)
+}
+
+// MoveToPQ atomically removes key from src and pushes it onto dst; see
+// txnops.MoveToPQ.
+func MoveToPQ(m *Manager, t *sim.Thread, src Set, dst PQ, key uint64) bool {
+	return txnops.MoveToPQ(m.On(t), src, dst, key)
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/speculate"
 	"repro/internal/telemetry"
+	"repro/internal/txnops"
 )
 
 // DefaultAttempts is the fast-path retry budget for composed operations.
@@ -50,21 +51,22 @@ const DefaultAttempts = 4
 // abortRetry is the explicit-abort code used by Ctx.Retry on the fast path.
 const abortRetry = 1
 
-// Set is the composable set interface the PTO structures implement
-// (bst.PTOTree, hashtable.PTOTable, skiplist.PTOSet). All methods must be
-// called from inside a Manager.Atomic body, on structures sharing the
+// Set is the composable set capability the PTO structures implement
+// (bst.PTOTree, hashtable.PTOTable, skiplist.PTOSet, list.PTOSet) — the
+// shared txnops contract instantiated for this substrate. All methods must
+// be called from inside a Manager.Atomic body, on structures sharing the
 // manager's domain.
-type Set interface {
-	TxContains(c *Ctx, key int64) bool
-	TxInsert(c *Ctx, key int64) bool
-	TxRemove(c *Ctx, key int64) bool
-}
+type Set = txnops.Set[*Ctx, int64]
 
-// Queue is the composable queue interface (msqueue.PTOQueue).
-type Queue interface {
-	TxEnqueue(c *Ctx, v int64)
-	TxDequeue(c *Ctx) (int64, bool)
-}
+// Queue is the composable queue capability (msqueue.PTOQueue).
+type Queue = txnops.Queue[*Ctx, int64]
+
+// PQ is the composable priority-queue capability (mound.Mound over a PTO
+// backend).
+type PQ = txnops.PQ[*Ctx, int64]
+
+// Registry is this substrate's registration surface (see txnops.Registry).
+type Registry = txnops.Registry[*Ctx, int64]
 
 // Manager runs composed operations against one shared transactional domain.
 // Every structure participating in a manager's transactions must be
@@ -77,6 +79,7 @@ type Manager struct {
 	attempts int
 	site     *speculate.Site
 	comp     *telemetry.Composed
+	reg      Registry
 }
 
 // New returns a Manager with its own transactional domain. attempts ≤ 0
@@ -109,6 +112,12 @@ func (m *Manager) WithPolicy(p speculate.Policy) *Manager {
 // Domain exposes the manager's transactional domain, for constructing
 // participating structures and for capacity experiments.
 func (m *Manager) Domain() *htm.Domain { return m.d }
+
+// Structures is the manager's registration surface: drivers register each
+// participating structure once (by capability and name) and enumerate them
+// generically. The manager itself holds no per-structure code — the registry
+// and the txnops algorithms are the whole composition API.
+func (m *Manager) Structures() *Registry { return &m.reg }
 
 // restartSignal is the panic payload Ctx.Retry uses to unwind a capture-mode
 // body back to the fallback loop.
@@ -323,46 +332,32 @@ func (m *Manager) runCapture(c *Ctx, body func(c *Ctx)) (completed bool) {
 	return true
 }
 
-// Move atomically moves key from src to dst, reporting whether it did. The
-// move happens only when key is present in src and absent from dst, so a
-// successful Move conserves the total key count across the two sets — the
-// invariant the composition tests check under concurrency.
+// Move atomically moves key from src to dst, reporting whether it did; see
+// txnops.Move for the semantics (and the conservation invariant).
 func Move(m *Manager, src, dst Set, key int64) bool {
-	var moved bool
-	m.Atomic(func(c *Ctx) {
-		moved = false
-		if dst.TxContains(c, key) {
-			return
-		}
-		if !src.TxRemove(c, key) {
-			return
-		}
-		if !dst.TxInsert(c, key) {
-			// The insert's view disagrees with the TxContains probe above
-			// (a concurrent insert slipped between the two capture-mode
-			// traversals); the commit would not validate, so restart now.
-			c.Retry()
-		}
-		moved = true
-	})
-	return moved
+	return txnops.Move(m, src, dst, key)
+}
+
+// MoveAll atomically moves every key in keys from src to dst in one composed
+// operation — one prefix transaction or one N-word MultiCAS for the whole
+// batch; see txnops.MoveAll.
+func MoveAll(m *Manager, src, dst Set, keys ...int64) int {
+	return txnops.MoveAll(m, src, dst, keys...)
 }
 
 // Transfer atomically dequeues up to n values from src and enqueues them on
-// dst, returning how many moved. The transfer is all-or-nothing: no
-// concurrent observer sees a value absent from both queues.
+// dst, returning how many moved; see txnops.Transfer.
 func Transfer(m *Manager, src, dst Queue, n int) int {
-	var moved int
-	m.Atomic(func(c *Ctx) {
-		moved = 0
-		for i := 0; i < n; i++ {
-			v, ok := src.TxDequeue(c)
-			if !ok {
-				break
-			}
-			dst.TxEnqueue(c, v)
-			moved++
-		}
-	})
-	return moved
+	return txnops.Transfer(m, src, dst, n)
+}
+
+// MoveMin atomically pops src's minimum into dst; see txnops.MoveMin.
+func MoveMin(m *Manager, src PQ, dst Set) (int64, bool) {
+	return txnops.MoveMin(m, src, dst)
+}
+
+// MoveToPQ atomically removes key from src and pushes it onto dst; see
+// txnops.MoveToPQ.
+func MoveToPQ(m *Manager, src Set, dst PQ, key int64) bool {
+	return txnops.MoveToPQ(m, src, dst, key)
 }

@@ -1,0 +1,329 @@
+// Package txnops_test closes the structure×substrate matrix from the
+// outside: compile-time conformance of every adapter against the shared
+// contract, conservation fuzz of the generic composed algorithms over random
+// structure pairs on both substrates, and a decision-parity spot check that
+// the one shared algorithm makes the same decisions on the real runtime and
+// the modeled machine when driven single-threaded from the same state.
+package txnops_test
+
+import (
+	"testing"
+
+	"repro/internal/bst"
+	"repro/internal/hashtable"
+	"repro/internal/list"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/sim"
+	"repro/internal/simds"
+	"repro/internal/simtxn"
+	"repro/internal/skiplist"
+	"repro/internal/txn"
+)
+
+// The matrix, checked at compile time: every adapter satisfies its
+// substrate's capability alias of the shared txnops contract. A structure
+// missing a method fails the build here, not in a driver at runtime.
+var (
+	_ txn.Set   = (*bst.PTOTree)(nil)
+	_ txn.Set   = (*hashtable.PTOTable)(nil)
+	_ txn.Set   = (*skiplist.PTOSet)(nil)
+	_ txn.Set   = (*list.PTOSet)(nil)
+	_ txn.Queue = (*msqueue.PTOQueue)(nil)
+	_ txn.PQ    = (*mound.Mound)(nil)
+
+	_ simtxn.Set   = (*simds.SimBST)(nil)
+	_ simtxn.Set   = (*simds.SimHash)(nil)
+	_ simtxn.Set   = (*simds.SimSkip)(nil)
+	_ simtxn.Queue = (*simds.SimMSQueue)(nil)
+)
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TestConservationFuzzRuntime drives random Move/MoveAll/Transfer traffic
+// over random pairs drawn from every runtime set adapter, all sharing one
+// HTM domain, and verifies at quiescence that each key lives in exactly one
+// set and each queue value in exactly one queue. The sets are enumerated
+// through the manager's Registry — the fuzz has no per-structure code.
+func TestConservationFuzzRuntime(t *testing.T) {
+	const (
+		keyRange = 48
+		threads  = 6
+		opsPer   = 300
+	)
+	m := txn.New(0)
+	reg := m.Structures()
+	reg.AddSet("bst", bst.NewPTOIn(m.Domain(), -1, -1))
+	reg.AddSet("hashtable", hashtable.NewPTOTableIn(m.Domain(), 16, 0))
+	reg.AddSet("list", list.NewPTOIn(m.Domain(), 0))
+	reg.AddSet("skiplist", skiplist.NewPTOSetIn(m.Domain(), 0))
+	names := reg.SetNames()
+	sets := make([]txn.Set, len(names))
+	for i, n := range names {
+		sets[i] = reg.Set(n)
+	}
+	// Prefill round-robin: key k starts in set k mod len(sets).
+	for k := int64(0); k < keyRange; k++ {
+		s := sets[int(k)%len(sets)]
+		m.Atomic(func(c *txn.Ctx) { s.TxInsert(c, k) })
+	}
+	q1, q2 := msqueue.NewPTOIn(m.Domain(), 0), msqueue.NewPTOIn(m.Domain(), 0)
+	for v := int64(0); v < keyRange; v++ {
+		m.Atomic(func(c *txn.Ctx) { q1.TxEnqueue(c, v) })
+	}
+
+	done := make(chan struct{})
+	for g := 0; g < threads; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			rnd := uint64(g)*0x9E3779B9 + 7
+			for i := 0; i < opsPer; i++ {
+				rnd = splitmix(rnd)
+				x := rnd
+				src := sets[x%uint64(len(sets))]
+				dst := sets[(x>>8)%uint64(len(sets))]
+				k := int64(x >> 16 % keyRange)
+				switch x >> 32 % 4 {
+				case 0, 1:
+					txn.Move(m, src, dst, k)
+				case 2:
+					ks := []int64{k, (k + 7) % keyRange, (k + 29) % keyRange}
+					txn.MoveAll(m, src, dst, ks...)
+				default:
+					if x>>40&1 == 0 {
+						txn.Transfer(m, q1, q2, 1+int(x>>48%3))
+					} else {
+						txn.Transfer(m, q2, q1, 1+int(x>>48%3))
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < threads; g++ {
+		<-done
+	}
+
+	for k := int64(0); k < keyRange; k++ {
+		homes := 0
+		m.ReadOnly(func(c *txn.Ctx) {
+			homes = 0
+			for _, s := range sets {
+				if s.TxContains(c, k) {
+					homes++
+				}
+			}
+		})
+		if homes != 1 {
+			t.Errorf("key %d lives in %d sets, want 1", k, homes)
+		}
+	}
+	seen := make([]int, keyRange)
+	for _, q := range []*msqueue.PTOQueue{q1, q2} {
+		for {
+			var v int64
+			var ok bool
+			m.Atomic(func(c *txn.Ctx) { v, ok = q.TxDequeue(c) })
+			if !ok {
+				break
+			}
+			seen[v]++
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("queue value %d seen %d times, want 1", v, n)
+		}
+	}
+}
+
+// TestConservationFuzzSim is the same fuzz on the modeled substrate: random
+// Move/MoveAll/Transfer over random pairs of every simulated set adapter,
+// conservation verified from the structures' own key scans at quiescence.
+func TestConservationFuzzSim(t *testing.T) {
+	const (
+		keyRange = 48
+		threads  = 6
+		opsPer   = 150
+	)
+	machine := sim.New(sim.DefaultConfig(threads))
+	setup := machine.Thread(0)
+	mgr := simtxn.New(0)
+	reg := mgr.Structures()
+	b := simds.NewSimBST(setup, simds.BSTPTO12, false, threads)
+	h := simds.NewSimHash(setup, simds.HashPTO, 16, threads)
+	h.Stabilize(setup)
+	s := simds.NewSimSkip(setup, false, threads)
+	reg.AddSet("bst", b)
+	reg.AddSet("hashtable", h)
+	reg.AddSet("skiplist", s)
+	names := reg.SetNames()
+	sets := make([]simtxn.Set, len(names))
+	for i, n := range names {
+		sets[i] = reg.Set(n)
+	}
+	ins := []func(*sim.Thread, uint64) bool{b.Insert, h.Insert, s.Insert}
+	order := []int{0, 0, 0}
+	for i, n := range names {
+		switch n {
+		case "bst":
+			order[i] = 0
+		case "hashtable":
+			order[i] = 1
+		case "skiplist":
+			order[i] = 2
+		}
+	}
+	for k := uint64(1); k <= keyRange; k++ {
+		ins[order[int(k)%len(sets)]](setup, k)
+	}
+	q1 := simds.NewSimMSQueue(setup, true)
+	q2 := simds.NewSimMSQueue(setup, true)
+	for v := uint64(1); v <= keyRange; v++ {
+		q1.Enqueue(setup, v)
+	}
+
+	machine.Run(func(th *sim.Thread) {
+		for i := 0; i < opsPer; i++ {
+			x := th.Rand()
+			src := sets[x%uint64(len(sets))]
+			dst := sets[(x>>8)%uint64(len(sets))]
+			k := x>>16%keyRange + 1
+			switch x >> 32 % 4 {
+			case 0, 1:
+				simtxn.Move(mgr, th, src, dst, k)
+			case 2:
+				ks := []uint64{k, (k+7)%keyRange + 1, (k+29)%keyRange + 1}
+				simtxn.MoveAll(mgr, th, src, dst, ks...)
+			default:
+				if x>>40&1 == 0 {
+					simtxn.Transfer(mgr, th, q1, q2, 1+int(x>>48%3))
+				} else {
+					simtxn.Transfer(mgr, th, q2, q1, 1+int(x>>48%3))
+				}
+			}
+		}
+	})
+
+	homes := make([]int, keyRange+1)
+	for _, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), s.Keys(setup)} {
+		for _, k := range keys {
+			if k < 1 || k > keyRange {
+				t.Fatalf("out-of-range key %d surfaced", k)
+			}
+			homes[k]++
+		}
+	}
+	for k := 1; k <= keyRange; k++ {
+		if homes[k] != 1 {
+			t.Errorf("key %d lives in %d sets, want 1", k, homes[k])
+		}
+	}
+	seen := make([]int, keyRange+1)
+	for _, q := range []*simds.SimMSQueue{q1, q2} {
+		for {
+			v, ok := q.Dequeue(setup)
+			if !ok {
+				break
+			}
+			if v < 1 || v > keyRange {
+				t.Fatalf("out-of-range queue value %d", v)
+			}
+			seen[v]++
+		}
+	}
+	for v := 1; v <= keyRange; v++ {
+		if seen[v] != 1 {
+			t.Errorf("queue value %d seen %d times, want 1", v, seen[v])
+		}
+	}
+}
+
+// TestDecisionParityAcrossSubstrates drives the identical single-threaded
+// operation sequence — same seed, same keys, same prefill — through the one
+// shared composed algorithm on both substrates and requires the decision
+// streams (Move success bits, MoveAll moved counts) to match exactly. The
+// adapters differ in every mechanical detail, so agreement here pins that
+// both implement the same abstract set semantics under the contract.
+func TestDecisionParityAcrossSubstrates(t *testing.T) {
+	const (
+		keyRange = 32
+		ops      = 400
+	)
+	// Runtime: BST ↔ skiplist pair.
+	rm := txn.New(0)
+	ra := bst.NewPTOIn(rm.Domain(), -1, -1)
+	rb := skiplist.NewPTOSetIn(rm.Domain(), 0)
+	for k := int64(2); k <= keyRange; k += 2 {
+		rm.Atomic(func(c *txn.Ctx) { ra.TxInsert(c, k) })
+	}
+	var rt []int
+	for i := 0; i < ops; i++ {
+		x := splitmix(uint64(i))
+		k := int64(x>>8%keyRange) + 1
+		switch x % 3 {
+		case 0:
+			if txn.Move(rm, ra, rb, k) {
+				rt = append(rt, 1)
+			} else {
+				rt = append(rt, 0)
+			}
+		case 1:
+			if txn.Move(rm, rb, ra, k) {
+				rt = append(rt, 1)
+			} else {
+				rt = append(rt, 0)
+			}
+		default:
+			ks := []int64{k, (k % keyRange) + 1, ((k + 12) % keyRange) + 1}
+			rt = append(rt, txn.MoveAll(rm, ra, rb, ks...))
+		}
+	}
+
+	// Modeled: SimBST ↔ SimSkip pair on a one-thread machine.
+	machine := sim.New(sim.DefaultConfig(1))
+	setup := machine.Thread(0)
+	mgr := simtxn.New(0)
+	sa := simds.NewSimBST(setup, simds.BSTPTO12, false, 1)
+	sb := simds.NewSimSkip(setup, false, 1)
+	for k := uint64(2); k <= keyRange; k += 2 {
+		sa.Insert(setup, k)
+	}
+	var sm []int
+	machine.Run(func(th *sim.Thread) {
+		for i := 0; i < ops; i++ {
+			x := splitmix(uint64(i))
+			k := x>>8%keyRange + 1
+			switch x % 3 {
+			case 0:
+				if simtxn.Move(mgr, th, sa, sb, k) {
+					sm = append(sm, 1)
+				} else {
+					sm = append(sm, 0)
+				}
+			case 1:
+				if simtxn.Move(mgr, th, sb, sa, k) {
+					sm = append(sm, 1)
+				} else {
+					sm = append(sm, 0)
+				}
+			default:
+				ks := []uint64{k, (k % keyRange) + 1, ((k + 12) % keyRange) + 1}
+				sm = append(sm, simtxn.MoveAll(mgr, th, sa, sb, ks...))
+			}
+		}
+	})
+
+	if len(rt) != len(sm) {
+		t.Fatalf("decision stream lengths differ: %d vs %d", len(rt), len(sm))
+	}
+	for i := range rt {
+		if rt[i] != sm[i] {
+			t.Fatalf("decision %d diverged: runtime %d, modeled %d", i, rt[i], sm[i])
+		}
+	}
+}

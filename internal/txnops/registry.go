@@ -1,0 +1,116 @@
+package txnops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the registration surface of one composition layer: every
+// structure participating in composed operations is registered once, under a
+// name, with its capability. Drivers (the stress harness, the conservation
+// fuzzers, benchmark arms) then enumerate structures generically — "every
+// registered set pair", "a PQ and a set" — instead of hard-wiring one code
+// path per structure. Registration is not required for correctness (the
+// algorithms take interfaces directly); it exists so that adding a structure
+// to a substrate is one AddSet call, not a diff across every driver.
+//
+// Registration happens at build time, before the structures are shared;
+// lookups during a run are read-only and safe for concurrent use.
+type Registry[C Ctx, K comparable] struct {
+	mu     sync.RWMutex
+	sets   map[string]Set[C, K]
+	queues map[string]Queue[C, K]
+	pqs    map[string]PQ[C, K]
+}
+
+// AddSet registers s under name, panicking on a duplicate (two structures
+// under one name is a driver bug, not a recoverable condition).
+func (r *Registry[C, K]) AddSet(name string, s Set[C, K]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sets == nil {
+		r.sets = make(map[string]Set[C, K])
+	}
+	if _, dup := r.sets[name]; dup {
+		panic(fmt.Sprintf("txnops: duplicate set %q", name))
+	}
+	r.sets[name] = s
+}
+
+// AddQueue registers q under name, panicking on a duplicate.
+func (r *Registry[C, K]) AddQueue(name string, q Queue[C, K]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queues == nil {
+		r.queues = make(map[string]Queue[C, K])
+	}
+	if _, dup := r.queues[name]; dup {
+		panic(fmt.Sprintf("txnops: duplicate queue %q", name))
+	}
+	r.queues[name] = q
+}
+
+// AddPQ registers p under name, panicking on a duplicate.
+func (r *Registry[C, K]) AddPQ(name string, p PQ[C, K]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pqs == nil {
+		r.pqs = make(map[string]PQ[C, K])
+	}
+	if _, dup := r.pqs[name]; dup {
+		panic(fmt.Sprintf("txnops: duplicate pq %q", name))
+	}
+	r.pqs[name] = p
+}
+
+// Set returns the set registered under name, or nil.
+func (r *Registry[C, K]) Set(name string) Set[C, K] {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sets[name]
+}
+
+// Queue returns the queue registered under name, or nil.
+func (r *Registry[C, K]) Queue(name string) Queue[C, K] {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.queues[name]
+}
+
+// PQ returns the priority queue registered under name, or nil.
+func (r *Registry[C, K]) PQ(name string) PQ[C, K] {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pqs[name]
+}
+
+// SetNames returns the registered set names, sorted.
+func (r *Registry[C, K]) SetNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.sets)
+}
+
+// QueueNames returns the registered queue names, sorted.
+func (r *Registry[C, K]) QueueNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.queues)
+}
+
+// PQNames returns the registered priority-queue names, sorted.
+func (r *Registry[C, K]) PQNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.pqs)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
