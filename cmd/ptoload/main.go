@@ -1,0 +1,522 @@
+// Command ptoload is ptoserver's load generator: an open-loop driver that
+// models a large session population hammering the service with zipfian key
+// popularity and bursty arrivals, and emits a machine-readable
+// BENCH_serve.json next to BENCH_pto.json.
+//
+// Open-loop means arrivals are paced by the offered rate, not by the
+// server's responses: when the server falls behind, requests queue against
+// a bounded in-flight window and the overflow is counted as client-side
+// drops instead of silently throttling the workload — so a slow server
+// shows up as lost throughput and latency, the way real users experience
+// it. Each arrival is attributed to a modeled session (session id drawn
+// uniformly from -sessions, default one million) whose RNG stream picks the
+// op; key popularity is zipfian over -keys with exponent -zipf.
+//
+// Scenarios (-scenario, comma-separated):
+//
+//   - compare: the amortization headline. Phase put_unbatched offers R
+//     single-key writes/s; phase put_batched offers the same R key-writes/s
+//     as multi-key envelopes of -batch keys — each envelope one composed
+//     publication per shard touched. BENCH_serve.json reports keys/s for
+//     both and their ratio (summary.batched_speedup).
+//
+//   - shed: the backpressure probe. Bursty open-loop writes (bursts of
+//     -burst x the base rate, alternating with calm periods, ending in a
+//     forced calm tail) against zipf-contended keys; per-window 429 counts
+//     show the admission layer engaging under the burst and re-admitting in
+//     the tail (summary.shed_engaged / summary.shed_recovered).
+//
+//   - mix: a general op mix (reads, direct and epoch-batched writes,
+//     cross-structure moves, queue and PQ traffic) for headline throughput
+//     and latency percentiles.
+//
+// Results merge into -out: scenarios already present in the file are
+// replaced by name, others are kept, and the summary is recomputed over the
+// merged set — so compare and shed runs against differently configured
+// servers can accumulate into one artifact.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+var (
+	addr      = flag.String("addr", "127.0.0.1:8350", "ptoserver address (host:port)")
+	scenarios = flag.String("scenario", "mix", "comma-separated: compare, shed, mix")
+	duration  = flag.Duration("duration", 5*time.Second, "duration per scenario phase")
+	rate      = flag.Float64("rate", 3000, "offered ops/s (key-writes/s for compare)")
+	inflight  = flag.Int("inflight", 256, "max in-flight requests (the open-loop window)")
+	keys      = flag.Int64("keys", 4096, "key range")
+	zipfS     = flag.Float64("zipf", 1.1, "zipfian exponent for key popularity (>1)")
+	sessions  = flag.Int64("sessions", 1_000_000, "modeled session population")
+	batchK    = flag.Int("batch", 8, "keys per multi-key put in the batched phase")
+	burst     = flag.Float64("burst", 4, "burst multiplier over the base rate (shed scenario)")
+	burstLen  = flag.Duration("burst-period", 500*time.Millisecond, "burst/calm alternation period")
+	seed      = flag.Int64("seed", 1, "RNG seed")
+	out       = flag.String("out", "BENCH_serve.json", "output JSON (merged with existing scenarios)")
+)
+
+// client is shared across scenarios: enough idle conns for the whole
+// in-flight window so connection churn never pollutes the latency numbers.
+var client *http.Client
+
+// windowStats is one time slice of a scenario, for the shed trace.
+type windowStats struct {
+	OK    uint64 `json:"ok"`
+	Shed  uint64 `json:"shed_429"`
+	Drops uint64 `json:"client_drops"`
+}
+
+// serverDelta is the /statz movement a scenario caused.
+type serverDelta struct {
+	Publications uint64    `json:"publications"`
+	Batches      uint64    `json:"batches"`
+	BatchedOps   uint64    `json:"batched_ops"`
+	Sheds        uint64    `json:"sheds"`
+	BatchSizes   []uint64  `json:"batch_sizes"`
+	CommitRatios []float64 `json:"commit_ratios"`
+}
+
+// scenarioResult is one scenario's measured outcome.
+type scenarioResult struct {
+	Name        string        `json:"name"`
+	Batched     bool          `json:"batched"`
+	OfferedRate float64       `json:"offered_per_s"`
+	DurationSec float64       `json:"duration_s"`
+	Completed   uint64        `json:"completed"`
+	OKs         uint64        `json:"ok"`
+	Sheds429    uint64        `json:"shed_429"`
+	ClientDrops uint64        `json:"client_drops"`
+	Errors      uint64        `json:"errors"`
+	KeysWritten uint64        `json:"keys_written"`
+	Throughput  float64       `json:"throughput_per_s"`
+	KeysPerSec  float64       `json:"keys_per_s"`
+	P50Ms       float64       `json:"p50_ms"`
+	P99Ms       float64       `json:"p99_ms"`
+	Server      serverDelta   `json:"server"`
+	Windows     []windowStats `json:"windows,omitempty"`
+}
+
+// benchFile is the merged BENCH_serve.json shape.
+type benchFile struct {
+	Bench     string           `json:"bench"`
+	Config    map[string]any   `json:"config"`
+	Scenarios []scenarioResult `json:"scenarios"`
+	Summary   map[string]any   `json:"summary"`
+}
+
+func main() {
+	flag.Parse()
+	client = &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *inflight + 8,
+			MaxIdleConnsPerHost: *inflight + 8,
+		},
+	}
+	if err := waitHealthy(20 * time.Second); err != nil {
+		log.Fatalf("ptoload: server not healthy: %v", err)
+	}
+
+	var results []scenarioResult
+	for _, sc := range strings.Split(*scenarios, ",") {
+		switch strings.TrimSpace(sc) {
+		case "compare":
+			results = append(results, runCompareUnbatched(), runCompareBatched())
+		case "shed":
+			results = append(results, runShed())
+		case "mix":
+			results = append(results, runMix())
+		case "":
+		default:
+			log.Fatalf("ptoload: unknown scenario %q", sc)
+		}
+	}
+	writeMerged(results)
+}
+
+func waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get("http://" + *addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("healthz status %d", 0)
+			}
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetchStats() server.Stats {
+	var st server.Stats
+	resp, err := client.Get("http://" + *addr + "/statz")
+	if err != nil {
+		log.Printf("ptoload: statz: %v", err)
+		return st
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Printf("ptoload: statz decode: %v", err)
+	}
+	return st
+}
+
+func statsDelta(before, after server.Stats) serverDelta {
+	d := serverDelta{
+		Publications: after.Publications - before.Publications,
+		Batches:      after.Batches - before.Batches,
+		BatchedOps:   after.BatchedOps - before.BatchedOps,
+		Sheds:        after.Sheds - before.Sheds,
+	}
+	for i, sh := range after.Shards {
+		var cur, prev [17]uint64
+		cur = sh.BatchSizes.Buckets
+		if i < len(before.Shards) {
+			prev = before.Shards[i].BatchSizes.Buckets
+		}
+		if d.BatchSizes == nil {
+			d.BatchSizes = make([]uint64, len(cur))
+		}
+		for b := range cur {
+			d.BatchSizes[b] += cur[b] - prev[b]
+		}
+		d.CommitRatios = append(d.CommitRatios, sh.CommitRatio)
+	}
+	return d
+}
+
+// opSpec is one generated arrival.
+type opSpec struct {
+	req  server.Request
+	keys int // key-writes this request carries (for keys/s accounting)
+}
+
+// gen produces arrivals for a scenario: nil return = skip this slot.
+type gen func(r *rand.Rand, zipf *rand.Zipf) opSpec
+
+// engine runs one open-loop phase: arrivals at rateFn(t) ops/s, bounded
+// in-flight window, per-window accounting, latency reservoir.
+func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed time.Duration) float64, g gen) scenarioResult {
+	res := scenarioResult{Name: name, Batched: batched, DurationSec: dur.Seconds()}
+	before := fetchStats()
+
+	const maxSamples = 1 << 18
+	samples := make([]int64, maxSamples)
+	var nSamples atomic.Int64
+	var completed, oks, sheds, drops, errs, keysWritten atomic.Uint64
+
+	const nWindows = 12
+	windows := make([]struct{ ok, shed, drop atomic.Uint64 }, nWindows)
+	windowOf := func(elapsed time.Duration) int {
+		w := int(elapsed * nWindows / dur)
+		if w >= nWindows {
+			w = nWindows - 1
+		}
+		return w
+	}
+
+	sem := make(chan struct{}, *inflight)
+	var wg sync.WaitGroup
+	rnd := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rnd, *zipfS, 1, uint64(*keys-1))
+
+	start := time.Now()
+	var tokens float64
+	var offered float64
+	step := 2 * time.Millisecond
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		elapsed := now.Sub(start)
+		if elapsed >= dur {
+			break
+		}
+		r := rateFn(elapsed)
+		tokens += r * step.Seconds()
+		offered += r * step.Seconds()
+		for tokens >= 1 {
+			tokens--
+			spec := g(rnd, zipf)
+			w := windowOf(elapsed)
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Open-loop overflow: the in-flight window is full, the
+				// arrival is lost, and that loss is the datum.
+				drops.Add(1)
+				windows[w].drop.Add(1)
+				continue
+			}
+			wg.Add(1)
+			go func(spec opSpec, w int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				status := fire(spec.req)
+				lat := time.Since(t0).Nanoseconds()
+				completed.Add(1)
+				switch status {
+				case http.StatusOK:
+					oks.Add(1)
+					windows[w].ok.Add(1)
+					keysWritten.Add(uint64(spec.keys))
+					if i := nSamples.Add(1) - 1; i < maxSamples {
+						samples[i] = lat
+					}
+				case http.StatusTooManyRequests:
+					sheds.Add(1)
+					windows[w].shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}(spec, w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res.OfferedRate = offered / elapsed
+	res.Completed = completed.Load()
+	res.OKs = oks.Load()
+	res.Sheds429 = sheds.Load()
+	res.ClientDrops = drops.Load()
+	res.Errors = errs.Load()
+	res.KeysWritten = keysWritten.Load()
+	res.Throughput = float64(res.OKs) / elapsed
+	res.KeysPerSec = float64(res.KeysWritten) / elapsed
+	res.P50Ms, res.P99Ms = percentiles(samples, nSamples.Load())
+	res.Server = statsDelta(before, fetchStats())
+	for i := range windows {
+		res.Windows = append(res.Windows, windowStats{
+			OK:    windows[i].ok.Load(),
+			Shed:  windows[i].shed.Load(),
+			Drops: windows[i].drop.Load(),
+		})
+	}
+	log.Printf("ptoload: %-16s offered %7.0f/s ok %7d (%.0f/s, %.0f keys/s) shed %d drops %d errs %d p50 %.2fms p99 %.2fms",
+		name, res.OfferedRate, res.OKs, res.Throughput, res.KeysPerSec, res.Sheds429, res.ClientDrops, res.Errors, res.P50Ms, res.P99Ms)
+	return res
+}
+
+// fire posts one envelope and returns the HTTP status (0 on transport
+// error).
+func fire(req server.Request) int {
+	body, _ := json.Marshal(req)
+	resp, err := client.Post("http://"+*addr+"/v1/op", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var r server.Response
+	json.NewDecoder(resp.Body).Decode(&r)
+	return resp.StatusCode
+}
+
+func percentiles(samples []int64, n int64) (p50, p99 float64) {
+	if n > int64(len(samples)) {
+		n = int64(len(samples))
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	s := append([]int64(nil), samples[:n]...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	p50 = float64(s[n/2]) / 1e6
+	p99 = float64(s[n*99/100]) / 1e6
+	return
+}
+
+// sessionKey draws one zipfian key for a modeled session: the session id
+// rotates the popularity ranking so "hot" is hot globally but which keys a
+// session touches varies across the population.
+func sessionKey(r *rand.Rand, zipf *rand.Zipf) int64 {
+	sid := r.Int63n(*sessions)
+	return int64((zipf.Uint64() + uint64(sid)*0x9E3779B9) % uint64(*keys))
+}
+
+// hotKey draws from the unrotated zipf ranking — maximum cross-session
+// contention, for the shed scenario.
+func hotKey(zipf *rand.Zipf) int64 { return int64(zipf.Uint64()) }
+
+// runCompareUnbatched: R single-key writes/s, put/del 50/50.
+func runCompareUnbatched() scenarioResult {
+	flat := func(time.Duration) float64 { return *rate }
+	return engine("put_unbatched", false, *duration, flat, func(r *rand.Rand, zipf *rand.Zipf) opSpec {
+		op := server.OpPut
+		if r.Intn(2) == 0 {
+			op = server.OpDel
+		}
+		return opSpec{req: server.Request{Op: op, Key: sessionKey(r, zipf)}, keys: 1}
+	})
+}
+
+// runCompareBatched: the same R key-writes/s as envelopes of batchK keys —
+// request rate R/k, each request one composed publication per shard.
+func runCompareBatched() scenarioResult {
+	k := *batchK
+	flat := func(time.Duration) float64 { return *rate / float64(k) }
+	return engine("put_batched", true, *duration, flat, func(r *rand.Rand, zipf *rand.Zipf) opSpec {
+		ks := make([]int64, k)
+		for i := range ks {
+			ks[i] = sessionKey(r, zipf)
+		}
+		op := server.OpPut
+		if r.Intn(2) == 0 {
+			op = server.OpDel
+		}
+		return opSpec{req: server.Request{Op: op, Keys: ks}, keys: k}
+	})
+}
+
+// runShed: bursty writes on maximally contended zipf keys; the last
+// quarter is a forced calm tail so recovery is observable in the windows.
+func runShed() scenarioResult {
+	rateFn := func(elapsed time.Duration) float64 {
+		if elapsed >= *duration*3/4 {
+			return *rate / 8 // the recovery tail
+		}
+		if (elapsed/(*burstLen))%2 == 0 {
+			return *rate * *burst
+		}
+		return *rate / 4
+	}
+	return engine("shed_zipf", false, *duration, rateFn, func(r *rand.Rand, zipf *rand.Zipf) opSpec {
+		// put/del 50/50 so every write genuinely mutates its hot key
+		// (repeated puts of a present key stage nothing and commit
+		// read-only, which would hide the contention).
+		switch r.Intn(5) {
+		case 0:
+			return opSpec{req: server.Request{Op: server.OpGet, Key: hotKey(zipf)}}
+		case 1, 2:
+			return opSpec{req: server.Request{Op: server.OpPut, Key: hotKey(zipf)}, keys: 1}
+		default:
+			return opSpec{req: server.Request{Op: server.OpDel, Key: hotKey(zipf)}, keys: 1}
+		}
+	})
+}
+
+// runMix: the general scenario — reads, direct and epoch-batched writes,
+// cross-structure moves, queue and PQ traffic.
+func runMix() scenarioResult {
+	flat := func(time.Duration) float64 { return *rate }
+	return engine("mix", false, *duration, flat, func(r *rand.Rand, zipf *rand.Zipf) opSpec {
+		k := sessionKey(r, zipf)
+		switch p := r.Intn(100); {
+		case p < 50:
+			return opSpec{req: server.Request{Op: server.OpGet, Key: k}}
+		case p < 60:
+			return opSpec{req: server.Request{Op: server.OpPut, Key: k}, keys: 1}
+		case p < 70:
+			return opSpec{req: server.Request{Op: server.OpPut, Key: k, Batch: true}, keys: 1}
+		case p < 75:
+			return opSpec{req: server.Request{Op: server.OpDel, Key: k}, keys: 1}
+		case p < 85:
+			return opSpec{req: server.Request{Op: server.OpMove, Key: k}}
+		case p < 90:
+			ks := []int64{k, (k + 13) % *keys, (k + 57) % *keys, (k + 131) % *keys}
+			return opSpec{req: server.Request{Op: server.OpMoveAll, Keys: ks}}
+		case p < 93:
+			return opSpec{req: server.Request{Op: server.OpEnqueue, Value: k}}
+		case p < 96:
+			return opSpec{req: server.Request{Op: server.OpDequeue}}
+		case p < 98:
+			return opSpec{req: server.Request{Op: server.OpPush, Value: k}}
+		case p < 99:
+			return opSpec{req: server.Request{Op: server.OpPopMin}}
+		default:
+			return opSpec{req: server.Request{Op: server.OpTransfer, N: 2}}
+		}
+	})
+}
+
+// writeMerged merges the new results into -out and recomputes the summary
+// over everything present.
+func writeMerged(results []scenarioResult) {
+	file := benchFile{Bench: "pto_serve"}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			log.Printf("ptoload: ignoring unparseable %s: %v", *out, err)
+			file = benchFile{Bench: "pto_serve"}
+		}
+	}
+	for _, r := range results {
+		replaced := false
+		for i := range file.Scenarios {
+			if file.Scenarios[i].Name == r.Name {
+				file.Scenarios[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			file.Scenarios = append(file.Scenarios, r)
+		}
+	}
+	file.Config = map[string]any{
+		"addr": *addr, "rate": *rate, "inflight": *inflight, "keys": *keys,
+		"zipf_s": *zipfS, "sessions": *sessions, "batch_k": *batchK,
+		"duration_s": duration.Seconds(), "seed": *seed,
+	}
+	file.Summary = summarize(file.Scenarios)
+
+	data, _ := json.MarshalIndent(file, "", "  ")
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("ptoload: write %s: %v", *out, err)
+	}
+	sum, _ := json.Marshal(file.Summary)
+	log.Printf("ptoload: wrote %s; summary %s", *out, sum)
+}
+
+func summarize(scs []scenarioResult) map[string]any {
+	sum := map[string]any{}
+	var total uint64
+	byName := map[string]scenarioResult{}
+	for _, s := range scs {
+		total += s.OKs
+		byName[s.Name] = s
+	}
+	sum["total_completed"] = total
+	sum["completed_ok"] = total > 0
+	if ub, ok := byName["put_unbatched"]; ok {
+		if b, ok := byName["put_batched"]; ok && ub.KeysPerSec > 0 {
+			speedup := b.KeysPerSec / ub.KeysPerSec
+			sum["batched_speedup"] = speedup
+			sum["batched_speedup_ok"] = speedup >= 2
+		}
+	}
+	if sh, ok := byName["shed_zipf"]; ok && len(sh.Windows) > 0 {
+		engaged := false
+		for _, w := range sh.Windows {
+			if w.Shed > 0 {
+				engaged = true
+			}
+		}
+		last := sh.Windows[len(sh.Windows)-1]
+		sum["shed_engaged"] = engaged
+		sum["shed_recovered"] = last.Shed == 0 && last.OK > 0
+	}
+	return sum
+}

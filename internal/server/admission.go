@@ -1,0 +1,98 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// admission is the backpressure controller: a periodic evaluator over the
+// telemetry the speculation runtime already emits, with no sensors of its
+// own. Every interval it deltas each shard's speculation site (the same
+// counters the sampler logs and /metrics exports) and computes the shard's
+// LIVE commit ratio — commits over attempts within the interval, not over
+// the process lifetime, because a shard that degrades under a burst still
+// shows a healthy cumulative ratio for minutes.
+//
+// The law: when an interval saw at least minAttempts attempts and its
+// commit ratio is below floor, the shard sheds — mutating requests are
+// rejected with 429 (reads pass) until a later interval clears it. Shedding
+// is self-recovering by construction: rejected writes stop generating
+// attempts, so the next interval is either idle (ratio 1 — an idle shard is
+// healthy) or carried by read-mostly traffic that commits, and the shard
+// re-admits. Under sustained overload this duty-cycles — admit, degrade,
+// shed, recover — which is exactly the bounded-ingestion behavior a
+// group-commit server wants, and the oscillation period is the evaluation
+// interval, not a tuning constant buried in the hot path.
+type admission struct {
+	floor       float64
+	minAttempts uint64
+	shards      []*shard
+	prev        []telemetry.SiteSnapshot
+
+	ticker *time.Ticker
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+}
+
+// newAdmission starts the controller over shards, evaluating every
+// interval. A non-positive interval disables the background loop (tests
+// drive evaluate directly; the handler still honors whatever shed state the
+// test set).
+func newAdmission(shards []*shard, floor float64, minAttempts int, interval time.Duration) *admission {
+	a := &admission{
+		floor:       floor,
+		minAttempts: uint64(minAttempts),
+		shards:      shards,
+		prev:        make([]telemetry.SiteSnapshot, len(shards)),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	for i, s := range shards {
+		a.prev[i] = s.siteSnapshot()
+	}
+	if interval <= 0 {
+		close(a.done)
+		return a
+	}
+	a.ticker = time.NewTicker(interval)
+	go func() {
+		defer close(a.done)
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-a.ticker.C:
+				a.evaluate()
+			}
+		}
+	}()
+	return a
+}
+
+// evaluate runs one admission decision per shard from the interval's
+// counter deltas. Exported to the package so tests pin the law without a
+// clock.
+func (a *admission) evaluate() {
+	for i, s := range a.shards {
+		cur := s.siteSnapshot()
+		d := cur.Delta(a.prev[i])
+		a.prev[i] = cur
+		ratio := d.CommitRatio() // 1 when the interval was idle
+		s.setRatio(ratio)
+		s.shedding.Store(d.Attempts >= a.minAttempts && ratio < a.floor)
+	}
+}
+
+// close stops the evaluator and waits for it. Safe to call more than once.
+func (a *admission) close() {
+	a.once.Do(func() {
+		if a.ticker != nil {
+			a.ticker.Stop()
+		}
+		close(a.stop)
+	})
+	<-a.done
+}

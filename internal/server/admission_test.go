@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestAdmissionShedsAndRecovers pins the admission law deterministically:
+// an interval whose live commit ratio is under the floor (with enough
+// attempts to count as evidence) flips the shard into shedding — mutating
+// requests 429, reads pass — and a following healthy (here: idle) interval
+// re-admits. The interval counters are pumped directly into the shard's
+// telemetry site; evaluate() is driven by the test, not a clock.
+func TestAdmissionShedsAndRecovers(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 1, AdmitFloor: 0.5, AdmitMinAttempts: 16})
+	sh := srv.shards[0]
+
+	// A degraded interval: 100 attempts, 10 commits — ratio 0.1 < 0.5.
+	sh.site.Attempts.Add(100)
+	sh.site.Commits.Add(10)
+	srv.adm.evaluate()
+	if !sh.shedding.Load() {
+		t.Fatal("shard not shedding after a 0.1-ratio interval under floor 0.5")
+	}
+	if r := sh.lastRatio(); r > 0.2 {
+		t.Fatalf("lastRatio = %v, want ~0.1", r)
+	}
+
+	shedsBefore := sh.sheds.Load()
+	if resp, code := doOp(t, ts, Request{Op: OpPut, Key: 1}); code != http.StatusTooManyRequests || resp.OK {
+		t.Fatalf("put while shedding: got %d ok=%v, want 429", code, resp.OK)
+	}
+	if resp, code := doOp(t, ts, Request{Op: OpMoveAll, Keys: []int64{1, 2, 3}}); code != http.StatusTooManyRequests || resp.OK {
+		t.Fatalf("moveall while shedding: got %d ok=%v, want 429", code, resp.OK)
+	}
+	if _, code := doOp(t, ts, Request{Op: OpGet, Key: 1}); code != http.StatusOK {
+		t.Fatalf("get while shedding: got %d, want 200 (reads stay admitted)", code)
+	}
+	if sh.sheds.Load() <= shedsBefore {
+		t.Fatal("shed counter did not advance")
+	}
+
+	// Recovery: the rejected writes generated no attempts, so the next
+	// interval is (near-)idle — ratio 1 — and the shard re-admits.
+	srv.adm.evaluate()
+	if sh.shedding.Load() {
+		t.Fatal("shard still shedding after an idle interval")
+	}
+	if resp, code := doOp(t, ts, Request{Op: OpPut, Key: 1}); code != http.StatusOK || !resp.OK {
+		t.Fatalf("put after recovery: got %d ok=%v, want 200", code, resp.OK)
+	}
+}
+
+// TestAdmissionNeedsEvidence: a low-ratio interval with fewer than
+// AdmitMinAttempts attempts never sheds — a shard that barely ran is not a
+// shard in trouble.
+func TestAdmissionNeedsEvidence(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Shards: 1, AdmitFloor: 0.5, AdmitMinAttempts: 64})
+	sh := srv.shards[0]
+	sh.site.Attempts.Add(10) // 10 < 64: below the evidence threshold
+	srv.adm.evaluate()
+	if sh.shedding.Load() {
+		t.Fatal("shard shed on an interval below the evidence threshold")
+	}
+}

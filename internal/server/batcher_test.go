@@ -1,0 +1,113 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalescesEpochDeterministic pins the amortization claim at the
+// server layer, mirroring bench.BatchedMoveAmortization one level up: k
+// single-key puts arriving within one epoch window commit as ONE composed
+// publication. The epoch clock is a channel the test owns, so nothing here
+// depends on timing — ops are provably pending before the tick and provably
+// committed after it.
+func TestBatcherCoalescesEpochDeterministic(t *testing.T) {
+	tick := make(chan time.Time)
+	srv := New(Config{Shards: 1, AdmitInterval: -1, batchTick: tick})
+	defer srv.Close()
+	sh := srv.shards[0]
+	set := sh.set("", DefaultSet)
+
+	const k = 8
+	before := sh.composedSnapshot().Ops
+	chans := make([]<-chan bool, k)
+	for i := 0; i < k; i++ {
+		chans[i] = sh.b.submit(true, set, int64(i))
+	}
+	if n := sh.b.pendingLen(); n != k {
+		t.Fatalf("pending = %d, want %d", n, k)
+	}
+	select {
+	case <-chans[0]:
+		t.Fatal("batched put committed before its epoch ticked")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	tick <- time.Time{} // advance the epoch
+	for i, ch := range chans {
+		if !<-ch {
+			t.Errorf("put %d reported unchanged, want newly inserted", i)
+		}
+	}
+	if pubs := sh.composedSnapshot().Ops - before; pubs != 1 {
+		t.Fatalf("%d coalesced puts took %d publications, want 1", k, pubs)
+	}
+	if b, ops := sh.b.batches.Load(), sh.b.batchedOps.Load(); b != 1 || ops != k {
+		t.Fatalf("batches=%d batchedOps=%d, want 1/%d", b, ops, k)
+	}
+	if hist := sh.b.sizes.Snapshot(); hist.Buckets[k-1] != 1 {
+		t.Fatalf("batch-size histogram %v missing the size-%d batch", hist.Buckets, k)
+	}
+
+	// The contrast arm: the same k keys put directly cost k publications.
+	before = sh.composedSnapshot().Ops
+	for i := 0; i < k; i++ {
+		sh.put(set, int64(100+i))
+	}
+	if pubs := sh.composedSnapshot().Ops - before; pubs != k {
+		t.Fatalf("%d unbatched puts took %d publications, want %d", k, pubs, k)
+	}
+}
+
+// TestBatcherMaxBatchFlushesEarly: a full batch does not wait out the epoch
+// window — reaching MaxBatch kicks an immediate flush, and the chunking
+// caps every publication at MaxBatch ops.
+func TestBatcherMaxBatchFlushesEarly(t *testing.T) {
+	tick := make(chan time.Time) // never fires: only the kick can flush
+	srv := New(Config{Shards: 1, MaxBatch: 4, AdmitInterval: -1, batchTick: tick})
+	defer srv.Close()
+	sh := srv.shards[0]
+	set := sh.set("", DefaultSet)
+
+	before := sh.composedSnapshot().Ops
+	chans := make([]<-chan bool, 4)
+	for i := 0; i < 4; i++ {
+		chans[i] = sh.b.submit(true, set, int64(i))
+	}
+	for i, ch := range chans {
+		select {
+		case changed := <-ch:
+			if !changed {
+				t.Errorf("put %d reported unchanged", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("put %d never resolved without a tick; the full batch should kick a flush", i)
+		}
+	}
+	if pubs := sh.composedSnapshot().Ops - before; pubs != 1 {
+		t.Fatalf("full batch took %d publications, want 1", pubs)
+	}
+}
+
+// TestBatcherMixesPutsAndDels: one epoch can carry inserts and removes;
+// order within the batch is submission order.
+func TestBatcherMixesPutsAndDels(t *testing.T) {
+	tick := make(chan time.Time)
+	srv := New(Config{Shards: 1, AdmitInterval: -1, batchTick: tick})
+	defer srv.Close()
+	sh := srv.shards[0]
+	set := sh.set("", DefaultSet)
+
+	putCh := sh.b.submit(true, set, 5)
+	delCh := sh.b.submit(false, set, 5)
+	tick <- time.Time{}
+	if !<-putCh {
+		t.Fatal("put in mixed batch reported unchanged")
+	}
+	if !<-delCh {
+		t.Fatal("del after put in the same batch should observe the key")
+	}
+	if sh.get(set, 5) {
+		t.Fatal("key 5 still present after put+del batch")
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+// The wire codec of the PTO service: one JSON envelope per operation,
+// posted to /v1/op. A single envelope (rather than one route per verb)
+// keeps the load generator, the conservation tests, and any future client
+// on one decode path, and makes the op mix a data problem instead of a
+// routing problem. Everything is stdlib encoding/json; values and keys are
+// int64 to match the composition layer's key type.
+
+// Op names accepted on the wire.
+const (
+	OpGet      = "get"
+	OpPut      = "put"
+	OpDel      = "del"
+	OpEnqueue  = "enqueue"
+	OpDequeue  = "dequeue"
+	OpPush     = "push"
+	OpPopMin   = "popmin"
+	OpMove     = "move"
+	OpMoveAll  = "moveall"
+	OpTransfer = "transfer"
+	OpMoveMin  = "movemin"
+	OpMoveToPQ = "movetopq"
+)
+
+// Default structure names resolved when a request leaves the field empty.
+// Every shard registers the same five structures under these names (see
+// newShard), so requests address "the hot set on whatever shard owns this
+// key" without knowing the shard layout.
+const (
+	DefaultSet   = "hot"  // put/get/del target, move source
+	DefaultSpill = "cold" // move destination
+	DefaultQueue = "ingress"
+	DefaultPQ    = "sched"
+)
+
+// Request is the JSON envelope of POST /v1/op.
+//
+// Keyed ops (get/put/del/move/movetopq) route by Key; moveall groups Keys
+// by owning shard and runs one batched publication per shard. Keyless ops
+// (dequeue/popmin/transfer/movemin) rotate across shards unless Shard pins
+// one. Put with Batch set rides the shard's epoch batcher: the reply
+// arrives when the batch it joined commits. Put with Keys set is a
+// multi-key put — all keys on their shard commit in one composed
+// publication, the request-path analogue of MoveAll's amortization.
+type Request struct {
+	Op     string  `json:"op"`
+	Struct string  `json:"struct,omitempty"` // target for single-structure ops
+	Src    string  `json:"src,omitempty"`    // source for cross-structure ops
+	Dst    string  `json:"dst,omitempty"`    // destination for cross-structure ops
+	Key    int64   `json:"key,omitempty"`
+	Keys   []int64 `json:"keys,omitempty"` // moveall / multi-key put
+	Value  int64   `json:"value,omitempty"`
+	N      int     `json:"n,omitempty"`     // transfer count
+	Shard  *int    `json:"shard,omitempty"` // pin a keyless op to a shard
+	Batch  bool    `json:"batch,omitempty"` // ride the epoch batcher (put/del)
+}
+
+// Response is the JSON reply of /v1/op. Err is set (with a non-200 status)
+// when the request was rejected; the other fields are op-specific:
+// Found/Value for reads and pops, Changed for put/del (did membership
+// change), Moved for move/moveall/transfer/movemin/movetopq.
+type Response struct {
+	OK      bool   `json:"ok"`
+	Found   bool   `json:"found,omitempty"`
+	Changed bool   `json:"changed,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Moved   int    `json:"moved,omitempty"`
+	Shard   int    `json:"shard"`
+	Batched bool   `json:"batched,omitempty"`
+	Err     string `json:"error,omitempty"`
+}
+
+// mutates reports whether the op writes shard state — the class the
+// admission layer sheds when a shard's live commit ratio is underwater.
+// Reads stay admitted: they are cheap, validate-only, and keeping them
+// flowing is what lets the shard's ratio recover while writes back off.
+func mutates(op string) bool {
+	switch op {
+	case OpGet:
+		return false
+	default:
+		return true
+	}
+}

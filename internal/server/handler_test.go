@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newTestServer starts a server (background admission off: tests that want
+// shedding drive the evaluator directly) behind httptest.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.AdmitInterval == 0 {
+		cfg.AdmitInterval = -1
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// doOp posts one envelope and decodes the reply.
+func doOp(t *testing.T, ts *httptest.Server, req Request) (Response, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/op", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, hr.StatusCode
+}
+
+func TestHandlerRejectsMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	hr, err := http.Post(ts.URL+"/v1/op", "application/json", strings.NewReader(`{"op":`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: got %d, want 400", hr.StatusCode)
+	}
+}
+
+func TestHandlerRejectsUnknownOp(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	resp, code := doOp(t, ts, Request{Op: "frobnicate"})
+	if code != http.StatusBadRequest || resp.OK {
+		t.Fatalf("unknown op: got %d ok=%v, want 400", code, resp.OK)
+	}
+}
+
+func TestHandlerRejectsUnknownStructure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	for _, req := range []Request{
+		{Op: OpGet, Struct: "nope", Key: 1},
+		{Op: OpPut, Struct: "nope", Key: 1},
+		{Op: OpMove, Src: "nope", Key: 1},
+		{Op: OpMove, Dst: "nope", Key: 1},
+		{Op: OpEnqueue, Struct: "nope", Value: 1},
+		{Op: OpPopMin, Struct: "nope"},
+		{Op: OpMoveAll, Src: "nope", Keys: []int64{1, 2}},
+	} {
+		resp, code := doOp(t, ts, req)
+		if code != http.StatusNotFound || resp.OK {
+			t.Errorf("%s with unknown structure: got %d ok=%v, want 404", req.Op, code, resp.OK)
+		}
+		if !strings.Contains(resp.Err, "nope") {
+			t.Errorf("%s error %q does not name the structure", req.Op, resp.Err)
+		}
+	}
+}
+
+func TestHandlerRejectsOversizedBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxBatch: 8})
+	keys := make([]int64, 9)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	for _, op := range []string{OpPut, OpMoveAll} {
+		resp, code := doOp(t, ts, Request{Op: op, Keys: keys})
+		if code != http.StatusBadRequest || resp.OK {
+			t.Errorf("%s with 9 keys (max 8): got %d ok=%v, want 400", op, code, resp.OK)
+		}
+	}
+	// At the limit it is accepted.
+	if resp, code := doOp(t, ts, Request{Op: OpPut, Keys: keys[:8]}); code != http.StatusOK || !resp.OK {
+		t.Fatalf("put of exactly MaxBatch keys: got %d ok=%v, want 200", code, resp.OK)
+	}
+}
+
+func TestHandlerRejectsBadMethodAndShard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	hr, err := http.Get(ts.URL + "/v1/op")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/op: got %d, want 405", hr.StatusCode)
+	}
+	bad := 99
+	resp, code := doOp(t, ts, Request{Op: OpGet, Key: 1, Shard: &bad})
+	if code != http.StatusBadRequest || resp.OK {
+		t.Fatalf("out-of-range shard: got %d ok=%v, want 400", code, resp.OK)
+	}
+}
+
+func TestHandlerKVRoundtrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 3})
+	if resp, _ := doOp(t, ts, Request{Op: OpPut, Key: 7}); !resp.OK || !resp.Changed {
+		t.Fatalf("put: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpPut, Key: 7}); resp.Changed {
+		t.Fatalf("duplicate put reported changed: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpGet, Key: 7}); !resp.Found {
+		t.Fatalf("get after put: %+v", resp)
+	}
+	// Batched single-key writes resolve when their epoch commits.
+	if resp, _ := doOp(t, ts, Request{Op: OpPut, Key: 8, Batch: true}); !resp.Changed || !resp.Batched {
+		t.Fatalf("batched put: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpDel, Key: 7}); !resp.Changed {
+		t.Fatalf("del: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpGet, Key: 7}); resp.Found {
+		t.Fatalf("get after del: %+v", resp)
+	}
+}
+
+func TestHandlerCrossStructureOps(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 3})
+
+	// move: hot -> cold, observable on the cold set of the same shard.
+	doOp(t, ts, Request{Op: OpPut, Key: 11})
+	if resp, _ := doOp(t, ts, Request{Op: OpMove, Key: 11}); resp.Moved != 1 {
+		t.Fatalf("move: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpGet, Struct: DefaultSpill, Key: 11}); !resp.Found {
+		t.Fatalf("key 11 not on cold after move")
+	}
+
+	// moveall: multi-key put then one batched publication per shard.
+	keys := []int64{20, 21, 22, 23, 24}
+	if resp, _ := doOp(t, ts, Request{Op: OpPut, Keys: keys}); resp.Moved != len(keys) {
+		t.Fatalf("multi-key put: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpMoveAll, Keys: keys}); resp.Moved != len(keys) {
+		t.Fatalf("moveall: %+v", resp)
+	}
+	for _, k := range keys {
+		if resp, _ := doOp(t, ts, Request{Op: OpGet, Struct: DefaultSpill, Key: k}); !resp.Found {
+			t.Fatalf("key %d not on cold after moveall", k)
+		}
+	}
+
+	// Queue ops pinned to one shard so the rotation cannot split the pair.
+	pin := 0
+	doOp(t, ts, Request{Op: OpEnqueue, Value: 42, Shard: &pin})
+	doOp(t, ts, Request{Op: OpEnqueue, Value: 43, Shard: &pin})
+	if resp, _ := doOp(t, ts, Request{Op: OpTransfer, N: 2, Shard: &pin}); resp.Moved != 2 {
+		t.Fatalf("transfer: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpDequeue, Struct: "egress", Shard: &pin}); !resp.Found || resp.Value != 42 {
+		t.Fatalf("dequeue after transfer: %+v", resp)
+	}
+
+	// PQ ops: push two, popmin returns the smaller.
+	doOp(t, ts, Request{Op: OpPush, Value: 9, Shard: &pin})
+	doOp(t, ts, Request{Op: OpPush, Value: 4, Shard: &pin})
+	if resp, _ := doOp(t, ts, Request{Op: OpPopMin, Shard: &pin}); !resp.Found || resp.Value != 4 {
+		t.Fatalf("popmin: %+v", resp)
+	}
+
+	// movetopq then movemin round a key through the scheduler.
+	putResp, _ := doOp(t, ts, Request{Op: OpPut, Key: 31})
+	sh := putResp.Shard
+	if resp, _ := doOp(t, ts, Request{Op: OpMoveToPQ, Key: 31, Shard: &sh}); resp.Moved != 1 {
+		t.Fatalf("movetopq: %+v", resp)
+	}
+	if resp, _ := doOp(t, ts, Request{Op: OpMoveMin, Shard: &sh}); resp.Moved != 1 || resp.Value < 0 {
+		t.Fatalf("movemin: %+v", resp)
+	}
+}
+
+func TestHealthzAndStatz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, hr)
+	}
+	hr.Body.Close()
+	doOp(t, ts, Request{Op: OpPut, Key: 1})
+	hr, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	defer hr.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	if len(st.Shards) != 2 || st.Publications == 0 {
+		t.Fatalf("statz: %+v", st)
+	}
+}

@@ -1,0 +1,188 @@
+// Package server is the network front-end over the transactional
+// composition layer: it exposes a registry of PTO-accelerated structures as
+// a key-value + priority-scheduling HTTP service, sharded so that every
+// later hot-path win in the substrate shows up as user-visible throughput.
+//
+// The architecture is N independent shards. Each shard owns its own
+// htm.Domain (its own ownership-record stripe table, built with
+// htm.NewDomainStripes), its own txn.Manager driven by its own
+// speculate policy site, and its own registry of structures — so shards
+// never share a conflict-detection table, never validate each other's
+// footprints, and scale like separate instances of the paper's machine.
+// Cross-structure composed operations (move, transfer, moveall) therefore
+// stay within one shard: the composition layer's atomicity is a
+// single-domain property (MultiCAS panics on cross-domain entry sets), and
+// the router keeps that invariant by construction — a key's shard owns
+// every structure the key can occupy.
+//
+// On top of each shard sit two server-side mechanisms borrowed from the
+// exemplars named in the roadmap:
+//
+//   - an epoch batcher (batcher.go) in the style of Silo's group commit:
+//     single-key writes arriving within an epoch window coalesce into one
+//     composed publication, riding MoveAll's one-publication-per-k-keys
+//     amortization on the request path;
+//
+//   - an admission layer (admission.go) keyed off the telemetry the
+//     substrate already emits: when a shard's live speculation commit
+//     ratio drops below a floor, the shard sheds mutating requests with
+//     429 until the ratio recovers — backpressure from existing counters,
+//     no new sensors.
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/hashtable"
+	"repro/internal/htm"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/skiplist"
+	"repro/internal/telemetry"
+	"repro/internal/txn"
+)
+
+// shard is one independently transactional slice of the service: its own
+// domain, manager, structures, batcher, and admission state.
+type shard struct {
+	id   int
+	m    *txn.Manager
+	b    *batcher
+	site *telemetry.Site     // the shard's speculation counters ("shardN/txn")
+	comp *telemetry.Composed // the shard's composed-op counters (same name)
+
+	// Admission state (written by the controller, read by the handler).
+	shedding  atomic.Bool
+	sheds     atomic.Uint64 // mutating requests rejected with 429
+	ratioBits atomic.Uint64 // last evaluated commit ratio, as float64 bits
+}
+
+// siteName returns the telemetry site name of shard id. One registry serves
+// the whole server; per-shard names keep the shards distinguishable both
+// for the admission controller and on the /metrics export.
+func siteName(id int) string { return fmt.Sprintf("shard%d/txn", id) }
+
+// newShard builds shard id under cfg, registering its telemetry in reg.
+func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
+	d := htm.NewDomainStripes(0, 0, cfg.Stripes)
+	if cfg.ReadCap != 0 || cfg.WriteCap != 0 {
+		// Negative values pass through: they force every composed operation
+		// down the MultiCAS fallback (the ptostress -readcap/-writecap idiom).
+		d.SetCapacity(cfg.ReadCap, cfg.WriteCap)
+	}
+	pol := cfg.Policy.WithMetrics(reg)
+	m := txn.NewIn(d, cfg.Attempts).WithPolicyAt(pol, siteName(id))
+	r := m.Structures()
+	r.AddSet(DefaultSet, hashtable.NewPTOTableIn(d, 64, 0))
+	r.AddSet(DefaultSpill, skiplist.NewPTOSetIn(d, 0))
+	r.AddQueue(DefaultQueue, msqueue.NewPTOIn(d, 0))
+	r.AddQueue("egress", msqueue.NewPTOIn(d, 0))
+	r.AddPQ(DefaultPQ, mound.NewPTOIn(d, 12, 0))
+	return &shard{
+		id:   id,
+		m:    m,
+		site: reg.Site(siteName(id)),
+		comp: reg.Composed(siteName(id)),
+	}
+}
+
+// lastRatio returns the commit ratio the admission controller last
+// evaluated for this shard (1 before the first evaluation: idle is healthy).
+func (s *shard) lastRatio() float64 {
+	if b := s.ratioBits.Load(); b != 0 {
+		return math.Float64frombits(b)
+	}
+	return 1
+}
+
+func (s *shard) setRatio(r float64) { s.ratioBits.Store(math.Float64bits(r)) }
+
+// set/queue/pq resolve a structure name on this shard, "" selecting the
+// op's default. A nil return means the name is unknown (the handler's 404).
+func (s *shard) set(name, def string) txn.Set {
+	if name == "" {
+		name = def
+	}
+	return s.m.Structures().Set(name)
+}
+
+func (s *shard) queue(name, def string) txn.Queue {
+	if name == "" {
+		name = def
+	}
+	return s.m.Structures().Queue(name)
+}
+
+func (s *shard) pq(name, def string) txn.PQ {
+	if name == "" {
+		name = def
+	}
+	return s.m.Structures().PQ(name)
+}
+
+// The per-op executors. Each is one composed operation on this shard's
+// manager; the multi-key forms run the whole batch in a single atomic body
+// — one prefix transaction or one MultiCAS publication for the lot.
+
+func (s *shard) get(set txn.Set, key int64) bool {
+	var found bool
+	s.m.ReadOnly(func(c *txn.Ctx) { found = set.TxContains(c, key) })
+	return found
+}
+
+func (s *shard) put(set txn.Set, key int64) bool {
+	var changed bool
+	s.m.Atomic(func(c *txn.Ctx) { changed = set.TxInsert(c, key) })
+	return changed
+}
+
+func (s *shard) del(set txn.Set, key int64) bool {
+	var changed bool
+	s.m.Atomic(func(c *txn.Ctx) { changed = set.TxRemove(c, key) })
+	return changed
+}
+
+// putAll inserts every key in one composed publication, returning how many
+// were newly inserted.
+func (s *shard) putAll(set txn.Set, keys []int64) int {
+	var n int
+	s.m.Atomic(func(c *txn.Ctx) {
+		n = 0
+		for _, k := range keys {
+			if set.TxInsert(c, k) {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+func (s *shard) enqueue(q txn.Queue, v int64) {
+	s.m.Atomic(func(c *txn.Ctx) { q.TxEnqueue(c, v) })
+}
+
+func (s *shard) dequeue(q txn.Queue) (int64, bool) {
+	var v int64
+	var ok bool
+	s.m.Atomic(func(c *txn.Ctx) { v, ok = q.TxDequeue(c) })
+	return v, ok
+}
+
+func (s *shard) push(pq txn.PQ, v int64) {
+	s.m.Atomic(func(c *txn.Ctx) { pq.TxPush(c, v) })
+}
+
+func (s *shard) popMin(pq txn.PQ) (int64, bool) {
+	var v int64
+	var ok bool
+	s.m.Atomic(func(c *txn.Ctx) { v, ok = pq.TxPopMin(c) })
+	return v, ok
+}
+
+// Speculation-site probes used by the admission controller and stats.
+
+func (s *shard) siteSnapshot() telemetry.SiteSnapshot { return s.site.Snapshot() }
+
+func (s *shard) composedSnapshot() telemetry.ComposedSnapshot { return s.comp.Snapshot() }

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCloseDrainsPendingBatches: ops sitting in an epoch that never ticks
+// are still committed and resolved by Close — the graceful-shutdown drain.
+// Run under -race this also checks the batcher/admission goroutines exit
+// cleanly (Close joins them; a leak would trip the final flush ordering).
+func TestCloseDrainsPendingBatches(t *testing.T) {
+	tick := make(chan time.Time) // never fires: only the drain can flush
+	srv := New(Config{Shards: 2, AdmitInterval: -1, batchTick: tick})
+	sh := srv.shards[0]
+	set := sh.set("", DefaultSet)
+
+	const k = 5
+	chans := make([]<-chan bool, k)
+	for i := 0; i < k; i++ {
+		chans[i] = sh.b.submit(true, set, int64(i))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	for i, ch := range chans {
+		select {
+		case changed := <-ch:
+			if !changed {
+				t.Errorf("drained put %d reported unchanged", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("put %d never resolved; Close did not drain the pending epoch", i)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	// After the drain no further batched work is accepted; callers fall
+	// back to the direct path.
+	if ch := sh.b.submit(true, set, 99); ch != nil {
+		t.Fatal("submit after Close returned a live channel")
+	}
+	srv.Close() // idempotent
+}

@@ -21,21 +21,29 @@ type Sampler struct {
 
 // StartSampler begins sampling r every interval, writing lines through logf
 // (nil selects log.Printf). Idle sites — no attempts, composed ops, or
-// fallbacks in the interval — are elided. Stop the sampler with Stop.
+// fallbacks in the interval — are elided. Stop the sampler with Stop; Stop
+// flushes one final partial-interval delta before returning, so a run that
+// ends (or a server that drains on SIGTERM) between ticks still reports its
+// last interval instead of dropping it.
 func StartSampler(r *Registry, interval time.Duration, logf func(format string, args ...any)) *Sampler {
 	if logf == nil {
 		logf = log.Printf
 	}
 	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	// The baseline is taken before returning, so activity between
+	// StartSampler and the goroutine's first run lands in the first
+	// interval instead of silently joining the baseline.
+	prev := r.Snapshot()
+	prevAt := time.Now()
 	go func() {
 		defer close(s.done)
 		t := time.NewTicker(interval)
 		defer t.Stop()
-		prev := r.Snapshot()
-		prevAt := time.Now()
 		for {
 			select {
 			case <-s.stop:
+				// Final flush: whatever accumulated since the last tick.
+				logDelta(r.Snapshot().Delta(prev), time.Since(prevAt), logf)
 				return
 			case now := <-t.C:
 				cur := r.Snapshot()

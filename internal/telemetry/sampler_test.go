@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSamplerFinalFlushOnStop: activity accumulated after the last tick is
+// not dropped — Stop flushes one final partial-interval delta. The interval
+// is an hour, so the only line the sampler can ever emit here is the stop
+// flush.
+func TestSamplerFinalFlushOnStop(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var lines []string
+	s := StartSampler(r, time.Hour, func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	site := r.Site("drain/test")
+	site.Attempts.Add(10)
+	site.Commits.Add(9)
+	s.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("got %d sampler lines, want exactly the final flush: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "drain/test") {
+		t.Fatalf("final flush %q does not report the active site", lines[0])
+	}
+	// Stop is idempotent and must not flush twice.
+	s.Stop()
+	if len(lines) != 1 {
+		t.Fatalf("second Stop emitted another flush: %q", lines)
+	}
+}

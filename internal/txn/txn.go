@@ -86,10 +86,19 @@ type Manager struct {
 // selects DefaultAttempts. The manager runs under the default fixed
 // speculation policy; use WithPolicy to change it.
 func New(attempts int) *Manager {
+	return NewIn(htm.NewDomain(0, 0), attempts)
+}
+
+// NewIn is New against an existing domain, for callers that configure the
+// domain themselves (stripe count, capacity) before handing it over — e.g.
+// a server shard building its domain with htm.NewDomainStripes. The caller
+// must not share d with another manager's structures: MultiCAS panics on
+// cross-domain entry sets.
+func NewIn(d *htm.Domain, attempts int) *Manager {
 	if attempts <= 0 {
 		attempts = DefaultAttempts
 	}
-	m := &Manager{d: htm.NewDomain(0, 0), attempts: attempts}
+	m := &Manager{d: d, attempts: attempts}
 	m.WithPolicy(speculate.Fixed(0))
 	return m
 }
@@ -99,10 +108,20 @@ func New(attempts int) *Manager {
 // additionally records into that registry's "txn/atomic" composed site.
 // Call before the manager is shared between goroutines. Returns m.
 func (m *Manager) WithPolicy(p speculate.Policy) *Manager {
-	m.site = p.NewSite("txn/atomic", nil,
+	return m.WithPolicyAt(p, "txn/atomic")
+}
+
+// WithPolicyAt is WithPolicy with an explicit telemetry site name, so
+// several managers sharing one registry (server shards, A/B experiment
+// arms) stay distinguishable: each registers its speculation site and its
+// composed site under its own name instead of aggregating into
+// "txn/atomic". Call before the manager is shared between goroutines.
+// Returns m.
+func (m *Manager) WithPolicyAt(p speculate.Policy, site string) *Manager {
+	m.site = p.NewSite(site, nil,
 		speculate.Level{Name: "fast", Attempts: m.attempts, RetryOnExplicit: true})
 	if p.Metrics != nil {
-		m.comp = p.Metrics.Composed("txn/atomic")
+		m.comp = p.Metrics.Composed(site)
 	} else {
 		m.comp = nil
 	}
