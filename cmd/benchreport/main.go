@@ -23,10 +23,20 @@
 //     per moved key for independent Moves vs batched MoveAll on the modeled
 //     machine, the figure the batched arm's acceptance test pins.
 //
+//   - One semantic-validation sample (under -semantic, on by default): the
+//     A9 kernel — open transactions with semantic (key-presence) commit
+//     validation vs the same bodies as one stripe-validated composed
+//     operation, on a 4-bucket hash table where nearly every concurrent pair
+//     collides on a bucket word but not on a key. Reported as per-1k-txn
+//     word-abort and semantic-retry rates plus a word_abort_advantage_ok bit
+//     (semantic arm pays no more word-level aborts than stripe-only), the
+//     stable cross-host signal.
+//
 // Usage:
 //
 //	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
-//	            [-ops 20000] [-keys 256] [-compose] [-out BENCH_pto.json]
+//	            [-ops 20000] [-keys 256] [-compose] [-semantic]
+//	            [-semtxns 800] [-out BENCH_pto.json]
 //
 // -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
 // rejected: everything under "figures" must be deterministic; A8 carries
@@ -129,6 +139,12 @@ type report struct {
 	Figures     []figureJSON  `json:"figures"`
 	Stress      stressJSON    `json:"stress"`
 	Composed    *composedJSON `json:"composed,omitempty"`
+
+	// Semantic is the open-transaction sample (ablation A9's kernel):
+	// semantic vs stripe-only validation on the bucket-collision workload.
+	// Wall-clock throughput varies with the host; the per-1k abort rates and
+	// the word-abort advantage bit are the stable signal.
+	Semantic *bench.SemanticComparison `json:"semantic,omitempty"`
 }
 
 // deterministic maps figure IDs to their runners, excluding the wall-clock
@@ -309,6 +325,8 @@ func main() {
 	ops := flag.Int("ops", 20000, "stress sample total operations")
 	keys := flag.Int("keys", 256, "stress sample key range")
 	compose := flag.Bool("compose", true, "include the composed-layer sample")
+	semantic := flag.Bool("semantic", true, "include the semantic-validation (A9) sample")
+	semTxns := flag.Int("semtxns", 800, "semantic sample transactions per thread per arm")
 	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
 	flag.Parse()
 
@@ -333,6 +351,10 @@ func main() {
 	rep.Stress = stressSample(*threads, *ops, *keys)
 	if *compose {
 		rep.Composed = composedSample(*threads, *ops, *keys)
+	}
+	if *semantic {
+		s := bench.SemanticVsStripe(*threads, *semTxns)
+		rep.Semantic = &s
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a8|e1|e2] [-scale 1.0] [-csv]
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a9|e1|e2] [-scale 1.0] [-csv]
 //	         [-policy adaptive|fixed] [-attempts N]
 //
-// -figure also accepts individual ablation (a1..a8) and extension (e1, e2)
+// -figure also accepts individual ablation (a1..a9) and extension (e1, e2)
 // IDs; -ablations / -extensions run each full set. -policy/-attempts build ONE speculation policy (speculate.Policy)
 // installed on every structure the benchmarks construct, on both substrates:
 // the real runtime (wall-clock ablations A6/A7) and the simulated machine
@@ -44,10 +44,10 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a8)")
+	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a9)")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A8; A6 and A7 are wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A9; A6, A7, and A9 are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
 	policy := flag.String("policy", "", "speculation policy for both substrates: adaptive or fixed (empty = per-substrate default)")
 	attempts := flag.Int("attempts", 0, "override every speculation attempt budget (0 = per-structure defaults; implies -policy fixed if unset)")
@@ -88,6 +88,7 @@ func main() {
 		"a6": bench.AblationAdaptivePolicy,
 		"a7": bench.AblationComposedMove,
 		"a8": bench.AblationComposedMoveSim,
+		"a9": bench.AblationSemantic,
 		"e1": func(s float64) bench.Figure { return bench.ExtList(34, s) },
 		"e2": bench.ExtQueue,
 	}

@@ -30,6 +30,13 @@
 //     cross-structure moves, queue and PQ traffic) for headline throughput
 //     and latency percentiles.
 //
+//   - txn: declarative multi-op bodies against POST /v1/txn, each one open
+//     transaction with semantic validation on its shard. Claim/release
+//     bodies carry assert clauses over zipf-contended keys, so a fraction
+//     abort 409 (summary.txn_conflicts_409); committed bodies and the
+//     server's open-transaction counters land in summary.txn_committed and
+//     the scenario's server delta.
+//
 // Results merge into -out: scenarios already present in the file are
 // replaced by name, others are kept, and the summary is recomputed over the
 // merged set — so compare and shed runs against differently configured
@@ -56,7 +63,7 @@ import (
 
 var (
 	addr      = flag.String("addr", "127.0.0.1:8350", "ptoserver address (host:port)")
-	scenarios = flag.String("scenario", "mix", "comma-separated: compare, shed, mix")
+	scenarios = flag.String("scenario", "mix", "comma-separated: compare, shed, mix, txn")
 	duration  = flag.Duration("duration", 5*time.Second, "duration per scenario phase")
 	rate      = flag.Float64("rate", 3000, "offered ops/s (key-writes/s for compare)")
 	inflight  = flag.Int("inflight", 256, "max in-flight requests (the open-loop window)")
@@ -87,6 +94,7 @@ type serverDelta struct {
 	Batches      uint64    `json:"batches"`
 	BatchedOps   uint64    `json:"batched_ops"`
 	Sheds        uint64    `json:"sheds"`
+	OpenTxns     uint64    `json:"open_txns,omitempty"`
 	BatchSizes   []uint64  `json:"batch_sizes"`
 	CommitRatios []float64 `json:"commit_ratios"`
 }
@@ -97,9 +105,10 @@ type scenarioResult struct {
 	Batched     bool          `json:"batched"`
 	OfferedRate float64       `json:"offered_per_s"`
 	DurationSec float64       `json:"duration_s"`
-	Completed   uint64        `json:"completed"`
-	OKs         uint64        `json:"ok"`
-	Sheds429    uint64        `json:"shed_429"`
+	Completed    uint64       `json:"completed"`
+	OKs          uint64       `json:"ok"`
+	Sheds429     uint64       `json:"shed_429"`
+	Conflicts409 uint64       `json:"conflict_409,omitempty"`
 	ClientDrops uint64        `json:"client_drops"`
 	Errors      uint64        `json:"errors"`
 	KeysWritten uint64        `json:"keys_written"`
@@ -141,6 +150,8 @@ func main() {
 			results = append(results, runShed())
 		case "mix":
 			results = append(results, runMix())
+		case "txn":
+			results = append(results, runTxnScenario())
 		case "":
 		default:
 			log.Fatalf("ptoload: unknown scenario %q", sc)
@@ -189,6 +200,7 @@ func statsDelta(before, after server.Stats) serverDelta {
 		Batches:      after.Batches - before.Batches,
 		BatchedOps:   after.BatchedOps - before.BatchedOps,
 		Sheds:        after.Sheds - before.Sheds,
+		OpenTxns:     after.OpenTxns - before.OpenTxns,
 	}
 	for i, sh := range after.Shards {
 		var cur, prev [17]uint64
@@ -207,9 +219,11 @@ func statsDelta(before, after server.Stats) serverDelta {
 	return d
 }
 
-// opSpec is one generated arrival.
+// opSpec is one generated arrival: a /v1/op envelope, or a /v1/txn body
+// when txn is set.
 type opSpec struct {
 	req  server.Request
+	txn  *server.TxnRequest
 	keys int // key-writes this request carries (for keys/s accounting)
 }
 
@@ -225,7 +239,7 @@ func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed ti
 	const maxSamples = 1 << 18
 	samples := make([]int64, maxSamples)
 	var nSamples atomic.Int64
-	var completed, oks, sheds, drops, errs, keysWritten atomic.Uint64
+	var completed, oks, sheds, conflicts, drops, errs, keysWritten atomic.Uint64
 
 	const nWindows = 12
 	windows := make([]struct{ ok, shed, drop atomic.Uint64 }, nWindows)
@@ -274,7 +288,7 @@ func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed ti
 				defer wg.Done()
 				defer func() { <-sem }()
 				t0 := time.Now()
-				status := fire(spec.req)
+				status := fire(spec)
 				lat := time.Since(t0).Nanoseconds()
 				completed.Add(1)
 				switch status {
@@ -288,6 +302,10 @@ func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed ti
 				case http.StatusTooManyRequests:
 					sheds.Add(1)
 					windows[w].shed.Add(1)
+				case http.StatusConflict:
+					// An assert clause lost its race — expected traffic for
+					// the txn scenario, not an error.
+					conflicts.Add(1)
 				default:
 					errs.Add(1)
 				}
@@ -301,6 +319,7 @@ func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed ti
 	res.Completed = completed.Load()
 	res.OKs = oks.Load()
 	res.Sheds429 = sheds.Load()
+	res.Conflicts409 = conflicts.Load()
 	res.ClientDrops = drops.Load()
 	res.Errors = errs.Load()
 	res.KeysWritten = keysWritten.Load()
@@ -320,11 +339,15 @@ func engine(name string, batched bool, dur time.Duration, rateFn func(elapsed ti
 	return res
 }
 
-// fire posts one envelope and returns the HTTP status (0 on transport
-// error).
-func fire(req server.Request) int {
-	body, _ := json.Marshal(req)
-	resp, err := client.Post("http://"+*addr+"/v1/op", "application/json", bytes.NewReader(body))
+// fire posts one arrival — /v1/txn when the spec carries a transaction,
+// /v1/op otherwise — and returns the HTTP status (0 on transport error).
+func fire(spec opSpec) int {
+	path, payload := "/v1/op", any(spec.req)
+	if spec.txn != nil {
+		path, payload = "/v1/txn", spec.txn
+	}
+	body, _ := json.Marshal(payload)
+	resp, err := client.Post("http://"+*addr+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0
 	}
@@ -451,6 +474,49 @@ func runMix() scenarioResult {
 	})
 }
 
+// runTxnScenario: multi-op declarative bodies against /v1/txn. The claim
+// and release bodies use assert clauses (claim a key only if absent, then
+// stage it into the queue; release only if present, then schedule it), so
+// under zipf contention a fraction land 409 — the conflict_409 count and
+// the open-txn server counters are the scenario's point.
+func runTxnScenario() scenarioResult {
+	flat := func(time.Duration) float64 { return *rate }
+	f, tr := false, true
+	return engine("txn", false, *duration, flat, func(r *rand.Rand, zipf *rand.Zipf) opSpec {
+		k := hotKey(zipf)
+		switch p := r.Intn(100); {
+		case p < 30: // claim: CAS-like insert + enqueue, one round trip
+			return opSpec{txn: &server.TxnRequest{Ops: []server.TxnOp{
+				{Op: server.OpGet, Key: k, Assert: &f},
+				{Op: server.OpPut, Key: k},
+				{Op: server.OpEnqueue, Value: k},
+			}}, keys: 1}
+		case p < 50: // release: guarded delete + schedule
+			return opSpec{txn: &server.TxnRequest{Ops: []server.TxnOp{
+				{Op: server.OpGet, Key: k, Assert: &tr},
+				{Op: server.OpDel, Key: k},
+				{Op: server.OpPush, Value: k},
+			}}, keys: 1}
+		case p < 70: // sweep: read-only multi-get
+			return opSpec{txn: &server.TxnRequest{Ops: []server.TxnOp{
+				{Op: server.OpGet, Key: k},
+				{Op: server.OpGet, Key: (k + 13) % *keys},
+				{Op: server.OpGet, Key: (k + 57) % *keys},
+			}}}
+		case p < 85: // shuttle: dequeue whatever is staged, repush it
+			return opSpec{txn: &server.TxnRequest{Ops: []server.TxnOp{
+				{Op: server.OpDequeue},
+				{Op: server.OpPush, Value: k},
+			}}, keys: 1}
+		default: // drain: take the scheduler's min, log it on egress
+			return opSpec{txn: &server.TxnRequest{Ops: []server.TxnOp{
+				{Op: server.OpPopMin},
+				{Op: server.OpEnqueue, Struct: "egress", Value: k},
+			}}, keys: 1}
+		}
+	})
+}
+
 // writeMerged merges the new results into -out and recomputes the summary
 // over everything present.
 func writeMerged(results []scenarioResult) {
@@ -506,6 +572,11 @@ func summarize(scs []scenarioResult) map[string]any {
 			sum["batched_speedup"] = speedup
 			sum["batched_speedup_ok"] = speedup >= 2
 		}
+	}
+	if tx, ok := byName["txn"]; ok {
+		sum["txn_committed"] = tx.OKs
+		sum["txn_conflicts_409"] = tx.Conflicts409
+		sum["txn_ok"] = tx.OKs > 0 && tx.Errors == 0
 	}
 	if sh, ok := byName["shed_zipf"]; ok && len(sh.Windows) > 0 {
 		engaged := false

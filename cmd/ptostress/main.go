@@ -647,6 +647,9 @@ func main() {
 	if *jsonOut {
 		out = os.Stderr
 	}
+	if *semfuzz {
+		os.Exit(runSemFuzz())
+	}
 	pol, ok := buildPolicy()
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown policy %q (want fixed or adaptive)\n", *policyName)

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/semtx/txtest"
+)
+
+var (
+	semfuzz = flag.Bool("semfuzz", false, "run the randomized open-transaction twin-replay fuzzer instead of the structure stress")
+	semTxns = flag.Int("semtxns", 110000, "semfuzz: random transactions on the runtime substrate")
+	simTxns = flag.Int("simtxns", 3000, "semfuzz: random transactions on the simulated substrate")
+	semOps  = flag.Int("semmaxops", 8, "semfuzz: maximum operations per transaction body")
+)
+
+// runSemFuzz drives the STO-style randomized transaction tester
+// (internal/semtx/txtest) on both substrates: T goroutines each running
+// random multi-op bodies through semtx, every committed transaction's
+// results recorded, then the whole committed history replayed in commit-
+// stamp order against a sequential twin. Any divergence — a recorded
+// result the twin disagrees with, a gap in the stamp sequence, or a final
+// structure state the twin did not predict — fails the run. The summary
+// lines end with divergences=N so CI can grep for divergences=0.
+func runSemFuzz() int {
+	fmt.Fprintf(out, "semfuzz: threads=%d runtime_txns=%d sim_txns=%d maxops=%d keys=%d seed=%d\n",
+		*threads, *semTxns, *simTxns, *semOps, *keys, *seed)
+
+	report := func(name string, res txtest.Result, dur time.Duration) {
+		for _, e := range res.Errors {
+			fmt.Fprintf(out, "  FAIL %s: %s\n", name, e)
+		}
+		for _, d := range res.Divergences {
+			fmt.Fprintf(out, "  FAIL %s: divergence: %s\n", name, d)
+		}
+		fmt.Fprintf(out, "  %-16s committed=%d user_aborts=%d sem_retries=%d divergences=%d in %v\n",
+			name, res.CommittedTxns, res.UserAborts, res.SemRetries, len(res.Divergences), dur.Round(time.Millisecond))
+	}
+
+	cfg := txtest.Config{
+		Threads: *threads, Txns: *semTxns, MaxOps: *semOps,
+		Keys: *keys, Seed: uint64(*seed),
+	}
+	start := time.Now()
+	rt := txtest.RunRuntime(cfg)
+	report("semfuzz/runtime", rt, time.Since(start))
+
+	cfg.Txns = *simTxns
+	start = time.Now()
+	sm := txtest.RunSim(cfg)
+	report("semfuzz/sim", sm, time.Since(start))
+
+	total := rt.CommittedTxns + sm.CommittedTxns
+	div := len(rt.Divergences) + len(sm.Divergences)
+	pass := rt.Pass() && sm.Pass()
+	verdict := "PASS"
+	if !pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "semfuzz total: committed=%d divergences=%d %s\n", total, div, verdict)
+	if !pass {
+		return 1
+	}
+	return 0
+}

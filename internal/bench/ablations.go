@@ -182,5 +182,6 @@ func Ablations(scale float64) []Figure {
 		AblationAdaptivePolicy(scale),
 		AblationComposedMove(scale),
 		AblationComposedMoveSim(scale),
+		AblationSemantic(scale),
 	}
 }

@@ -156,6 +156,28 @@ func (m *Mound) TxPush(c *txn.Ctx, v int64) {
 	}
 }
 
+// TxMin reads the minimum without removing it, reporting false on an empty
+// mound, as part of a composed transaction. The root word joins the
+// validated footprint, so the committed answer proves what the minimum was
+// at the linearization point — the semantic min item open transactions
+// (internal/semtx) validate. A dirty root is helped clean in capture mode,
+// exactly as TxPopMin does.
+func (m *Mound) TxMin(c *txn.Ctx) (int64, bool) {
+	b := m.pto()
+	w := b.txRead(c, 1)
+	if wordDirty(w) {
+		if !c.Speculative() {
+			m.moundify(1)
+		}
+		c.Retry()
+	}
+	i := wordIdx(w)
+	if i == 0 {
+		return 0, false
+	}
+	return m.pool.node(i).val, true
+}
+
 // TxPopMin removes and returns the minimum as part of a composed
 // transaction, reporting false on an empty mound. The pop writes the root
 // word dirty in the atomic step; the invariant restoration (moundify) runs

@@ -50,6 +50,20 @@ func (q *PTOQueue) TxEnqueue(c *txn.Ctx, v int64) {
 	txn.Write(c, &q.tail, n)
 }
 
+// TxFront reads the oldest value without removing it, reporting false when
+// the queue is empty, as part of a composed transaction. Both the head and
+// its next pointer join the validated footprint, so a committed answer
+// proves what the front of the queue was at the linearization point — the
+// semantic head item open transactions (internal/semtx) validate.
+func (q *PTOQueue) TxFront(c *txn.Ctx) (int64, bool) {
+	h := txn.Read(c, &q.head)
+	next := txn.Read(c, &h.next)
+	if next == nil {
+		return 0, false
+	}
+	return next.val, true
+}
+
 // TxDequeue removes and returns the oldest value, reporting false when the
 // queue is empty, as part of a composed transaction. The empty answer is
 // validated: the head's nil next pointer joins the footprint, so the commit

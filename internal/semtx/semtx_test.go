@@ -1,0 +1,411 @@
+package semtx_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hashtable"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/semtx"
+	"repro/internal/skiplist"
+	"repro/internal/telemetry"
+	"repro/internal/txn"
+)
+
+// env is one runtime-substrate open-transaction world: a txn manager, the
+// five-structure registry the server also uses, and a semtx manager with
+// its own telemetry.
+type env struct {
+	tm  *txn.Manager
+	sm  *semtx.Manager[*txn.Ctx, int64]
+	tel *telemetry.Open
+	h   *hashtable.PTOTable
+	s   *skiplist.PTOSet
+	q   *msqueue.PTOQueue
+	pq  *mound.Mound
+}
+
+func newEnv() *env {
+	tm := txn.New(0)
+	r := tm.Structures()
+	e := &env{
+		tm: tm,
+		h:  hashtable.NewPTOTableIn(tm.Domain(), 16, 0),
+		s:  skiplist.NewPTOSetIn(tm.Domain(), 0),
+		q:  msqueue.NewPTOIn(tm.Domain(), 0),
+		pq: mound.NewPTOIn(tm.Domain(), 12, 0),
+	}
+	r.AddSet("hot", e.h)
+	r.AddSet("cold", e.s)
+	r.AddQueue("ingress", e.q)
+	r.AddPQ("sched", e.pq)
+	e.tel = telemetry.NewRegistry().Open("semtx/test")
+	e.sm = semtx.New(tm, r).WithTelemetry(e.tel)
+	return e
+}
+
+func (e *env) run(t *testing.T, body func(tx *semtx.Tx[*txn.Ctx, int64]) error) {
+	t.Helper()
+	if _, err := e.sm.Run(body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSetOwnWritesAndChangedFlags(t *testing.T) {
+	e := newEnv()
+	e.h.Insert(1)
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		if !tx.Get("hot", 1) {
+			t.Error("key 1 should be present")
+		}
+		if tx.Get("hot", 2) {
+			t.Error("key 2 should be absent")
+		}
+		if !tx.Put("hot", 2) {
+			t.Error("Put of absent key should report changed")
+		}
+		if tx.Put("hot", 2) {
+			t.Error("second Put should report unchanged")
+		}
+		if !tx.Get("hot", 2) {
+			t.Error("own Put should be visible to Get")
+		}
+		if !tx.Delete("hot", 1) {
+			t.Error("Delete of present key should report changed")
+		}
+		if tx.Get("hot", 1) {
+			t.Error("own Delete should be visible to Get")
+		}
+		if tx.Delete("hot", 1) {
+			t.Error("second Delete should report unchanged")
+		}
+		// Put-then-delete of an absent key nets to nothing.
+		if !tx.Put("hot", 3) || !tx.Delete("hot", 3) {
+			t.Error("put/delete churn flags wrong")
+		}
+		return nil
+	})
+	if e.h.Contains(1) {
+		t.Error("key 1 should be deleted after commit")
+	}
+	if !e.h.Contains(2) {
+		t.Error("key 2 should be present after commit")
+	}
+	if e.h.Contains(3) {
+		t.Error("key 3 netted to absent, should not be present")
+	}
+	if got := e.tel.Txns.Load(); got != 1 {
+		t.Errorf("Txns = %d, want 1", got)
+	}
+}
+
+func TestCrossStructureMove(t *testing.T) {
+	e := newEnv()
+	e.h.Insert(7)
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		if tx.Get("hot", 7) && !tx.Get("cold", 7) {
+			tx.Delete("hot", 7)
+			tx.Put("cold", 7)
+		}
+		return nil
+	})
+	if e.h.Contains(7) || !e.s.Contains(7) {
+		t.Errorf("move failed: hot=%v cold=%v", e.h.Contains(7), e.s.Contains(7))
+	}
+}
+
+func TestQueueBufferAndStructuralPop(t *testing.T) {
+	e := newEnv()
+	// Observed-empty: dequeues serve the body's own enqueues in FIFO order.
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		if _, ok := tx.Dequeue("ingress"); ok {
+			t.Error("empty queue should dequeue nothing")
+		}
+		tx.Enqueue("ingress", 10)
+		tx.Enqueue("ingress", 11)
+		if v, ok := tx.Dequeue("ingress"); !ok || v != 10 {
+			t.Errorf("buffered dequeue = %d,%v want 10,true", v, ok)
+		}
+		if v, ok := tx.Dequeue("ingress"); !ok || v != 11 {
+			t.Errorf("buffered dequeue = %d,%v want 11,true", v, ok)
+		}
+		if _, ok := tx.Dequeue("ingress"); ok {
+			t.Error("buffer exhausted, should dequeue nothing")
+		}
+		tx.Enqueue("ingress", 12)
+		return nil
+	})
+	// Only the unserved enqueue survives the commit.
+	if v, ok := e.q.Dequeue(); !ok || v != 12 {
+		t.Fatalf("after commit Dequeue = %d,%v want 12,true", v, ok)
+	}
+	if e.q.Len() != 0 {
+		t.Fatalf("queue should be empty, len=%d", e.q.Len())
+	}
+
+	// Structural front wins over own enqueues (FIFO order).
+	e.q.Enqueue(1)
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Enqueue("ingress", 2)
+		if v, ok := tx.Dequeue("ingress"); !ok || v != 1 {
+			t.Errorf("structural dequeue = %d,%v want 1,true", v, ok)
+		}
+		return nil
+	})
+	if v, ok := e.q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("after commit Dequeue = %d,%v want 2,true", v, ok)
+	}
+}
+
+func TestQueueSecondStructuralPopIsViolation(t *testing.T) {
+	e := newEnv()
+	e.q.Enqueue(1)
+	e.q.Enqueue(2)
+	_, err := e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Dequeue("ingress")
+		tx.Dequeue("ingress")
+		return nil
+	})
+	var v *semtx.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want *Violation", err)
+	}
+	if e.q.Len() != 2 {
+		t.Fatalf("violation must publish nothing, len=%d", e.q.Len())
+	}
+	if got := e.tel.UserAborts.Load(); got != 1 {
+		t.Errorf("UserAborts = %d, want 1", got)
+	}
+}
+
+func TestPQBufferServing(t *testing.T) {
+	e := newEnv()
+	e.pq.Insert(10)
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Push("sched", 5)
+		tx.Push("sched", 20)
+		// Buffered 5 beats structural min 10.
+		if v, ok := tx.PopMin("sched"); !ok || v != 5 {
+			t.Errorf("PopMin = %d,%v want 5,true", v, ok)
+		}
+		// Structural 10 beats remaining buffered 20.
+		if v, ok := tx.PopMin("sched"); !ok || v != 10 {
+			t.Errorf("PopMin = %d,%v want 10,true", v, ok)
+		}
+		return nil
+	})
+	// Net effect: popped 10 structurally, pushed 20.
+	if v, ok := e.pq.RemoveMin(); !ok || v != 20 {
+		t.Fatalf("RemoveMin = %d,%v want 20,true", v, ok)
+	}
+	if _, ok := e.pq.RemoveMin(); ok {
+		t.Fatal("mound should be empty")
+	}
+}
+
+func TestPQSecondStructuralPopIsViolation(t *testing.T) {
+	e := newEnv()
+	e.pq.Insert(1)
+	e.pq.Insert(2)
+	_, err := e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.PopMin("sched")
+		tx.PopMin("sched")
+		return nil
+	})
+	var v *semtx.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want *Violation", err)
+	}
+}
+
+func TestUserAbortPublishesNothing(t *testing.T) {
+	e := newEnv()
+	boom := errors.New("boom")
+	_, err := e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Put("hot", 42)
+		tx.Enqueue("ingress", 42)
+		tx.Push("sched", 42)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if e.h.Contains(42) || e.q.Len() != 0 {
+		t.Fatal("aborted body must publish nothing")
+	}
+	if _, ok := e.pq.RemoveMin(); ok {
+		t.Fatal("aborted body must publish nothing to the PQ")
+	}
+	if got := e.tel.UserAborts.Load(); got != 1 {
+		t.Errorf("UserAborts = %d, want 1", got)
+	}
+}
+
+// TestSemanticRetry forces a validation failure deterministically: the body
+// records key 7 absent, then (first attempt only) inserts 7 behind the
+// transaction's back, so the commit's revalidation fails and the body
+// re-runs against the new state.
+func TestSemanticRetry(t *testing.T) {
+	e := newEnv()
+	first := true
+	observed := []bool{}
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		p := tx.Get("hot", 7)
+		observed = append(observed, p)
+		if first {
+			first = false
+			e.tm.Atomic(func(c *txn.Ctx) { e.h.TxInsert(c, 7) })
+		}
+		tx.Put("hot", 8)
+		return nil
+	})
+	if want := []bool{false, true}; len(observed) != 2 || observed[0] != want[0] || observed[1] != want[1] {
+		t.Fatalf("observed = %v, want %v (one semantic re-run)", observed, want)
+	}
+	if got := e.tel.SemRetries.Load(); got != 1 {
+		t.Errorf("SemRetries = %d, want 1", got)
+	}
+	if got := e.tel.Txns.Load(); got != 1 {
+		t.Errorf("Txns = %d, want 1", got)
+	}
+	if !e.h.Contains(8) {
+		t.Error("retried body's write missing")
+	}
+}
+
+// TestSemanticNoConflictSameBucket is the A9 kernel: two keys sharing one
+// hash bucket are a word-level conflict but a semantic no-conflict. The
+// first attempt records key 0 absent, a concurrent insert of key 16 lands
+// in the same 16-bucket table's bucket 0, and the commit still validates —
+// key 0's presence did not change — so no semantic retry happens.
+func TestSemanticNoConflictSameBucket(t *testing.T) {
+	e := newEnv()
+	first := true
+	e.run(t, func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Get("hot", 0)
+		if first {
+			first = false
+			e.tm.Atomic(func(c *txn.Ctx) { e.h.TxInsert(c, 16) })
+		}
+		tx.Put("hot", 0)
+		return nil
+	})
+	if got := e.tel.SemRetries.Load(); got != 0 {
+		t.Errorf("SemRetries = %d, want 0 (same-bucket insert is a semantic no-conflict)", got)
+	}
+	if !e.h.Contains(0) || !e.h.Contains(16) {
+		t.Error("both keys should be present")
+	}
+}
+
+func TestStampOrdersCommits(t *testing.T) {
+	e := newEnv()
+	e.sm.WithStamp(semtx.TxnStamp(e.tm.Domain()))
+	const (
+		threads = 4
+		perT    = 50
+	)
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perT; i++ {
+				key := int64(g*perT + i)
+				seq, err := e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+					tx.Put("hot", key%32)
+					tx.Delete("hot", (key+1)%32)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Run: %v", err)
+					return
+				}
+				mu.Lock()
+				if seen[seq] {
+					t.Errorf("duplicate stamp %d", seq)
+				}
+				seen[seq] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(seen) != threads*perT {
+		t.Fatalf("stamps = %d, want %d", len(seen), threads*perT)
+	}
+	for s := uint64(1); s <= uint64(threads*perT); s++ {
+		if !seen[s] {
+			t.Fatalf("stamp sequence has a gap at %d", s)
+		}
+	}
+}
+
+// TestConcurrentConservation moves keys between hot and cold under
+// contention; the pair's total population must be conserved.
+func TestConcurrentConservation(t *testing.T) {
+	e := newEnv()
+	const keys = 32
+	for k := int64(0); k < keys; k++ {
+		e.h.Insert(k)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < 300; i++ {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				key := int64(rnd % keys)
+				_, err := e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+					if tx.Get("hot", key) && !tx.Get("cold", key) {
+						tx.Delete("hot", key)
+						tx.Put("cold", key)
+					} else if tx.Get("cold", key) && !tx.Get("hot", key) {
+						tx.Delete("cold", key)
+						tx.Put("hot", key)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Run: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for k := int64(0); k < keys; k++ {
+		inHot, inCold := e.h.Contains(k), e.s.Contains(k)
+		if inHot && inCold {
+			t.Errorf("key %d in both sets", k)
+		}
+		if inHot || inCold {
+			total++
+		}
+	}
+	if total != keys {
+		t.Fatalf("population = %d, want %d", total, keys)
+	}
+}
+
+func TestUnknownStructurePanics(t *testing.T) {
+	e := newEnv()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown structure should panic")
+		}
+	}()
+	e.sm.Run(func(tx *semtx.Tx[*txn.Ctx, int64]) error {
+		tx.Get("nope", 1)
+		return nil
+	})
+}

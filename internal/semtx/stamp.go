@@ -1,0 +1,41 @@
+package semtx
+
+import (
+	"repro/internal/htm"
+	"repro/internal/sim"
+	"repro/internal/simtxn"
+	"repro/internal/txn"
+)
+
+// Commit stamps for the twin-replay tester: a shared clock cell read and
+// incremented inside every commit operation. Because each committing
+// transaction both reads and writes the cell, concurrent commits conflict
+// on it and serialize — which is the point: the stamp sequence 1, 2, 3, ...
+// is the exact commit order, contiguous and gap-free, that the tester
+// replays against its sequential twin. The serialization makes stamps a
+// measurement-only device; performance runs (ablation A9) leave them off.
+
+// TxnStamp returns a stamp function for the runtime substrate, backed by a
+// fresh clock cell in domain d (the same domain the registry's structures
+// live in, so the clock joins the commit's footprint like any other word).
+func TxnStamp(d *htm.Domain) func(*txn.Ctx) uint64 {
+	clock := new(htm.Var[uint64])
+	clock.Init(d, 0)
+	return func(c *txn.Ctx) uint64 {
+		n := txn.Read(c, clock) + 1
+		txn.Write(c, clock, n)
+		return n
+	}
+}
+
+// SimStamp returns a stamp function for the simulated substrate, backed by
+// a fresh machine word allocated on the setup thread (values stay far below
+// the simtxn marker bit for any test-sized transaction count).
+func SimStamp(setup *sim.Thread) func(*simtxn.Ctx) uint64 {
+	clock := setup.Alloc(1)
+	return func(c *simtxn.Ctx) uint64 {
+		n := c.Read(clock) + 1
+		c.Write(clock, n)
+		return n
+	}
+}

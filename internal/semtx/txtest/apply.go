@@ -1,0 +1,69 @@
+package txtest
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+
+	"repro/internal/semtx"
+	"repro/internal/txnops"
+)
+
+// errAbort marks a body that was generated to abort: the error path is part
+// of the tested surface (abandoned bodies must publish nothing), but the
+// returned error is expected, not a harness failure.
+var errAbort = errors.New("txtest: deliberate abort")
+
+// world binds the generic tester to one substrate: the semtx manager, the
+// structure names in twin-index order, and the canonical-key conversions.
+type world[C txnops.Ctx, K cmp.Ordered] struct {
+	mgr    *semtx.Manager[C, K]
+	sets   []string
+	queues []string
+	pqs    []string
+	key    func(uint64) K
+	canon  func(K) uint64
+}
+
+// runTxn executes spec as one open transaction on x, recording each
+// operation's result on the committed attempt. ok reports whether the
+// transaction committed (deliberate aborts return ok=false, err=nil).
+func runTxn[C txnops.Ctx, K cmp.Ordered](w *world[C, K], x txnops.Exec[C], idx int, spec TxnSpec) (Committed, bool, error) {
+	var recs []OpRec
+	seq, err := w.mgr.RunOn(x, func(tx *semtx.Tx[C, K]) error {
+		recs = recs[:0] // the body may re-run; only the committed attempt's results count
+		for _, op := range spec.Ops {
+			switch op.Kind {
+			case OpGet:
+				recs = append(recs, OpRec{Found: tx.Get(w.sets[op.Struct], w.key(op.Key))})
+			case OpPut:
+				recs = append(recs, OpRec{Found: tx.Put(w.sets[op.Struct], w.key(op.Key))})
+			case OpDel:
+				recs = append(recs, OpRec{Found: tx.Delete(w.sets[op.Struct], w.key(op.Key))})
+			case OpEnq:
+				tx.Enqueue(w.queues[op.Struct], w.key(op.Key))
+				recs = append(recs, OpRec{})
+			case OpDeq:
+				v, ok := tx.Dequeue(w.queues[op.Struct])
+				recs = append(recs, OpRec{Found: ok, Val: w.canon(v)})
+			case OpPush:
+				tx.Push(w.pqs[op.Struct], w.key(op.Key))
+				recs = append(recs, OpRec{})
+			case OpPop:
+				v, ok := tx.PopMin(w.pqs[op.Struct])
+				recs = append(recs, OpRec{Found: ok, Val: w.canon(v)})
+			}
+		}
+		if spec.Abort {
+			return errAbort
+		}
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, errAbort) {
+			return Committed{}, false, nil
+		}
+		return Committed{}, false, fmt.Errorf("txn %d: %w", idx, err)
+	}
+	return Committed{Seq: seq, Txn: idx, Recs: append([]OpRec(nil), recs...)}, true, nil
+}

@@ -1,0 +1,123 @@
+package txtest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hashtable"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/semtx"
+	"repro/internal/skiplist"
+	"repro/internal/telemetry"
+	"repro/internal/txn"
+)
+
+// RunRuntime runs the tester on the real-concurrency substrate: a
+// five-structure world (a deliberately small 16-bucket hash table — so
+// bucket collisions, the semantic layer's reason to exist, are constantly
+// exercised — a skiplist, two MS queues, a mound) in one htm domain,
+// cfg.Threads goroutines running cfg.Txns random bodies, then the stamp-
+// ordered replay and final-state comparison against the sequential twin.
+func RunRuntime(cfg Config) Result {
+	cfg.defaults()
+	sh := Shape{Sets: 2, Queues: 2, PQs: 1}
+
+	tm := txn.New(0)
+	reg := tm.Structures()
+	h := hashtable.NewPTOTableIn(tm.Domain(), 16, 0)
+	s := skiplist.NewPTOSetIn(tm.Domain(), 0)
+	q1 := msqueue.NewPTOIn(tm.Domain(), 0)
+	q2 := msqueue.NewPTOIn(tm.Domain(), 0)
+	pq := mound.NewPTOIn(tm.Domain(), 12, 0)
+	reg.AddSet("hot", h)
+	reg.AddSet("cold", s)
+	reg.AddQueue("ingress", q1)
+	reg.AddQueue("egress", q2)
+	reg.AddPQ("sched", pq)
+
+	tel := telemetry.NewRegistry().Open("semfuzz/runtime")
+	sm := semtx.New(tm, reg).
+		WithStamp(semtx.TxnStamp(tm.Domain())).
+		WithTelemetry(tel)
+	w := &world[*txn.Ctx, int64]{
+		mgr:    sm,
+		sets:   []string{"hot", "cold"},
+		queues: []string{"ingress", "egress"},
+		pqs:    []string{"sched"},
+		key:    func(u uint64) int64 { return int64(u) },
+		canon:  func(k int64) uint64 { return uint64(k) },
+	}
+
+	corpus := make([]TxnSpec, cfg.Txns)
+	for i := range corpus {
+		corpus[i] = GenTxn(cfg, sh, i)
+	}
+
+	var (
+		mu      sync.Mutex
+		commits []Committed
+		res     Result
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < cfg.Threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < cfg.Txns; i += cfg.Threads {
+				c, ok, err := runTxn(w, tm, i, corpus[i])
+				mu.Lock()
+				if err != nil {
+					res.Errors = append(res.Errors, err.Error())
+				} else if ok {
+					commits = append(commits, c)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	res.CommittedTxns = uint64(len(commits))
+	res.UserAborts = tel.UserAborts.Load()
+	res.SemRetries = tel.SemRetries.Load()
+	if tel.Txns.Load() != res.CommittedTxns {
+		res.Errors = append(res.Errors, fmt.Sprintf(
+			"telemetry counted %d txns, harness %d", tel.Txns.Load(), res.CommittedTxns))
+	}
+
+	tw := replay(cfg, sh, corpus, commits, &res)
+	tw.check(cfg, sh, finalState{
+		SetContains: func(si int, k uint64) bool {
+			if si == 0 {
+				return h.Contains(int64(k))
+			}
+			return s.Contains(int64(k))
+		},
+		DrainQueue: func(qi int) []uint64 {
+			q := q1
+			if qi == 1 {
+				q = q2
+			}
+			var out []uint64
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return out
+				}
+				out = append(out, uint64(v))
+			}
+		},
+		DrainPQ: func(int) []uint64 {
+			var out []uint64
+			for {
+				v, ok := pq.RemoveMin()
+				if !ok {
+					return out
+				}
+				out = append(out, uint64(v))
+			}
+		},
+	}, &res)
+	return res
+}

@@ -1,0 +1,107 @@
+package txtest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/semtx"
+	"repro/internal/sim"
+	"repro/internal/simds"
+	"repro/internal/simtxn"
+	"repro/internal/telemetry"
+)
+
+// RunSim runs the tester on the modeled substrate: the three simulated set
+// adapters (BST, 16-bucket hash table, skiplist) plus a simulated MS queue
+// on a cfg.Threads-thread machine, the same corpus generator, the same
+// stamp-ordered replay. The machine's scheduler serializes simulated memory
+// accesses but the thread bodies are real goroutines between sim calls, so
+// the commit log is mutex-protected exactly as on the runtime substrate.
+// (No simulated PQ adapter exists yet — see ROADMAP — so the sim shape has
+// no PQ and the generator emits no Push/PopMin here.)
+func RunSim(cfg Config) Result {
+	cfg.defaults()
+	sh := Shape{Sets: 3, Queues: 1, PQs: 0}
+
+	machine := sim.New(sim.DefaultConfig(cfg.Threads))
+	setup := machine.Thread(0)
+	mgr := simtxn.New(0)
+	reg := mgr.Structures()
+	b := simds.NewSimBST(setup, simds.BSTPTO12, false, cfg.Threads)
+	h := simds.NewSimHash(setup, simds.HashPTO, 16, cfg.Threads)
+	h.Stabilize(setup)
+	sk := simds.NewSimSkip(setup, false, cfg.Threads)
+	reg.AddSet("bst", b)
+	reg.AddSet("hashtable", h)
+	reg.AddSet("skiplist", sk)
+	q := simds.NewSimMSQueue(setup, true)
+	reg.AddQueue("ingress", q)
+
+	tel := telemetry.NewRegistry().Open("semfuzz/sim")
+	sm := semtx.New[*simtxn.Ctx, uint64](mgr.On(setup), reg).
+		WithStamp(semtx.SimStamp(setup)).
+		WithTelemetry(tel)
+	w := &world[*simtxn.Ctx, uint64]{
+		mgr:    sm,
+		sets:   []string{"bst", "hashtable", "skiplist"},
+		queues: []string{"ingress"},
+		key:    func(u uint64) uint64 { return u },
+		canon:  func(k uint64) uint64 { return k },
+	}
+
+	corpus := make([]TxnSpec, cfg.Txns)
+	for i := range corpus {
+		corpus[i] = GenTxn(cfg, sh, i)
+	}
+
+	var (
+		mu      sync.Mutex
+		commits []Committed
+		res     Result
+	)
+	machine.Run(func(th *sim.Thread) {
+		x := mgr.On(th)
+		for i := th.ID(); i < cfg.Txns; i += cfg.Threads {
+			c, ok, err := runTxn(w, x, i, corpus[i])
+			mu.Lock()
+			if err != nil {
+				res.Errors = append(res.Errors, err.Error())
+			} else if ok {
+				commits = append(commits, c)
+			}
+			mu.Unlock()
+		}
+	})
+
+	res.CommittedTxns = uint64(len(commits))
+	res.UserAborts = tel.UserAborts.Load()
+	res.SemRetries = tel.SemRetries.Load()
+	if tel.Txns.Load() != res.CommittedTxns {
+		res.Errors = append(res.Errors, fmt.Sprintf(
+			"telemetry counted %d txns, harness %d", tel.Txns.Load(), res.CommittedTxns))
+	}
+
+	tw := replay(cfg, sh, corpus, commits, &res)
+	members := make([]map[uint64]bool, sh.Sets)
+	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup)} {
+		members[i] = make(map[uint64]bool, len(keys))
+		for _, k := range keys {
+			members[i][k] = true
+		}
+	}
+	tw.check(cfg, sh, finalState{
+		SetContains: func(si int, k uint64) bool { return members[si][k] },
+		DrainQueue: func(int) []uint64 {
+			var out []uint64
+			for {
+				v, ok := q.Dequeue(setup)
+				if !ok {
+					return out
+				}
+				out = append(out, v)
+			}
+		},
+		DrainPQ: func(int) []uint64 { return nil },
+	}, &res)
+	return res
+}

@@ -1,0 +1,355 @@
+// Package txtest is the STO-style randomized transaction tester for the
+// open transaction layer (internal/semtx) — the standing correctness gate
+// for the open-ended API.
+//
+// The scheme follows the STO testers (SNIPPETS.md): T workers run random
+// MAX_OPS-per-transaction bodies against a shared world of registered
+// structures; every committing transaction carries a commit stamp (a shared
+// clock cell read+incremented inside the commit operation, so stamps are
+// the exact commit order, contiguous 1..N); each committed transaction's
+// operations and their observed results are recorded; afterwards the
+// commits are replayed in stamp order against a sequential in-memory twin,
+// and any operation whose concurrent result differs from its sequential
+// replay — or any final structure state differing from the twin's — is a
+// divergence. Zero divergences over a large random population is the
+// linearizability evidence for semtx's semantic-validation commit protocol.
+//
+// The same generator and twin serve both substrates (RunRuntime and RunSim)
+// and double as the shared seed corpus for the cross-substrate conservation
+// fuzz in internal/txnops.
+package txtest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind enumerates the operations a random body can issue.
+type OpKind int
+
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDel
+	OpEnq
+	OpDeq
+	OpPush
+	OpPop
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpEnq:
+		return "enq"
+	case OpDeq:
+		return "deq"
+	case OpPush:
+		return "push"
+	case OpPop:
+		return "pop"
+	}
+	return "?"
+}
+
+// OpSpec is one generated operation: a kind, a structure index within the
+// kind's class, and a canonical key (sets) or value (queues/PQs).
+type OpSpec struct {
+	Kind   OpKind
+	Struct int
+	Key    uint64
+}
+
+// TxnSpec is one generated transaction body: the operation list and whether
+// the body deliberately aborts (returns an error) after issuing them.
+type TxnSpec struct {
+	Ops   []OpSpec
+	Abort bool
+}
+
+// OpRec is the recorded result of one operation on the committed attempt.
+// Enqueue/Push record nothing; Get/Put/Del record Found (presence/changed);
+// Deq/Pop record the value and whether one was returned.
+type OpRec struct {
+	Found bool
+	Val   uint64
+}
+
+// Committed is one committed transaction: its stamp, the index of its spec
+// in the corpus, and the committed attempt's results.
+type Committed struct {
+	Seq  uint64
+	Txn  int
+	Recs []OpRec
+}
+
+// Shape is the world's structure counts, which the generator draws from.
+type Shape struct {
+	Sets   int
+	Queues int
+	PQs    int
+}
+
+// Config parameterizes a tester run.
+type Config struct {
+	Threads int    // workers (goroutines or machine threads)
+	Txns    int    // total transactions to attempt
+	MaxOps  int    // ops per body: 1..MaxOps, uniform
+	Keys    int    // canonical key range: 1..Keys
+	Seed    uint64 // corpus seed
+	// AbortPct of bodies return an error after issuing their ops (checking
+	// that abandoned bodies publish nothing). Default 5 when zero; negative
+	// disables aborts.
+	AbortPct int
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 1000
+	}
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = 8
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	if cfg.AbortPct == 0 {
+		cfg.AbortPct = 5
+	}
+	if cfg.AbortPct < 0 {
+		cfg.AbortPct = 0
+	}
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// GenTxn deterministically generates transaction i of the corpus. The
+// generator statically respects the commit protocol's bounds — at most one
+// Dequeue per queue and one PopMin per PQ per body — so no generated body
+// can trip a semtx.Violation.
+func GenTxn(cfg Config, sh Shape, i int) TxnSpec {
+	rnd := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+	next := func() uint64 { rnd = splitmix(rnd); return rnd }
+	n := 1 + int(next()%uint64(cfg.MaxOps))
+	deqUsed := make([]bool, sh.Queues)
+	popUsed := make([]bool, sh.PQs)
+	spec := TxnSpec{Ops: make([]OpSpec, 0, n)}
+	for j := 0; j < n; j++ {
+		x := next()
+		key := 1 + x>>32%uint64(cfg.Keys)
+		roll := x % 100
+		var op OpSpec
+		switch {
+		case sh.PQs > 0 && roll >= 80:
+			s := int(x >> 16 % uint64(sh.PQs))
+			if !popUsed[s] && x>>8&1 == 1 {
+				popUsed[s] = true
+				op = OpSpec{Kind: OpPop, Struct: s}
+			} else {
+				op = OpSpec{Kind: OpPush, Struct: s, Key: key}
+			}
+		case sh.Queues > 0 && roll >= 60:
+			s := int(x >> 16 % uint64(sh.Queues))
+			if !deqUsed[s] && x>>8&1 == 1 {
+				deqUsed[s] = true
+				op = OpSpec{Kind: OpDeq, Struct: s}
+			} else {
+				op = OpSpec{Kind: OpEnq, Struct: s, Key: key}
+			}
+		default:
+			s := int(x >> 16 % uint64(sh.Sets))
+			op = OpSpec{Kind: OpGet + OpKind(x>>8%3), Struct: s, Key: key}
+		}
+		spec.Ops = append(spec.Ops, op)
+	}
+	spec.Abort = int(next()%100) < cfg.AbortPct
+	return spec
+}
+
+// Twin is the sequential in-memory model: plain maps for sets, slices for
+// queues, sorted multisets for PQs.
+type Twin struct {
+	sets   []map[uint64]bool
+	queues [][]uint64
+	pqs    [][]uint64 // kept sorted ascending
+}
+
+// NewTwin returns an empty twin of the given shape.
+func NewTwin(sh Shape) *Twin {
+	tw := &Twin{
+		sets:   make([]map[uint64]bool, sh.Sets),
+		queues: make([][]uint64, sh.Queues),
+		pqs:    make([][]uint64, sh.PQs),
+	}
+	for i := range tw.sets {
+		tw.sets[i] = make(map[uint64]bool)
+	}
+	return tw
+}
+
+// Step applies op to the twin and compares the sequential result against
+// rec, returning "" on agreement or a description of the divergence.
+func (tw *Twin) Step(op OpSpec, rec OpRec) string {
+	switch op.Kind {
+	case OpGet:
+		if want := tw.sets[op.Struct][op.Key]; rec.Found != want {
+			return fmt.Sprintf("get set%d key%d: got %v, twin %v", op.Struct, op.Key, rec.Found, want)
+		}
+	case OpPut:
+		want := !tw.sets[op.Struct][op.Key]
+		tw.sets[op.Struct][op.Key] = true
+		if rec.Found != want {
+			return fmt.Sprintf("put set%d key%d: changed %v, twin %v", op.Struct, op.Key, rec.Found, want)
+		}
+	case OpDel:
+		want := tw.sets[op.Struct][op.Key]
+		delete(tw.sets[op.Struct], op.Key)
+		if rec.Found != want {
+			return fmt.Sprintf("del set%d key%d: changed %v, twin %v", op.Struct, op.Key, rec.Found, want)
+		}
+	case OpEnq:
+		tw.queues[op.Struct] = append(tw.queues[op.Struct], op.Key)
+	case OpDeq:
+		q := tw.queues[op.Struct]
+		if len(q) == 0 {
+			if rec.Found {
+				return fmt.Sprintf("deq queue%d: got %d, twin empty", op.Struct, rec.Val)
+			}
+			return ""
+		}
+		want := q[0]
+		tw.queues[op.Struct] = q[1:]
+		if !rec.Found || rec.Val != want {
+			return fmt.Sprintf("deq queue%d: got %d,%v, twin %d", op.Struct, rec.Val, rec.Found, want)
+		}
+	case OpPush:
+		p := tw.pqs[op.Struct]
+		at := sort.Search(len(p), func(i int) bool { return p[i] >= op.Key })
+		p = append(p, 0)
+		copy(p[at+1:], p[at:])
+		p[at] = op.Key
+		tw.pqs[op.Struct] = p
+	case OpPop:
+		p := tw.pqs[op.Struct]
+		if len(p) == 0 {
+			if rec.Found {
+				return fmt.Sprintf("pop pq%d: got %d, twin empty", op.Struct, rec.Val)
+			}
+			return ""
+		}
+		want := p[0]
+		tw.pqs[op.Struct] = p[1:]
+		if !rec.Found || rec.Val != want {
+			return fmt.Sprintf("pop pq%d: got %d,%v, twin %d", op.Struct, rec.Val, rec.Found, want)
+		}
+	}
+	return ""
+}
+
+// Result is one tester run's outcome.
+type Result struct {
+	CommittedTxns uint64
+	UserAborts    uint64
+	SemRetries    uint64
+	Divergences   []string // capped at maxDivergences
+	Errors        []string // harness failures (violations, gaps in the stamp sequence)
+}
+
+const maxDivergences = 20
+
+// Pass reports a clean run: no divergence, no harness error.
+func (r *Result) Pass() bool { return len(r.Divergences) == 0 && len(r.Errors) == 0 }
+
+func (r *Result) diverge(s string) {
+	if len(r.Divergences) < maxDivergences {
+		r.Divergences = append(r.Divergences, s)
+	}
+}
+
+// replay sorts the commits by stamp, checks the stamp sequence is exactly
+// 1..N, and replays every committed operation against a fresh twin,
+// recording divergences. It returns the final twin for state comparison.
+func replay(cfg Config, sh Shape, corpus []TxnSpec, commits []Committed, res *Result) *Twin {
+	sort.Slice(commits, func(i, j int) bool { return commits[i].Seq < commits[j].Seq })
+	for i, c := range commits {
+		if c.Seq != uint64(i+1) {
+			res.Errors = append(res.Errors,
+				fmt.Sprintf("stamp sequence broken at index %d: got %d, want %d", i, c.Seq, i+1))
+			break
+		}
+	}
+	tw := NewTwin(sh)
+	for _, c := range commits {
+		spec := corpus[c.Txn]
+		if len(c.Recs) != len(spec.Ops) {
+			res.Errors = append(res.Errors,
+				fmt.Sprintf("txn %d: %d recs for %d ops", c.Txn, len(c.Recs), len(spec.Ops)))
+			continue
+		}
+		for j, op := range spec.Ops {
+			if d := tw.Step(op, c.Recs[j]); d != "" {
+				res.diverge(fmt.Sprintf("seq %d txn %d op %d (%s): %s", c.Seq, c.Txn, j, op.Kind, d))
+			}
+		}
+	}
+	return tw
+}
+
+// finalState compares the twin's final contents against the live structures
+// through the harness's accessors (drained queues/PQs, per-key membership).
+type finalState struct {
+	SetContains func(s int, key uint64) bool
+	DrainQueue  func(q int) []uint64
+	DrainPQ     func(p int) []uint64
+}
+
+func (tw *Twin) check(cfg Config, sh Shape, fs finalState, res *Result) {
+	for s := 0; s < sh.Sets; s++ {
+		for k := uint64(1); k <= uint64(cfg.Keys); k++ {
+			if got, want := fs.SetContains(s, k), tw.sets[s][k]; got != want {
+				res.diverge(fmt.Sprintf("final set%d key%d: got %v, twin %v", s, k, got, want))
+			}
+		}
+	}
+	for q := 0; q < sh.Queues; q++ {
+		got := fs.DrainQueue(q)
+		want := tw.queues[q]
+		if len(got) != len(want) {
+			res.diverge(fmt.Sprintf("final queue%d: %d values, twin %d", q, len(got), len(want)))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				res.diverge(fmt.Sprintf("final queue%d[%d]: got %d, twin %d", q, i, got[i], want[i]))
+				break
+			}
+		}
+	}
+	for p := 0; p < sh.PQs; p++ {
+		got := fs.DrainPQ(p)
+		want := tw.pqs[p]
+		if len(got) != len(want) {
+			res.diverge(fmt.Sprintf("final pq%d: %d values, twin %d", p, len(got), len(want)))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				res.diverge(fmt.Sprintf("final pq%d[%d]: got %d, twin %d", p, i, got[i], want[i]))
+				break
+			}
+		}
+	}
+}

@@ -71,6 +71,49 @@ type Response struct {
 	Err     string `json:"error,omitempty"`
 }
 
+// TxnOp is one operation inside a POST /v1/txn body: the single-structure
+// subset of the op envelope (get/put/del/enqueue/dequeue/push/popmin —
+// cross-structure moves are already atomic via /v1/op). Assert, when set,
+// is the expected boolean outcome (found for get/dequeue/popmin, changed
+// for put/del): a mismatch aborts the whole transaction with 409 and
+// nothing publishes. That makes compare-and-act protocols ("claim this key
+// only if still absent, then enqueue it") one round trip.
+type TxnOp struct {
+	Op     string `json:"op"`
+	Struct string `json:"struct,omitempty"`
+	Key    int64  `json:"key,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+	Assert *bool  `json:"assert,omitempty"`
+}
+
+// TxnRequest is the JSON envelope of POST /v1/txn: a declarative multi-op
+// body executed as ONE open transaction (semantic validation + a single
+// composed publication) on a single shard. Routing: Shard pins; otherwise
+// the first keyed op's key picks the shard; an all-keyless body rotates.
+type TxnRequest struct {
+	Ops   []TxnOp `json:"ops"`
+	Shard *int    `json:"shard,omitempty"`
+}
+
+// TxnOpResult is one op's outcome in the committed transaction.
+type TxnOpResult struct {
+	Found   bool  `json:"found,omitempty"`
+	Changed bool  `json:"changed,omitempty"`
+	Value   int64 `json:"value,omitempty"`
+}
+
+// TxnResponse is the JSON reply of /v1/txn. On commit (200) Results holds
+// one entry per op in request order. An assert mismatch replies 409 with
+// FailedOp set to the index of the op whose assertion failed; a restriction
+// violation (e.g. a second structural dequeue on one queue) replies 400.
+type TxnResponse struct {
+	OK       bool          `json:"ok"`
+	Shard    int           `json:"shard"`
+	Results  []TxnOpResult `json:"results,omitempty"`
+	FailedOp *int          `json:"failed_op,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
 // mutates reports whether the op writes shard state — the class the
 // admission layer sheds when a shard's live commit ratio is underwater.
 // Reads stay admitted: they are cheap, validate-only, and keeping them

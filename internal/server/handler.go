@@ -13,12 +13,14 @@ import (
 const maxBodyBytes = 1 << 20
 
 // Handler returns the service mux: POST /v1/op (the op envelope),
-// GET /healthz, GET /statz. Telemetry exports (/metrics, /debug/vars) are
+// POST /v1/txn (a declarative multi-op open transaction), GET /healthz,
+// GET /statz. Telemetry exports (/metrics, /debug/vars) are
 // mounted by the caller from the server's Registry — the exporters already
 // exist in internal/telemetry and are not duplicated here.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/op", s.handleOp)
+	mux.HandleFunc("/v1/txn", s.handleTxn)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"ok":true,"shards":%d}`+"\n", len(s.shards))

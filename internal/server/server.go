@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -158,23 +159,40 @@ type ShardStats struct {
 	Batches    uint64                           `json:"batches"`
 	BatchedOps uint64                           `json:"batched_ops"`
 	BatchSizes telemetry.WidthHistogramSnapshot `json:"batch_sizes"`
+
+	// Open-transaction counters (/v1/txn): committed transactions, commits
+	// retried after a semantic validation mismatch, and bodies that aborted
+	// (assert mismatches and restriction violations).
+	OpenTxns       uint64 `json:"open_txns"`
+	OpenRetries    uint64 `json:"open_retries"`
+	OpenUserAborts uint64 `json:"open_user_aborts"`
 }
 
 // Stats is the /statz payload: per-shard detail plus the totals the load
 // generator deltas between phases.
 type Stats struct {
+	// Structures lists the structure names every shard's registry holds, in
+	// sorted order — deterministic output however the registry iterates.
+	Structures   []string     `json:"structures"`
 	Shards       []ShardStats `json:"shards"`
 	Sheds        uint64       `json:"total_sheds"`
 	Publications uint64       `json:"total_publications"`
 	Batches      uint64       `json:"total_batches"`
 	BatchedOps   uint64       `json:"total_batched_ops"`
+	OpenTxns     uint64       `json:"total_open_txns"`
 }
 
 // Stats snapshots every shard.
 func (s *Server) Stats() Stats {
 	var out Stats
+	r := s.shards[0].m.Structures()
+	out.Structures = append(out.Structures, r.SetNames()...)
+	out.Structures = append(out.Structures, r.QueueNames()...)
+	out.Structures = append(out.Structures, r.PQNames()...)
+	sort.Strings(out.Structures)
 	for _, sh := range s.shards {
 		comp := sh.composedSnapshot()
+		open := sh.open.Snapshot()
 		st := ShardStats{
 			Shard:           sh.id,
 			Shedding:        sh.shedding.Load(),
@@ -186,12 +204,16 @@ func (s *Server) Stats() Stats {
 			Batches:         sh.b.batches.Load(),
 			BatchedOps:      sh.b.batchedOps.Load(),
 			BatchSizes:      sh.b.sizes.Snapshot(),
+			OpenTxns:        open.Txns,
+			OpenRetries:     open.SemRetries,
+			OpenUserAborts:  open.UserAborts,
 		}
 		out.Shards = append(out.Shards, st)
 		out.Sheds += st.Sheds
 		out.Publications += st.Publications
 		out.Batches += st.Batches
 		out.BatchedOps += st.BatchedOps
+		out.OpenTxns += st.OpenTxns
 	}
 	return out
 }

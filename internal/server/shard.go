@@ -39,6 +39,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mound"
 	"repro/internal/msqueue"
+	"repro/internal/semtx"
 	"repro/internal/skiplist"
 	"repro/internal/telemetry"
 	"repro/internal/txn"
@@ -49,9 +50,11 @@ import (
 type shard struct {
 	id   int
 	m    *txn.Manager
+	sem  *semtx.Manager[*txn.Ctx, int64] // open multi-op transactions (/v1/txn)
 	b    *batcher
 	site *telemetry.Site     // the shard's speculation counters ("shardN/txn")
 	comp *telemetry.Composed // the shard's composed-op counters (same name)
+	open *telemetry.Open     // the shard's open-transaction counters (same name)
 
 	// Admission state (written by the controller, read by the handler).
 	shedding  atomic.Bool
@@ -80,11 +83,14 @@ func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
 	r.AddQueue(DefaultQueue, msqueue.NewPTOIn(d, 0))
 	r.AddQueue("egress", msqueue.NewPTOIn(d, 0))
 	r.AddPQ(DefaultPQ, mound.NewPTOIn(d, 12, 0))
+	open := reg.Open(siteName(id))
 	return &shard{
 		id:   id,
 		m:    m,
+		sem:  semtx.New(m, r).WithTelemetry(open),
 		site: reg.Site(siteName(id)),
 		comp: reg.Composed(siteName(id)),
+		open: open,
 	}
 }
 

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// doTxn posts one declarative transaction and decodes the reply.
+func doTxn(t *testing.T, ts *httptest.Server, req TxnRequest) (TxnResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hr, err := http.Post(ts.URL+"/v1/txn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer hr.Body.Close()
+	var resp TxnResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, hr.StatusCode
+}
+
+func boolp(b bool) *bool { return &b }
+
+func TestTxnMultiOpCommit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	pin := 0
+	// One transaction: claim key 5 (must be absent), move value 5 into the
+	// queue and the scheduler, all-or-nothing.
+	resp, code := doTxn(t, ts, TxnRequest{Shard: &pin, Ops: []TxnOp{
+		{Op: OpGet, Key: 5, Assert: boolp(false)},
+		{Op: OpPut, Key: 5},
+		{Op: OpEnqueue, Value: 5},
+		{Op: OpPush, Value: 5},
+	}})
+	if code != http.StatusOK || !resp.OK {
+		t.Fatalf("txn: got %d %+v", code, resp)
+	}
+	if len(resp.Results) != 4 || resp.Results[0].Found || !resp.Results[1].Changed {
+		t.Fatalf("results: %+v", resp.Results)
+	}
+	// The writes are visible: key present, queue and PQ serve the value.
+	resp, _ = doTxn(t, ts, TxnRequest{Shard: &pin, Ops: []TxnOp{
+		{Op: OpGet, Key: 5},
+		{Op: OpDequeue},
+		{Op: OpPopMin},
+	}})
+	if !resp.OK || !resp.Results[0].Found ||
+		!resp.Results[1].Found || resp.Results[1].Value != 5 ||
+		!resp.Results[2].Found || resp.Results[2].Value != 5 {
+		t.Fatalf("visibility txn: %+v", resp)
+	}
+}
+
+func TestTxnOwnWritesAndBuffering(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	// A body sees its own buffered effects: the put is visible to the later
+	// get, the enqueue feeds the dequeue on an empty queue, the pushed value
+	// feeds popmin on an empty mound.
+	resp, code := doTxn(t, ts, TxnRequest{Ops: []TxnOp{
+		{Op: OpPut, Key: 77, Assert: boolp(true)},
+		{Op: OpGet, Key: 77, Assert: boolp(true)},
+		{Op: OpEnqueue, Struct: "egress", Value: 9},
+		{Op: OpDequeue, Struct: "egress", Assert: boolp(true)},
+		{Op: OpPush, Value: 3},
+		{Op: OpPopMin, Assert: boolp(true)},
+	}})
+	if code != http.StatusOK || !resp.OK {
+		t.Fatalf("txn: got %d %+v", code, resp)
+	}
+	if resp.Results[3].Value != 9 || resp.Results[5].Value != 3 {
+		t.Fatalf("buffered serves: %+v", resp.Results)
+	}
+}
+
+func TestTxnAssertMismatchIs409AndPublishesNothing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	pin := 1
+	resp, code := doTxn(t, ts, TxnRequest{Shard: &pin, Ops: []TxnOp{
+		{Op: OpPut, Key: 50},
+		{Op: OpGet, Key: 51, Assert: boolp(true)}, // 51 was never inserted
+	}})
+	if code != http.StatusConflict || resp.OK {
+		t.Fatalf("assert mismatch: got %d %+v, want 409", code, resp)
+	}
+	if resp.FailedOp == nil || *resp.FailedOp != 1 {
+		t.Fatalf("failed_op: %+v", resp)
+	}
+	// The aborted body's put must not have published.
+	if r, _ := doOp(t, ts, Request{Op: OpGet, Key: 50, Shard: &pin}); r.Found {
+		t.Fatal("aborted txn published its put")
+	}
+}
+
+func TestTxnRestrictionViolationIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	doOp(t, ts, Request{Op: OpPush, Value: 1})
+	doOp(t, ts, Request{Op: OpPush, Value: 2})
+	// Two structural pops of one PQ in a single body is the subsystem's
+	// documented restriction.
+	resp, code := doTxn(t, ts, TxnRequest{Ops: []TxnOp{
+		{Op: OpPopMin},
+		{Op: OpPopMin},
+	}})
+	if code != http.StatusBadRequest || resp.OK {
+		t.Fatalf("double popmin: got %d %+v, want 400", code, resp)
+	}
+	if !strings.Contains(resp.Err, "violation") {
+		t.Fatalf("error %q does not mention the violation", resp.Err)
+	}
+}
+
+func TestTxnRejectsBadBodies(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, MaxBatch: 4})
+	if _, code := doTxn(t, ts, TxnRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty txn: got %d, want 400", code)
+	}
+	if _, code := doTxn(t, ts, TxnRequest{Ops: []TxnOp{
+		{Op: OpGet, Key: 1}, {Op: OpGet, Key: 2}, {Op: OpGet, Key: 3},
+		{Op: OpGet, Key: 4}, {Op: OpGet, Key: 5},
+	}}); code != http.StatusBadRequest {
+		t.Errorf("oversized txn: got %d, want 400", code)
+	}
+	if _, code := doTxn(t, ts, TxnRequest{Ops: []TxnOp{{Op: OpMove, Key: 1}}}); code != http.StatusBadRequest {
+		t.Errorf("cross-structure op in txn: got %d, want 400", code)
+	}
+	resp, code := doTxn(t, ts, TxnRequest{Ops: []TxnOp{{Op: OpGet, Struct: "nope", Key: 1}}})
+	if code != http.StatusNotFound || !strings.Contains(resp.Err, "nope") {
+		t.Errorf("unknown structure in txn: got %d %+v, want 404", code, resp)
+	}
+	bad := 9
+	if _, code := doTxn(t, ts, TxnRequest{Shard: &bad, Ops: []TxnOp{{Op: OpGet, Key: 1}}}); code != http.StatusBadRequest {
+		t.Errorf("out-of-range shard: got %d, want 400", code)
+	}
+	hr, err := http.Get(ts.URL + "/v1/txn")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/txn: got %d, want 405", hr.StatusCode)
+	}
+}
+
+func TestTxnRoutesByFirstKeyedOp(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Shards: 4})
+	// Unpinned: the transaction lands on the shard that owns its first
+	// keyed op's key, so the single-op path sees its writes.
+	resp, _ := doTxn(t, ts, TxnRequest{Ops: []TxnOp{
+		{Op: OpPut, Key: 123},
+		{Op: OpEnqueue, Value: 7},
+	}})
+	want := srv.shardFor(123).id
+	if !resp.OK || resp.Shard != want {
+		t.Fatalf("txn landed on shard %d, want %d", resp.Shard, want)
+	}
+	if r, _ := doOp(t, ts, Request{Op: OpGet, Key: 123}); !r.Found {
+		t.Fatal("put not visible on the key's own shard")
+	}
+}
+
+func TestTxnCountersAndStatzStructures(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2})
+	pin := 0
+	doTxn(t, ts, TxnRequest{Shard: &pin, Ops: []TxnOp{{Op: OpPut, Key: 1}}})
+	doTxn(t, ts, TxnRequest{Shard: &pin, Ops: []TxnOp{
+		{Op: OpGet, Key: 1, Assert: boolp(false)}, // fails: 1 is present
+	}})
+	hr, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	defer hr.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	if st.OpenTxns == 0 || st.Shards[0].OpenTxns == 0 || st.Shards[0].OpenUserAborts == 0 {
+		t.Fatalf("open-txn counters not exported: %+v", st.Shards[0])
+	}
+	if !sort.StringsAreSorted(st.Structures) || len(st.Structures) != 5 {
+		t.Fatalf("statz structures not a sorted 5-name list: %v", st.Structures)
+	}
+}

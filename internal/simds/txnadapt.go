@@ -208,6 +208,19 @@ func (q *SimMSQueue) TxEnqueue(c *simtxn.Ctx, v uint64) {
 	c.Write(q.tail, uint64(n))
 }
 
+// TxFront reads the oldest value without removing it as part of a composed
+// operation, reporting false when empty. Mirrors the runtime adapter's
+// TxFront: head and next both join the footprint, so the answer is the
+// validated front of the queue at the commit point.
+func (q *SimMSQueue) TxFront(c *simtxn.Ctx) (uint64, bool) {
+	head := sim.Addr(c.Read(q.head))
+	next := c.Read(head + 1)
+	if next == 0 {
+		return 0, false
+	}
+	return c.PeekRaw(sim.Addr(next)), true
+}
+
 // TxDequeue removes and returns the oldest value as part of a composed
 // operation, reporting false when empty. Emptiness is part of the validated
 // footprint: the head node's next word commits as a no-op entry, so the

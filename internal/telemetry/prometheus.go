@@ -30,6 +30,15 @@ const (
 	MetricComposedMCASFail = "pto_composed_mcas_failures_total"
 	MetricComposedRestarts = "pto_composed_restarts_total"
 	MetricComposedWidth    = "pto_composed_mcas_width"
+
+	// Open-transaction metrics (internal/semtx). Txns carry a {site="..."}
+	// label; retries carry {reason="conflict_semantic|user"} — the semantic
+	// layer's abort taxonomy above the word-level reasons of MetricAborts;
+	// the ops histogram follows the _bucket/_sum/_count convention with
+	// cumulative le bounds in structure operations per body.
+	MetricOpenTxns    = "pto_open_txns_total"
+	MetricOpenRetries = "pto_open_retries_total"
+	MetricOpenOps     = "pto_open_ops_per_txn"
 )
 
 // WritePrometheus renders every site of the registry in Prometheus text
@@ -93,6 +102,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 
 	comp := r.Snapshot().Composed
 	if len(comp) == 0 {
+		r.writePrometheusOpen(w)
 		return
 	}
 	sort.Slice(comp, func(i, j int) bool { return comp[i].Name < comp[j].Name })
@@ -136,6 +146,41 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricComposedWidth, c.Name, cum)
 		fmt.Fprintf(w, "%s_sum{site=%q} %d\n", MetricComposedWidth, c.Name, c.Width.Sum)
 		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricComposedWidth, c.Name, c.Width.Count)
+	}
+	r.writePrometheusOpen(w)
+}
+
+// writePrometheusOpen renders the open-transaction sites, in name order.
+func (r *Registry) writePrometheusOpen(w io.Writer) {
+	open := r.Snapshot().Open
+	if len(open) == 0 {
+		return
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i].Name < open[j].Name })
+	fmt.Fprintf(w, "# HELP %s Committed open transactions per site.\n", MetricOpenTxns)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricOpenTxns)
+	for _, o := range open {
+		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricOpenTxns, o.Name, o.Txns)
+	}
+	fmt.Fprintf(w, "# HELP %s Open-transaction body re-runs and abandons per site, by reason.\n", MetricOpenRetries)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricOpenRetries)
+	for _, o := range open {
+		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict_semantic\"} %d\n", MetricOpenRetries, o.Name, o.SemRetries)
+		fmt.Fprintf(w, "%s{site=%q,reason=\"user\"} %d\n", MetricOpenRetries, o.Name, o.UserAborts)
+	}
+	fmt.Fprintf(w, "# HELP %s Structure operations per committed open-transaction body.\n", MetricOpenOps)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", MetricOpenOps)
+	for _, o := range open {
+		var cum uint64
+		for i, n := range o.OpsPerTxn.Buckets {
+			cum += n
+			if ub := WidthBucketBound(i); ub != 0 {
+				fmt.Fprintf(w, "%s_bucket{site=%q,le=\"%d\"} %d\n", MetricOpenOps, o.Name, ub, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricOpenOps, o.Name, cum)
+		fmt.Fprintf(w, "%s_sum{site=%q} %d\n", MetricOpenOps, o.Name, o.OpsPerTxn.Sum)
+		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricOpenOps, o.Name, o.OpsPerTxn.Count)
 	}
 }
 

@@ -202,6 +202,9 @@ type Registry struct {
 	byComposed map[string]*Composed
 	corder     []*Composed
 
+	byOpen map[string]*Open
+	oorder []*Open
+
 	published sync.Once
 }
 
@@ -251,6 +254,7 @@ func (r *Registry) Sites() []*Site {
 type Snapshot struct {
 	Sites    []SiteSnapshot     `json:"sites"`
 	Composed []ComposedSnapshot `json:"composed,omitempty"`
+	Open     []OpenSnapshot     `json:"open,omitempty"`
 }
 
 // Snapshot copies every site's counters in registration order.
@@ -262,6 +266,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, c := range r.ComposedSites() {
 		out.Composed = append(out.Composed, c.Snapshot())
+	}
+	for _, o := range r.OpenSites() {
+		out.Open = append(out.Open, o.Snapshot())
 	}
 	return out
 }
@@ -291,6 +298,17 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			out.Composed = append(out.Composed, cur.Delta(p))
 		} else {
 			out.Composed = append(out.Composed, cur)
+		}
+	}
+	oldO := make(map[string]OpenSnapshot, len(prev.Open))
+	for _, p := range prev.Open {
+		oldO[p.Name] = p
+	}
+	for _, cur := range s.Open {
+		if p, ok := oldO[cur.Name]; ok {
+			out.Open = append(out.Open, cur.Delta(p))
+		} else {
+			out.Open = append(out.Open, cur)
 		}
 	}
 	return out

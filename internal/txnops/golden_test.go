@@ -112,6 +112,10 @@ func TestGoldenTelemetryNames(t *testing.T) {
 	if got := jsonKeys(t, telemetry.ComposedSnapshot{}); !reflect.DeepEqual(got, wantComposed) {
 		t.Errorf("composed counter names drifted:\n got %v\nwant %v", got, wantComposed)
 	}
+	wantOpen := []string{"ops_per_txn", "sem_retries", "site", "txns", "user_aborts"}
+	if got := jsonKeys(t, telemetry.OpenSnapshot{}); !reflect.DeepEqual(got, wantOpen) {
+		t.Errorf("open counter names drifted:\n got %v\nwant %v", got, wantOpen)
+	}
 }
 
 func keysOf(m map[string]bool) []string {

@@ -1,0 +1,290 @@
+package txnops_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hashtable"
+	"repro/internal/mound"
+	"repro/internal/msqueue"
+	"repro/internal/semtx"
+	"repro/internal/semtx/txtest"
+	"repro/internal/sim"
+	"repro/internal/simds"
+	"repro/internal/simtxn"
+	"repro/internal/skiplist"
+	"repro/internal/txn"
+	"repro/internal/txnops"
+)
+
+// Conservation fuzz over open-transaction (semtx) bodies, the open-API
+// counterpart of the Move/Transfer fuzz above: the same deterministic corpus
+// generator that drives the twin-replay tester (internal/semtx/txtest)
+// drives concurrent multi-op bodies here, and quiescence checks value
+// conservation instead of full linearizability — every value enqueued by a
+// committed body is either dequeued by a committed body or still in the
+// queue (as multisets), same for PQ pushes/pops, and every finally-present
+// set key was put by at least one committed body. Aborted bodies (deliberate
+// error returns) must contribute nothing.
+
+var errSemFuzzAbort = errors.New("semfuzz: deliberate abort")
+
+// semTally accumulates the committed effects: per-structure value multisets.
+type semTally struct {
+	mu   sync.Mutex
+	puts []map[uint64]int // per set: key -> committed Put count
+	enq  []map[uint64]int // per queue: value -> committed Enqueue count
+	deq  []map[uint64]int // per queue: value -> committed successful Dequeue count
+	push []map[uint64]int // per PQ: value -> committed Push count
+	pop  []map[uint64]int // per PQ: value -> committed successful PopMin count
+}
+
+func newSemTally(sh txtest.Shape) *semTally {
+	mk := func(n int) []map[uint64]int {
+		out := make([]map[uint64]int, n)
+		for i := range out {
+			out[i] = make(map[uint64]int)
+		}
+		return out
+	}
+	return &semTally{puts: mk(sh.Sets), enq: mk(sh.Queues), deq: mk(sh.Queues),
+		push: mk(sh.PQs), pop: mk(sh.PQs)}
+}
+
+// valRec is one recorded structural read result (Dequeue or PopMin) from the
+// committed attempt of a body.
+type valRec struct {
+	st  int
+	val uint64
+	ok  bool
+}
+
+// commit folds one committed body into the tally: writes from its spec,
+// structural reads from the committed attempt's records.
+func (tl *semTally) commit(spec txtest.TxnSpec, deqs, pops []valRec) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for _, op := range spec.Ops {
+		switch op.Kind {
+		case txtest.OpPut:
+			tl.puts[op.Struct][op.Key]++
+		case txtest.OpEnq:
+			tl.enq[op.Struct][op.Key]++
+		case txtest.OpPush:
+			tl.push[op.Struct][op.Key]++
+		}
+	}
+	for _, d := range deqs {
+		if d.ok {
+			tl.deq[d.st][d.val]++
+		}
+	}
+	for _, p := range pops {
+		if p.ok {
+			tl.pop[p.st][p.val]++
+		}
+	}
+}
+
+// checkConserved requires added == removed + remaining as multisets.
+func checkConserved(t *testing.T, label string, added, removed, remaining map[uint64]int) {
+	t.Helper()
+	keys := map[uint64]bool{}
+	for k := range added {
+		keys[k] = true
+	}
+	for k := range removed {
+		keys[k] = true
+	}
+	for k := range remaining {
+		keys[k] = true
+	}
+	for k := range keys {
+		if added[k] != removed[k]+remaining[k] {
+			t.Errorf("%s value %d not conserved: added %d, removed %d, remaining %d",
+				label, k, added[k], removed[k], remaining[k])
+		}
+	}
+}
+
+// semBody builds the semtx body for spec, resetting the shared record slices
+// on each attempt so only the committed attempt's structural reads survive.
+func semBody[C txnops.Ctx, K interface{ ~int64 | ~uint64 }](
+	spec txtest.TxnSpec, sets, queues, pqs []string,
+	deqs, pops *[]valRec,
+) func(tx *semtx.Tx[C, K]) error {
+	return func(tx *semtx.Tx[C, K]) error {
+		*deqs, *pops = (*deqs)[:0], (*pops)[:0]
+		for _, op := range spec.Ops {
+			switch op.Kind {
+			case txtest.OpGet:
+				tx.Get(sets[op.Struct], K(op.Key))
+			case txtest.OpPut:
+				tx.Put(sets[op.Struct], K(op.Key))
+			case txtest.OpDel:
+				tx.Delete(sets[op.Struct], K(op.Key))
+			case txtest.OpEnq:
+				tx.Enqueue(queues[op.Struct], K(op.Key))
+			case txtest.OpDeq:
+				v, ok := tx.Dequeue(queues[op.Struct])
+				*deqs = append(*deqs, valRec{op.Struct, uint64(v), ok})
+			case txtest.OpPush:
+				tx.Push(pqs[op.Struct], K(op.Key))
+			case txtest.OpPop:
+				v, ok := tx.PopMin(pqs[op.Struct])
+				*pops = append(*pops, valRec{op.Struct, uint64(v), ok})
+			}
+		}
+		if spec.Abort {
+			return errSemFuzzAbort
+		}
+		return nil
+	}
+}
+
+// TestSemtxConservationFuzzRuntime drives the shared corpus through open
+// transactions on the real-concurrency substrate — the twin-replay tester's
+// five-structure world — and checks value conservation at quiescence.
+func TestSemtxConservationFuzzRuntime(t *testing.T) {
+	cfg := txtest.Config{Threads: 6, Txns: 1800, MaxOps: 8, Keys: 48,
+		Seed: 0xC0FFEE, AbortPct: 5}
+	sh := txtest.Shape{Sets: 2, Queues: 2, PQs: 1}
+
+	m := txn.New(0)
+	reg := m.Structures()
+	h := hashtable.NewPTOTableIn(m.Domain(), 16, 0)
+	sk := skiplist.NewPTOSetIn(m.Domain(), 0)
+	q1 := msqueue.NewPTOIn(m.Domain(), 0)
+	q2 := msqueue.NewPTOIn(m.Domain(), 0)
+	pq := mound.NewPTOIn(m.Domain(), 12, 0)
+	reg.AddSet("hot", h)
+	reg.AddSet("cold", sk)
+	reg.AddQueue("ingress", q1)
+	reg.AddQueue("egress", q2)
+	reg.AddPQ("sched", pq)
+	sets := []string{"hot", "cold"}
+	queues := []string{"ingress", "egress"}
+	pqs := []string{"sched"}
+	sm := semtx.New[*txn.Ctx, int64](m, reg)
+
+	tl := newSemTally(sh)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var deqs, pops []valRec
+			for i := g; i < cfg.Txns; i += cfg.Threads {
+				spec := txtest.GenTxn(cfg, sh, i)
+				_, err := sm.Run(semBody[*txn.Ctx, int64](spec, sets, queues, pqs, &deqs, &pops))
+				if err != nil {
+					if !errors.Is(err, errSemFuzzAbort) {
+						t.Errorf("txn %d: %v", i, err)
+					}
+					continue
+				}
+				tl.commit(spec, deqs, pops)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	drainQ := func(q *msqueue.PTOQueue) map[uint64]int {
+		out := make(map[uint64]int)
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				return out
+			}
+			out[uint64(v)]++
+		}
+	}
+	checkConserved(t, "queue ingress", tl.enq[0], tl.deq[0], drainQ(q1))
+	checkConserved(t, "queue egress", tl.enq[1], tl.deq[1], drainQ(q2))
+	remPQ := make(map[uint64]int)
+	for {
+		v, ok := pq.RemoveMin()
+		if !ok {
+			break
+		}
+		remPQ[uint64(v)]++
+	}
+	checkConserved(t, "pq sched", tl.push[0], tl.pop[0], remPQ)
+	for k := uint64(1); k <= uint64(cfg.Keys); k++ {
+		if h.Contains(int64(k)) && tl.puts[0][k] == 0 {
+			t.Errorf("set hot key %d present but never put by a committed body", k)
+		}
+		if sk.Contains(int64(k)) && tl.puts[1][k] == 0 {
+			t.Errorf("set cold key %d present but never put by a committed body", k)
+		}
+	}
+}
+
+// TestSemtxConservationFuzzSim is the same conservation fuzz on the modeled
+// substrate (the tester's sim world: three set adapters, one MS queue, no
+// PQ), same corpus generator, bodies running on machine threads through
+// per-thread Execs against one shared semtx manager.
+func TestSemtxConservationFuzzSim(t *testing.T) {
+	cfg := txtest.Config{Threads: 4, Txns: 1200, MaxOps: 8, Keys: 48,
+		Seed: 0xC0FFEE, AbortPct: 5}
+	sh := txtest.Shape{Sets: 3, Queues: 1, PQs: 0}
+
+	machine := sim.New(sim.DefaultConfig(cfg.Threads))
+	setup := machine.Thread(0)
+	mgr := simtxn.New(0)
+	reg := mgr.Structures()
+	b := simds.NewSimBST(setup, simds.BSTPTO12, false, cfg.Threads)
+	h := simds.NewSimHash(setup, simds.HashPTO, 16, cfg.Threads)
+	h.Stabilize(setup)
+	sk := simds.NewSimSkip(setup, false, cfg.Threads)
+	reg.AddSet("bst", b)
+	reg.AddSet("hashtable", h)
+	reg.AddSet("skiplist", sk)
+	q := simds.NewSimMSQueue(setup, true)
+	reg.AddQueue("ingress", q)
+	sets := []string{"bst", "hashtable", "skiplist"}
+	queues := []string{"ingress"}
+	sm := semtx.New[*simtxn.Ctx, uint64](mgr.On(setup), reg)
+
+	tl := newSemTally(sh)
+	machine.Run(func(th *sim.Thread) {
+		x := mgr.On(th)
+		var deqs, pops []valRec
+		for i := th.ID(); i < cfg.Txns; i += cfg.Threads {
+			spec := txtest.GenTxn(cfg, sh, i)
+			_, err := sm.RunOn(x, semBody[*simtxn.Ctx, uint64](spec, sets, queues, nil, &deqs, &pops))
+			if err != nil {
+				if !errors.Is(err, errSemFuzzAbort) {
+					t.Errorf("txn %d: %v", i, err)
+				}
+				continue
+			}
+			tl.commit(spec, deqs, pops)
+		}
+	})
+
+	rem := make(map[uint64]int)
+	for {
+		v, ok := q.Dequeue(setup)
+		if !ok {
+			break
+		}
+		rem[v]++
+	}
+	checkConserved(t, "queue ingress", tl.enq[0], tl.deq[0], rem)
+	members := make([]map[uint64]bool, sh.Sets)
+	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup)} {
+		members[i] = make(map[uint64]bool, len(keys))
+		for _, k := range keys {
+			members[i][k] = true
+		}
+	}
+	for si, name := range sets {
+		for k := uint64(1); k <= uint64(cfg.Keys); k++ {
+			if members[si][k] && tl.puts[si][k] == 0 {
+				t.Errorf("set %s key %d present but never put by a committed body", name, k)
+			}
+		}
+	}
+}

@@ -70,6 +70,22 @@ type PQ[C Ctx, V any] interface {
 	TxPopMin(c C) (V, bool)
 }
 
+// FrontQueue is the optional read-only extension of Queue: TxFront reads
+// the value at the head without removing it, reporting false when the queue
+// is empty. Open transactions (internal/semtx) need it to record a
+// head-value semantic item without consuming the element; adapters that
+// want to participate in open transactions implement it alongside Queue.
+type FrontQueue[C Ctx, V any] interface {
+	TxFront(c C) (V, bool)
+}
+
+// MinPQ is the optional read-only extension of PQ: TxMin reads the current
+// minimum without removing it, reporting false on an empty queue. Open
+// transactions use it to record a min-value semantic item.
+type MinPQ[C Ctx, V any] interface {
+	TxMin(c C) (V, bool)
+}
+
 // Exec runs composed bodies atomically. txn.Manager implements it; a
 // simtxn.Manager bound to a thread (Manager.On) implements it for the
 // simulated machine.
