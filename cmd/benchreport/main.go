@@ -32,11 +32,18 @@
 //     (semantic arm pays no more word-level aborts than stripe-only), the
 //     stable cross-host signal.
 //
+//   - One three-path speculation sample (under -threepath, on by default):
+//     the deterministic modeled slice of ablation A10 — fast+slow vs
+//     fast/helping-middle/slow under the occupied-fallback adversary —
+//     reported as both arms' curves, the helped-descriptor total, and a
+//     middle_path_ok bit (the three-path shape wins at ≥1 thread count and
+//     the middle tier actually helped), the stable cross-host signal.
+//
 // Usage:
 //
 //	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
 //	            [-ops 20000] [-keys 256] [-compose] [-semantic]
-//	            [-semtxns 800] [-out BENCH_pto.json]
+//	            [-semtxns 800] [-threepath] [-out BENCH_pto.json]
 //
 // -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
 // rejected: everything under "figures" must be deterministic; A8 carries
@@ -145,6 +152,13 @@ type report struct {
 	// Wall-clock throughput varies with the host; the per-1k abort rates and
 	// the word-abort advantage bit are the stable signal.
 	Semantic *bench.SemanticComparison `json:"semantic,omitempty"`
+
+	// ThreePath is the deterministic slice of ablation A10: the modeled
+	// fast+slow vs three-path curves under the occupied-fallback adversary,
+	// the helped-descriptor total, and the middle_path_ok acceptance bit
+	// (three-path wins at ≥1 thread count AND the middle tier actually
+	// helped). CI greps this bit.
+	ThreePath *bench.ThreePathResult `json:"three_path,omitempty"`
 }
 
 // deterministic maps figure IDs to their runners, excluding the wall-clock
@@ -326,6 +340,7 @@ func main() {
 	keys := flag.Int("keys", 256, "stress sample key range")
 	compose := flag.Bool("compose", true, "include the composed-layer sample")
 	semantic := flag.Bool("semantic", true, "include the semantic-validation (A9) sample")
+	threepath := flag.Bool("threepath", true, "include the three-path speculation (A10) modeled sample")
 	semTxns := flag.Int("semtxns", 800, "semantic sample transactions per thread per arm")
 	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
 	flag.Parse()
@@ -355,6 +370,10 @@ func main() {
 	if *semantic {
 		s := bench.SemanticVsStripe(*threads, *semTxns)
 		rep.Semantic = &s
+	}
+	if *threepath {
+		tp := bench.ThreePathSample(*scale)
+		rep.ThreePath = &tp
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

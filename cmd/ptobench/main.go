@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a9|e1|e2] [-scale 1.0] [-csv]
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a10|e1|e2] [-scale 1.0] [-csv]
 //	         [-policy adaptive|fixed] [-attempts N]
 //
-// -figure also accepts individual ablation (a1..a9) and extension (e1, e2)
+// -figure also accepts individual ablation (a1..a10) and extension (e1, e2)
 // IDs; -ablations / -extensions run each full set. -policy/-attempts build ONE speculation policy (speculate.Policy)
 // installed on every structure the benchmarks construct, on both substrates:
 // the real runtime (wall-clock ablations A6/A7) and the simulated machine
@@ -27,7 +27,10 @@
 // the shared adapter contract: A7 (wall clock) adds a Harris-list pair arm,
 // a mound+list MoveMin/MoveToPQ arm (the mound's DCAS-vs-MultiCAS
 // handshake), and a batched-MoveAll sweep (k=4, 16); A8 (deterministic)
-// adds a simulated-skiplist pair arm and the same batched sweep.
+// adds a simulated-skiplist pair arm and the same batched sweep. A10 is the
+// three-path speculation shape (fast / helping-middle / slow) under the
+// occupied-fallback adversary, with deterministic modeled arms and
+// wall-clock arms.
 //
 // -scale shrinks or stretches the simulated measurement window (1.0 is the
 // duration used for EXPERIMENTS.md). Runs are deterministic.
@@ -44,10 +47,10 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a9)")
+	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a10)")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A9; A6, A7, and A9 are wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A10; A6, A7, A9, and A10's wall arms are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
 	policy := flag.String("policy", "", "speculation policy for both substrates: adaptive or fixed (empty = per-substrate default)")
 	attempts := flag.Int("attempts", 0, "override every speculation attempt budget (0 = per-structure defaults; implies -policy fixed if unset)")
@@ -69,28 +72,29 @@ func main() {
 	}
 
 	runners := map[string]func(float64) bench.Figure{
-		"2a": bench.Fig2a,
-		"2b": bench.Fig2b,
-		"3a": func(s float64) bench.Figure { return bench.Fig3(0, s) },
-		"3b": func(s float64) bench.Figure { return bench.Fig3(34, s) },
-		"3c": func(s float64) bench.Figure { return bench.Fig3(100, s) },
-		"4a": func(s float64) bench.Figure { return bench.Fig4(0, s) },
-		"4b": func(s float64) bench.Figure { return bench.Fig4(80, s) },
-		"4c": func(s float64) bench.Figure { return bench.Fig4(100, s) },
-		"5a": bench.Fig5a,
-		"5b": bench.Fig5b,
-		"5c": bench.Fig5c,
-		"a1": bench.AblationMindicatorRetries,
-		"a2": bench.AblationMoundRetries,
-		"a3": bench.AblationBSTBudgets,
-		"a4": bench.AblationCapacity,
-		"a5": bench.AblationSMT,
-		"a6": bench.AblationAdaptivePolicy,
-		"a7": bench.AblationComposedMove,
-		"a8": bench.AblationComposedMoveSim,
-		"a9": bench.AblationSemantic,
-		"e1": func(s float64) bench.Figure { return bench.ExtList(34, s) },
-		"e2": bench.ExtQueue,
+		"2a":  bench.Fig2a,
+		"2b":  bench.Fig2b,
+		"3a":  func(s float64) bench.Figure { return bench.Fig3(0, s) },
+		"3b":  func(s float64) bench.Figure { return bench.Fig3(34, s) },
+		"3c":  func(s float64) bench.Figure { return bench.Fig3(100, s) },
+		"4a":  func(s float64) bench.Figure { return bench.Fig4(0, s) },
+		"4b":  func(s float64) bench.Figure { return bench.Fig4(80, s) },
+		"4c":  func(s float64) bench.Figure { return bench.Fig4(100, s) },
+		"5a":  bench.Fig5a,
+		"5b":  bench.Fig5b,
+		"5c":  bench.Fig5c,
+		"a1":  bench.AblationMindicatorRetries,
+		"a2":  bench.AblationMoundRetries,
+		"a3":  bench.AblationBSTBudgets,
+		"a4":  bench.AblationCapacity,
+		"a5":  bench.AblationSMT,
+		"a6":  bench.AblationAdaptivePolicy,
+		"a7":  bench.AblationComposedMove,
+		"a8":  bench.AblationComposedMoveSim,
+		"a9":  bench.AblationSemantic,
+		"a10": bench.AblationThreePath,
+		"e1":  func(s float64) bench.Figure { return bench.ExtList(34, s) },
+		"e2":  bench.ExtQueue,
 	}
 	// "all" covers the paper figures; ablations run via -ablations or by ID.
 	order := []string{"2a", "2b", "3a", "3b", "3c", "4a", "4b", "4c", "5a", "5b", "5c"}

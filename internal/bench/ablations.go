@@ -183,5 +183,6 @@ func Ablations(scale float64) []Figure {
 		AblationComposedMove(scale),
 		AblationComposedMoveSim(scale),
 		AblationSemantic(scale),
+		AblationThreePath(scale),
 	}
 }

@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 const ablationTestScale = 0.1
 
@@ -84,11 +87,14 @@ func TestAblationSMTKnee(t *testing.T) {
 func TestAblationComposedMoveSim(t *testing.T) {
 	f := AblationComposedMoveSim(ablationTestScale)
 	allPositive(t, f)
-	// Three historical arms + the caps sweep, then the matrix arm (skiplist
-	// pair) and the batched MoveAll sweep appended by the adapter-contract
-	// refactor.
-	if len(f.Series) != 9 {
+	// Three historical arms + the caps sweep, then the matrix arms (skiplist
+	// pair, skipq+skiplist PQ pair) and the batched MoveAll sweep appended by
+	// the adapter-contract refactors.
+	if len(f.Series) != 10 {
 		t.Fatalf("unexpected table shape: %+v", f)
+	}
+	if pq := byName(f, "Composed skipq+skiplist MoveMin/MoveToPQ (modeled fast path)"); len(pq.Points) != 3 {
+		t.Fatalf("PQ matrix arm missing points: %+v", pq)
 	}
 	fast := byName(f, "Composed (modeled fast path)")
 	fb := byName(f, "Composed (MultiCAS fallback)")
@@ -137,6 +143,33 @@ func TestAblationAdaptivePolicy(t *testing.T) {
 		if len(s.Points) != 3 {
 			t.Fatalf("series %q: %d points, want 3", s.Name, len(s.Points))
 		}
+	}
+}
+
+func TestAblationThreePath(t *testing.T) {
+	f := AblationThreePath(ablationTestScale)
+	allPositive(t, f)
+	// Two modeled arms and two wall-clock arms, three thread counts each.
+	if len(f.Series) != 4 {
+		t.Fatalf("unexpected table shape: %+v", f)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q: %d points, want 3", s.Name, len(s.Points))
+		}
+	}
+	// No wall-clock throughput relations (this may be a single-CPU box); the
+	// deterministic modeled arms carry the acceptance bit.
+	sample := ThreePathSample(ablationTestScale)
+	if sample.Helped == 0 {
+		t.Fatal("modeled three-path arm helped no descriptors: middle tier never ran")
+	}
+	if !sample.MiddlePathOK {
+		t.Fatalf("middle path lost to fast+slow at every thread count: %+v", sample)
+	}
+	again := ThreePathSample(ablationTestScale)
+	if !reflect.DeepEqual(sample, again) {
+		t.Fatalf("modeled A10 not deterministic:\n%+v\n%+v", sample, again)
 	}
 }
 

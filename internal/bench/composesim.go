@@ -75,6 +75,16 @@ func AblationComposedMoveSim(scale float64) Figure {
 		skip.Points = append(skip.Points, Point{Threads: threads, Throughput: tput})
 	}
 	f.Series = append(f.Series, skip)
+	// PQ arm: the modeled twin of A7's mound+list MoveMin/MoveToPQ series,
+	// over the simulated skip-based priority queue and a skiplist set — the
+	// last pair A7 covered that A8 did not. Appended after the historical
+	// series so their figures stay bit-for-bit.
+	pqArm := Series{Name: "Composed skipq+skiplist MoveMin/MoveToPQ (modeled fast path)"}
+	for _, threads := range []int{2, 4, 8} {
+		tput := measure(threads, w, buildComposedSkipQMoveSim())
+		pqArm.Points = append(pqArm.Points, Point{Threads: threads, Throughput: tput})
+	}
+	f.Series = append(f.Series, pqArm)
 	// Batched sweep: one composed operation moves k keys, amortizing one
 	// modeled prefix transaction (or one N-word MultiCAS) across the batch;
 	// throughput stays in key-move attempts per ms for comparability.
@@ -214,6 +224,32 @@ func buildComposedSkipMoveSim() buildFunc {
 				simtxn.Move(mgr, t, s1, s2, k)
 			} else {
 				simtxn.Move(mgr, t, s2, s1, k)
+			}
+		}
+	}
+}
+
+// buildComposedSkipQMoveSim prefills half the key range into a simulated
+// skip-based priority queue and mixes MoveMin (drain the minimum into a
+// skiplist set) with MoveToPQ (send a random set key back) on the modeled
+// fast path. Closed world: both structures are mutated only through the
+// composition layer while the machine runs.
+func buildComposedSkipQMoveSim() buildFunc {
+	const keyRange = 256
+	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
+		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		pq := simds.NewSimSkipQ(setup, false, m.Config().Threads)
+		set := simds.NewSimSkip(setup, false, m.Config().Threads)
+		for i := 0; i < keyRange/2; i++ {
+			pq.Push(setup, splitmixRand(uint64(i))%keyRange+1)
+		}
+		return func(t *sim.Thread) {
+			t.Work(opOverhead)
+			x := t.Rand()
+			if x>>40&1 == 0 {
+				simtxn.MoveMin(mgr, t, pq, set)
+			} else {
+				simtxn.MoveToPQ(mgr, t, set, pq, x%keyRange+1)
 			}
 		}
 	}

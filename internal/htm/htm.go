@@ -407,6 +407,20 @@ type Tx struct {
 	// alias records whether the abort that ended this attempt (if any) was
 	// a conflict attributed to stripe aliasing.
 	alias bool
+
+	// helpBudget and helped implement the three-path template's middle
+	// tier: a transaction run with a positive budget (AtomicallyHelping)
+	// drives up to helpBudget undecided MultiCAS descriptors claiming its
+	// written cells to decision at commit — instead of killing them or
+	// aborting on sight — then aborts explicitly with code HelpExhausted.
+	// The fast path runs with budget 0 and is untouched. deferPending is
+	// the budget-0 variant for the fast level of a three-path site
+	// (AtomicallyDeferring): an undecided descriptor on the write set
+	// aborts the attempt instead of being killed, deferring the encounter
+	// to the helping tier below.
+	helpBudget   int
+	helped       int
+	deferPending bool
 }
 
 type writeEntry struct {
@@ -416,6 +430,9 @@ type writeEntry struct {
 	varID uint64
 	boxed any // the pending value, boxed, for read-own-writes
 	apply func(boxed any)
+	// pending probes the written cell for an undecided MultiCAS claim, for
+	// the commit-time helping pass of budgeted (middle-level) transactions.
+	pending func() *MultiDesc
 }
 
 // Code returns the user abort code recorded by the last explicit Abort on
@@ -473,16 +490,62 @@ func (d *Domain) Atomically(f func(tx *Tx)) Status {
 // transient); the split exists for telemetry, so tuning can distinguish
 // contention that more stripes would cure from contention that is real.
 func (d *Domain) AtomicallyClassified(f func(tx *Tx)) (Status, bool) {
+	st, alias, _ := d.AtomicallyHelping(0, f)
+	return st, alias
+}
+
+// HelpExhausted is the abort code of a helping (middle-level) transaction
+// that ran out of helping budget: it encountered more undecided MultiCAS
+// descriptors on its write set than helpBudget allowed, helped that many to
+// decision, and aborted explicitly rather than kill the rest. The helping
+// is real progress — the decided descriptors stay decided — so retry
+// policies treat the abort as consuming one attempt, not the level. A
+// deferring fast attempt (AtomicallyDeferring, budget 0) aborts with the
+// same code on the first pending descriptor it finds, having helped none.
+const HelpExhausted = -2
+
+// AtomicallyHelping is AtomicallyClassified with a helping budget: the
+// three-path template's middle tier. A transaction run with helpBudget > 0
+// does not treat an undecided MultiCAS descriptor on a written cell as an
+// obstacle to kill (storeLocked's rule) — at commit, before taking any
+// stripe lock, it drives up to helpBudget such descriptors to decision via
+// their own lock-free protocol, then locks, validates, and publishes as
+// usual. Budget exhausted mid-pass aborts the attempt explicitly with code
+// HelpExhausted, leaving the remaining descriptors unharmed. The third
+// result reports how many descriptors this attempt helped to decision
+// (counted even when the attempt subsequently aborts: decisions are real,
+// externally visible progress). helpBudget <= 0 is exactly
+// AtomicallyClassified.
+func (d *Domain) AtomicallyHelping(helpBudget int, f func(tx *Tx)) (Status, bool, int) {
+	return d.atomically(helpBudget, false, f)
+}
+
+// AtomicallyDeferring is AtomicallyClassified for the fast level of a
+// three-path site: a budget-0 transaction that, at commit, aborts explicitly
+// (code HelpExhausted) when an undecided MultiCAS descriptor sits on any
+// written cell — instead of killing it, the two-path kill-paid-by-commit
+// rule. The abort leaves the descriptor alive for the helping middle tier
+// below (speculate.Core.DefersAt derives when this variant applies).
+// Descriptors that land on written cells after the commit-time check are
+// still killed under the stripe lock, the unconditional backstop.
+func (d *Domain) AtomicallyDeferring(f func(tx *Tx)) (Status, bool) {
+	st, alias, _ := d.atomically(0, true, f)
+	return st, alias
+}
+
+func (d *Domain) atomically(helpBudget int, deferPending bool, f func(tx *Tx)) (Status, bool, int) {
 	rc, wc := d.caps()
 	sw := d.table().words
 	tx := &Tx{
-		d:        d,
-		rv:       d.clock.Load(),
-		sw:       sw,
-		readSet:  make([]uint64, sw),
-		writeIdx: make(map[any]int, 8),
-		readCap:  rc,
-		writeCap: wc,
+		d:            d,
+		rv:           d.clock.Load(),
+		sw:           sw,
+		readSet:      make([]uint64, sw),
+		writeIdx:     make(map[any]int, 8),
+		readCap:      rc,
+		writeCap:     wc,
+		helpBudget:   helpBudget,
+		deferPending: deferPending,
 	}
 	status := d.attempt(tx, f)
 	switch status {
@@ -498,7 +561,7 @@ func (d *Domain) AtomicallyClassified(f func(tx *Tx)) (Status, bool) {
 	case AbortExplicit:
 		d.explicit.Add(1)
 	}
-	return status, status == AbortConflict && tx.alias
+	return status, status == AbortConflict && tx.alias, tx.helped
 }
 
 func (d *Domain) attempt(tx *Tx, f func(tx *Tx)) (status Status) {
@@ -529,6 +592,38 @@ func (tx *Tx) commit() Status {
 		return Committed
 	}
 	d := tx.d
+
+	// Helping pass (middle path): a budgeted transaction drives undecided
+	// MultiCAS descriptors claiming its written cells to decision before
+	// taking any stripe lock — a decision acquires its own stripes with a
+	// spinning protocol, so helping while holding locks could deadlock
+	// against it. Descriptors that land on our cells after this pass are
+	// still killed by storeLocked under the stripe lock, the historical
+	// kill-paid-by-commit backstop; the pass just makes the common
+	// encounter cooperative instead of destructive. Budget 0 skips the
+	// pass entirely on the kill-semantics fast path; a deferring attempt
+	// (AtomicallyDeferring, budget 0) runs the pass only to detect a
+	// pending descriptor and abort without harming it.
+	if tx.helpBudget > 0 || tx.deferPending {
+		for i := range tx.writeLog {
+			e := &tx.writeLog[i]
+			if e.pending == nil {
+				continue
+			}
+			for {
+				m := e.pending()
+				if m == nil {
+					break
+				}
+				if tx.helped >= tx.helpBudget {
+					tx.code = HelpExhausted
+					return AbortExplicit
+				}
+				tx.helped++
+				m.help()
+			}
+		}
+	}
 
 	// Deduplicate the write log onto stripes and sort ascending.
 	wset := make([]uint64, tx.sw)
@@ -708,6 +803,12 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 			boxed: x,
 			apply: func(boxed any) {
 				storeLocked(v, boxed.(T))
+			},
+			pending: func() *MultiDesc {
+				if c := v.p.Load(); c.desc != nil && c.desc.status.Load() == mwUndecided {
+					return c.desc
+				}
+				return nil
 			},
 		})
 		return

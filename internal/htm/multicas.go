@@ -166,6 +166,20 @@ func (u *Update[T]) holds() bool {
 // must belong to the same Domain and be distinct; an empty set trivially
 // succeeds. Any thread that encounters the descriptor helps complete it.
 func MultiCAS(entries ...Entry) bool {
+	return MultiCASParked(nil, entries...)
+}
+
+// MultiCASParked is MultiCAS with a preemption window: park (when non-nil)
+// runs once after the claim phase, while the descriptor sits fully claimed
+// but undecided. It models the protocol's documented weak spot — a fallback
+// publisher descheduled between installing its claims and deciding — which
+// is otherwise a matter of scheduler luck and on a single-core host
+// effectively never happens. While parked, concurrent writers that collide
+// with the descriptor either kill it (the two-path rule, failing this call)
+// or help it to decision (a three-path helping tier, completing this call's
+// work); decide() resolves both races correctly, so the window changes
+// timing, never safety. The A10 adversary parks with runtime.Gosched.
+func MultiCASParked(park func(), entries ...Entry) bool {
 	if len(entries) == 0 {
 		return true
 	}
@@ -180,14 +194,26 @@ func MultiCAS(entries ...Entry) bool {
 		}
 	}
 	m := &MultiDesc{d: d, entries: entries}
-	m.help()
+	m.claimAll()
+	if park != nil && m.status.Load() == mwUndecided {
+		park()
+	}
+	m.decide()
+	m.releaseAll()
 	return m.status.Load() == mwSucceeded
 }
 
 // help drives the descriptor to completion; safe to call from any number of
 // threads.
 func (m *MultiDesc) help() {
-	// Phase 1: claim each cell in Var-id order, helping foreign descriptors.
+	m.claimAll()
+	m.decide()
+	m.releaseAll()
+}
+
+// claimAll is the claim phase: claim each cell in Var-id order, helping
+// foreign descriptors met along the way; a value mismatch decides failure.
+func (m *MultiDesc) claimAll() {
 claim:
 	for _, e := range m.entries {
 		for {
@@ -207,8 +233,6 @@ claim:
 			break
 		}
 	}
-	m.decide()
-	m.releaseAll()
 }
 
 // decStripe is one stripe involved in a MultiCAS decision: a stripe with at

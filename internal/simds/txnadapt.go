@@ -344,3 +344,87 @@ func (s *SimSkip) TxRemove(c *simtxn.Ctx, key uint64) bool {
 	c.Write(skipNext(victim, 0), w0|1)
 	return true
 }
+
+// TxPush inserts prio as part of a composed operation (duplicates allowed),
+// mirroring SimSkipQ.Push: the priority is widened with a per-thread
+// duplicate-breaking sequence field and inserted into the underlying set.
+// The sequence counter is plain per-thread state outside the transactional
+// footprint; a re-run of an aborted body burns sequence numbers, which is
+// harmless — only uniqueness matters, not density.
+func (q *SimSkipQ) TxPush(c *simtxn.Ctx, prio uint64) {
+	t := c.Thread()
+	for {
+		q.seq[t.ID()]++
+		key := prio<<SkipQSeqBits | (uint64(t.ID())<<14|q.seq[t.ID()])&(1<<SkipQSeqBits-1)
+		if q.set.TxInsert(c, key) {
+			return
+		}
+	}
+}
+
+// txMinNode walks from the head's validated level-0 word past marked
+// corpses to the first live node, returning it and its unmarked level-0
+// word. The head word joins the footprint (Read); the corpse chain is
+// Peek-only — a next word, once marked, is never written again, so the
+// validated head word pins the whole gap. Any composed insert of a smaller
+// key must swing the head's own level-0 word (every node in the gap is
+// marked, so txFind's predecessor is the head), which the commit-time
+// validation of that word detects. The caller decides whether the live
+// node's own word joins the footprint.
+func (q *SimSkipQ) txMinNode(c *simtxn.Ctx) (curr sim.Addr, w0 uint64, ok bool) {
+	s := q.set
+	w := c.Read(skipNext(s.head, 0))
+	if w&1 != 0 {
+		c.Retry() // head sentinel is never removed; claimed mid-protocol
+	}
+	curr = skipAddr(w)
+	for {
+		cw := c.Peek(skipNext(curr, 0))
+		if cw&1 == 0 {
+			break
+		}
+		curr = skipAddr(cw)
+	}
+	if c.PeekRaw(curr) == skipTailKey {
+		return 0, 0, false // empty: witnessed by the head word + immutable corpses
+	}
+	w0 = c.Read(skipNext(curr, 0))
+	if w0&1 != 0 {
+		c.Retry() // claimed between traversal and record; re-run the body
+	}
+	return curr, w0, true
+}
+
+// TxMin reads the minimum priority without removing it as part of a
+// composed operation, reporting false when empty. Read-only: the head word
+// and the minimum's own level-0 word are the whole validated footprint.
+func (q *SimSkipQ) TxMin(c *simtxn.Ctx) (uint64, bool) {
+	curr, _, ok := q.txMinNode(c)
+	if !ok {
+		return 0, false
+	}
+	return c.PeekRaw(curr) >> SkipQSeqBits, true
+}
+
+// TxPopMin removes and returns the minimum priority as part of a composed
+// operation, reporting false when empty. The claim is the §3.1 remove
+// transformation staged through the composition layer: every level of the
+// minimum is marked in the one atomic step. As with SimSkip.TxRemove there
+// is no physical unlink and the node leaks (closed world, no epoch
+// bracket); later composed operations traverse past the corpse.
+func (q *SimSkipQ) TxPopMin(c *simtxn.Ctx) (uint64, bool) {
+	curr, w0, ok := q.txMinNode(c)
+	if !ok {
+		return 0, false
+	}
+	key := c.PeekRaw(curr)
+	top := int(c.PeekRaw(curr + 1))
+	for l := top; l >= 1; l-- {
+		w := c.Read(skipNext(curr, l))
+		if w&1 == 0 {
+			c.Write(skipNext(curr, l), w|1)
+		}
+	}
+	c.Write(skipNext(curr, 0), w0|1)
+	return key >> SkipQSeqBits, true
+}

@@ -110,6 +110,10 @@ func New(name string, p speculate.Policy, levels ...speculate.Level) *Site {
 			n := name
 			if len(levels) > 1 || (l.Name != "" && l.Name != "pto") {
 				n = name + "/" + l.Name
+				// Suffixed (per-level) sites carry the level label so the
+				// Prometheus export can aggregate across sites by tier.
+				s.tel[i] = p.Metrics.SiteAt(n, l.Name)
+				continue
 			}
 			s.tel[i] = p.Metrics.Site(n)
 		}

@@ -159,6 +159,24 @@ func TestCrossDriverDecisionParity(t *testing.T) {
 		{Name: "pto1", Attempts: 2},
 		{Name: "pto2", Attempts: 4, RetryOnExplicit: true},
 	}
+	// The three-path shape: a deferring fast level over a helping middle
+	// (txn/simtxn's composed-publication composition). The wall driver runs
+	// the fast level through AtomicallyDeferring and the middle through
+	// AtomicallyHelping, so parity here also pins that the dispatch changes
+	// transaction machinery without changing a single retry decision.
+	threePath := []speculate.Level{
+		{Name: "fast", Attempts: 2, RetryOnExplicit: true},
+		speculate.MiddleLevel(2, 0),
+	}
+	// A ruled three-tier mixing per-level overrides: a fail-fast-style fast
+	// level, a helping middle whose explicit aborts merely consume an
+	// attempt, and a retrying inner tier.
+	ruledThree := []speculate.Level{
+		{Name: "fast", Attempts: 2, OnExplicit: speculate.RuleExhaust},
+		{Name: "middle", Attempts: 3, Help: true, HelpBudget: 1,
+			OnCapacity: speculate.RuleExhaust, OnExplicit: speculate.RuleRetry},
+		{Name: "pto2", Attempts: 2, RetryOnExplicit: true},
+	}
 	policies := map[string]speculate.Policy{
 		"fixed-default":  speculate.Fixed(0),
 		"fixed-2":        speculate.Fixed(2),
@@ -180,7 +198,12 @@ func TestCrossDriverDecisionParity(t *testing.T) {
 	for _, lv := range []struct {
 		name   string
 		levels []speculate.Level
-	}{{"single", single}, {"two-tier", twoTier}} {
+	}{
+		{"single", single},
+		{"two-tier", twoTier},
+		{"three-path", threePath},
+		{"ruled-three", ruledThree},
+	} {
 		for pname, pol := range policies {
 			for fname, ops := range feeds {
 				name := lv.name + "/" + pname + "/" + fname

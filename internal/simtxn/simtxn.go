@@ -88,6 +88,12 @@ type Manager struct {
 	writeCap int
 	site     *simspec.Site
 	reg      Registry
+
+	// pol is retained so the site can be rebuilt when the level set
+	// changes; middle is the declared helping tier (zero Attempts = the
+	// classic two-path fast/fallback shape).
+	pol    speculate.Policy
+	middle speculate.Level
 }
 
 // New returns a Manager; attempts ≤ 0 selects DefaultAttempts. The manager
@@ -104,8 +110,36 @@ func New(attempts int) *Manager {
 // attempt loop. Retry's explicit abort is a transient condition (a marked
 // word, a racing window), so the level retries on explicit. Set before use.
 func (m *Manager) WithPolicy(p speculate.Policy) *Manager {
-	m.site = simspec.New("simtxn/atomic", p,
-		speculate.Level{Name: "fast", Attempts: m.attempts, RetryOnExplicit: true})
+	m.pol = p
+	m.rebuildSite()
+	return m
+}
+
+// rebuildSite re-registers the speculation site from the manager's current
+// policy and level set (fast alone, or fast + middle after WithMiddle).
+func (m *Manager) rebuildSite() {
+	levels := []speculate.Level{{Name: "fast", Attempts: m.attempts, RetryOnExplicit: true}}
+	if m.middle.Attempts > 0 {
+		levels = append(levels, m.middle)
+	}
+	m.site = simspec.New("simtxn/atomic", m.pol, levels...)
+}
+
+// WithMiddle enables the three-path shape on the modeled substrate: between
+// the fast level and the MultiCAS fallback, composed publication gets a
+// helping middle level. A middle attempt that trips on a marked word still
+// aborts — buffered stores cannot help a descriptor whose owner is actively
+// driving the same words — but records the claiming descriptor, and the
+// level loop helps it to decision non-transactionally between attempts (up
+// to helpBudget descriptors per level walk) before retrying. This is the
+// modeled twin of the runtime's pre-lock commit pass: the helping work runs
+// on the requesting thread and accrues its modeled cycles, which is the
+// simulator's helping-cost model, and the helped descriptor's operation
+// completes instead of being deferred behind the speculator's fallback.
+// attempts/helpBudget ≤ 0 select the defaults. Set before use. Returns m.
+func (m *Manager) WithMiddle(attempts, helpBudget int) *Manager {
+	m.middle = speculate.MiddleLevel(attempts, helpBudget)
+	m.rebuildSite()
 	return m
 }
 
@@ -176,6 +210,17 @@ type Ctx struct {
 	writeCap int // modeled write-set cap (fast path; 0 = machine-limited)
 	rset     map[sim.Addr]struct{}
 	wset     map[sim.Addr]struct{}
+
+	// helpBudget and pend are the middle level's helping handshake: a
+	// fast-path attempt always aborts on a marked word (§2.4 — a buffered
+	// helping store could never commit while the descriptor's owner is
+	// re-reading the claimed words), but an attempt running with a positive
+	// budget records the claiming descriptor in pend so the level loop can
+	// help it to decision BETWEEN attempts, non-transactionally, before
+	// retrying. Budget 0 — the fast level — records nothing: the abort is
+	// the historical abort-and-defer.
+	helpBudget int
+	pend       sim.Addr
 }
 
 // Thread returns the simulated thread the attempt runs on, for adapters
@@ -260,7 +305,7 @@ func (c *Ctx) Read(a sim.Addr) uint64 {
 		c.chargeRead(a)
 		w := c.t.Load(a)
 		if w&markerBit != 0 {
-			c.t.TxAbort(abortRetry)
+			w = c.txResolve(a, w)
 		}
 		return w
 	}
@@ -282,7 +327,7 @@ func (c *Ctx) Peek(a sim.Addr) uint64 {
 		c.chargeRead(a)
 		w := c.t.Load(a)
 		if w&markerBit != 0 {
-			c.t.TxAbort(abortRetry)
+			w = c.txResolve(a, w)
 		}
 		return w
 	}
@@ -330,6 +375,23 @@ func (c *Ctx) Write(a sim.Addr, x uint64) {
 	c.ents = append(c.ents, entry{addr: a, old: w, new: x, write: true})
 }
 
+// txResolve is the fast-path marked-word handler: the attempt aborts
+// explicitly — §2.4's "don't help under speculation" holds on this substrate
+// too, because a buffered helping store can never win against the
+// descriptor's owner actively driving the same words — but an attempt
+// running at a helping level (positive budget) first records the claiming
+// descriptor so the level loop in Atomic can help it to decision between
+// attempts. Helping a descriptor that has meanwhile been decided is safe:
+// descriptors are never freed and help is idempotent past the decision
+// point.
+func (c *Ctx) txResolve(a sim.Addr, w uint64) uint64 {
+	if c.helpBudget > 0 {
+		c.pend = sim.Addr(w &^ markerBit)
+	}
+	c.t.TxAbort(abortRetry)
+	panic("unreachable")
+}
+
 // resolve loads the word at a, helping any MultiCAS that has it claimed
 // until an unmarked value is visible (capture mode may help; §2.4 forbids
 // it only under speculation).
@@ -350,11 +412,27 @@ func resolve(t *sim.Thread, a sim.Addr) uint64 {
 func (m *Manager) Atomic(t *sim.Thread, body func(c *Ctx)) {
 	if !m.force {
 		r := m.site.Begin(t)
-		for r.Next(0) {
-			c := &Ctx{t: t, fast: true, readCap: m.readCap, writeCap: m.writeCap}
-			if r.Try(func() { body(c) }) == sim.OK {
-				c.runHooks()
-				return
+		core := m.site.Core()
+		for lv := 0; lv < len(core.Levels()); lv++ {
+			hb := core.HelpBudget(lv)
+			helped := 0
+			for r.Next(lv) {
+				c := &Ctx{t: t, fast: true, readCap: m.readCap, writeCap: m.writeCap, helpBudget: hb - helped}
+				if r.Try(func() { body(c) }) == sim.OK {
+					c.runHooks()
+					return
+				}
+				// A helping-level attempt that aborted on a marked word
+				// recorded the claiming descriptor: drive it to decision
+				// here, outside any transaction, then retry. The budget
+				// bounds the helping across the whole level walk.
+				if c.pend != 0 && helped < hb {
+					help(t, c.pend)
+					helped++
+					if tl := m.site.Telemetry(lv); tl != nil {
+						tl.Helped.Add(1)
+					}
+				}
 			}
 		}
 		r.Fallback()

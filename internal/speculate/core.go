@@ -41,6 +41,28 @@ const (
 	OutcomeExplicit
 )
 
+// Rule is a per-level override of the policy-derived level-exhaustion
+// semantics for one deterministic abort kind (capacity or explicit). The
+// zero value, RuleInherit, resolves the rule from Policy.FailFast and
+// Level.RetryOnExplicit exactly as the engine historically did, so existing
+// level sets keep their decision tables bit for bit; RuleRetry and
+// RuleExhaust pin the level's behavior regardless of the policy. Declaring
+// the rules on the Level is what lets a three-level composition mix
+// semantics — a fail-fast fast level next to a helping middle level whose
+// post-budget explicit aborts merely consume an attempt — where the old
+// two-level walk applied one global FailFast to every tier.
+type Rule uint8
+
+const (
+	// RuleInherit resolves the rule from the policy (the historical
+	// semantics).
+	RuleInherit Rule = iota
+	// RuleRetry makes the abort consume one attempt, keeping the level.
+	RuleRetry
+	// RuleExhaust makes the abort exhaust the level's remaining budget.
+	RuleExhaust
+)
+
 // Core binds a Policy to one site's level budgets. It is immutable after
 // construction and safe to share; per-operation state lives in Walk, and
 // cross-operation adaptive state lives in the drivers (which consult
@@ -73,11 +95,65 @@ func (c *Core) Budget(level int) int {
 	return c.levels[level].Attempts
 }
 
-// retryOnExplicit reports whether an explicit abort at the level merely
-// consumes an attempt (true) or exhausts the level (false).
-func (c *Core) retryOnExplicit(level int) bool {
-	if level < len(c.levels) {
-		return c.levels[level].RetryOnExplicit
+// capacityRule resolves the level's capacity-abort rule: the level's own
+// declaration when present, else RuleExhaust under a fail-fast policy
+// (capacity is deterministic for the footprint) and RuleRetry otherwise.
+func (c *Core) capacityRule(level int) Rule {
+	if level < len(c.levels) && c.levels[level].OnCapacity != RuleInherit {
+		return c.levels[level].OnCapacity
+	}
+	if c.pol.FailFast {
+		return RuleExhaust
+	}
+	return RuleRetry
+}
+
+// explicitRule resolves the level's explicit-abort rule: the level's own
+// declaration when present, else the historical resolution — exhaust under
+// a fail-fast policy or on a non-RetryOnExplicit level, retry otherwise.
+func (c *Core) explicitRule(level int) Rule {
+	if level >= len(c.levels) {
+		return RuleExhaust
+	}
+	l := c.levels[level]
+	if l.OnExplicit != RuleInherit {
+		return l.OnExplicit
+	}
+	if c.pol.FailFast || !l.RetryOnExplicit {
+		return RuleExhaust
+	}
+	return RuleRetry
+}
+
+// HelpBudget returns how many in-flight fallback descriptors one attempt at
+// the level may help to decision before aborting explicitly: zero for
+// non-helping levels, the level's declared budget (or DefaultHelpBudget)
+// for helping ones. The drivers thread it into their substrate's
+// transaction machinery; the core only declares it.
+func (c *Core) HelpBudget(level int) int {
+	if level >= len(c.levels) || !c.levels[level].Help {
+		return 0
+	}
+	if c.levels[level].HelpBudget > 0 {
+		return c.levels[level].HelpBudget
+	}
+	return DefaultHelpBudget
+}
+
+// DefersAt reports whether attempts at the given level should defer to a
+// helping tier on encountering an undecided fallback descriptor: true
+// exactly when some deeper level of the composition declares Help. A
+// deferring attempt aborts — leaving the descriptor alive for the helping
+// tier to drive to decision — where a level with no helping tier below it
+// applies the historical kill-paid-by-commit rule instead. The capability
+// is derived from the declared shape rather than declared per level so a
+// site cannot accidentally strand a descriptor: kills are suppressed only
+// when a cooperating tier is guaranteed to follow.
+func (c *Core) DefersAt(level int) bool {
+	for i := level + 1; i < len(c.levels); i++ {
+		if c.levels[i].Help {
+			return true
+		}
 	}
 	return false
 }
@@ -186,7 +262,9 @@ func (w *Walk) Backoff() int { return w.backoff }
 
 // Record consumes one attempt with the given outcome: it advances the
 // conflict-backoff progression (base, doubling to max) and applies the
-// fail-fast and explicit-abort level-exhaustion rules.
+// level's resolved capacity- and explicit-abort exhaustion rules (see Rule;
+// the resolution is per level, so a three-tier composition can mix
+// fail-fast and retrying tiers).
 func (w *Walk) Record(o Outcome) {
 	w.used++
 	switch o {
@@ -199,11 +277,11 @@ func (w *Walk) Record(o Outcome) {
 			}
 		}
 	case OutcomeCapacity:
-		if w.c.pol.FailFast {
+		if w.c.capacityRule(w.level) == RuleExhaust {
 			w.used = w.c.Budget(w.level) // deterministic: exhaust the level
 		}
 	case OutcomeExplicit:
-		if w.c.pol.FailFast || !w.c.retryOnExplicit(w.level) {
+		if w.c.explicitRule(w.level) == RuleExhaust {
 			w.used = w.c.Budget(w.level)
 		}
 	}

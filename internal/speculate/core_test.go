@@ -128,6 +128,45 @@ func TestWalkDecisionTables(t *testing.T) {
 			feed: []Outcome{OutcomeCommit},
 			want: []string{"L1:backoff=0:commit", "commit"},
 		},
+		{
+			// Per-level rules: a middle level under a fail-fast policy keeps
+			// retrying explicit aborts (its OnExplicit pins RuleRetry) while
+			// the fail-fast fast level ahead of it exhausts immediately —
+			// semantics the old global FailFast could not express.
+			name: "per-level OnExplicit overrides failfast",
+			pol:  Adaptive(), levels: []Level{one, MiddleLevel(3, 0)},
+			feed: []Outcome{OutcomeExplicit, OutcomeExplicit, OutcomeExplicit, OutcomeCommit},
+			want: []string{
+				"L0:backoff=0:explicit",
+				"L1:backoff=0:explicit", "L1:backoff=0:explicit",
+				"L1:backoff=0:commit", "commit",
+			},
+		},
+		{
+			// The middle level's OnCapacity pins RuleExhaust even when the
+			// policy is not fail-fast: the footprint overflows again no
+			// matter how much helping happens.
+			name: "per-level OnCapacity exhausts without failfast",
+			pol:  Fixed(0), levels: []Level{MiddleLevel(3, 0), one},
+			feed: []Outcome{OutcomeCapacity, OutcomeCommit},
+			want: []string{"L0:backoff=0:capacity", "L1:backoff=0:commit", "commit"},
+		},
+		{
+			// Explicit RuleRetry on a non-RetryOnExplicit level wins over
+			// both the level flag and the policy.
+			name: "RuleRetry overrides no-retry level and failfast",
+			pol:  Policy{FailFast: true}, levels: []Level{{Name: "m", Attempts: 2, OnExplicit: RuleRetry}},
+			feed: []Outcome{OutcomeExplicit, OutcomeExplicit},
+			want: []string{"L0:backoff=0:explicit", "L0:backoff=0:explicit", "fallback"},
+		},
+		{
+			// RuleExhaust pins fail-fast capacity semantics on one level of
+			// an otherwise lenient policy.
+			name: "RuleExhaust forces capacity failfast per level",
+			pol:  Fixed(0), levels: []Level{{Name: "ff", Attempts: 3, OnCapacity: RuleExhaust}, one},
+			feed: []Outcome{OutcomeCapacity, OutcomeCommit},
+			want: []string{"L0:backoff=0:capacity", "L1:backoff=0:commit", "commit"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -195,6 +234,49 @@ func TestShouldDisableThreshold(t *testing.T) {
 	}
 	if c.WindowSize() != DefaultWindow || c.DisableOps() != DefaultSkipOps {
 		t.Fatal("default window resolution changed")
+	}
+}
+
+func TestHelpBudgetResolution(t *testing.T) {
+	c := Fixed(0).Core(Level{Name: "fast", Attempts: 1}, MiddleLevel(0, 0))
+	if got := c.HelpBudget(0); got != 0 {
+		t.Fatalf("non-helping level budget = %d, want 0", got)
+	}
+	if got := c.HelpBudget(1); got != DefaultHelpBudget {
+		t.Fatalf("default middle budget = %d, want %d", got, DefaultHelpBudget)
+	}
+	if got := c.HelpBudget(2); got != 0 {
+		t.Fatalf("out-of-range level budget = %d, want 0", got)
+	}
+	c2 := Fixed(0).Core(MiddleLevel(0, 7))
+	if got := c2.HelpBudget(0); got != 7 {
+		t.Fatalf("declared budget = %d, want 7", got)
+	}
+	if lv := MiddleLevel(0, 0); lv.Attempts != 2 || lv.Name != "middle" || !lv.Help {
+		t.Fatalf("MiddleLevel defaults: %+v", lv)
+	}
+}
+
+func TestDefersAtDerivedFromShape(t *testing.T) {
+	three := Fixed(0).Core(Level{Name: "fast", Attempts: 1}, MiddleLevel(0, 0))
+	if !three.DefersAt(0) {
+		t.Fatal("fast above a helping middle must defer")
+	}
+	if three.DefersAt(1) {
+		t.Fatal("the helping level itself must not defer (it helps)")
+	}
+	if three.DefersAt(2) {
+		t.Fatal("past the last level nothing defers")
+	}
+	two := Fixed(0).Core(Level{Name: "fast", Attempts: 1})
+	if two.DefersAt(0) {
+		t.Fatal("a two-path shape has no cooperating tier: no deferring")
+	}
+	noHelp := Fixed(0).Core(
+		Level{Name: "pto1", Attempts: 1},
+		Level{Name: "pto2", Attempts: 1})
+	if noHelp.DefersAt(0) {
+		t.Fatal("a deeper non-helping level must not suppress kills")
 	}
 }
 

@@ -84,6 +84,10 @@ const (
 	// backoff, in scheduler-yield units.
 	DefaultBackoffBase = 1
 	DefaultBackoffMax  = 64
+	// DefaultHelpBudget is how many undecided fallback descriptors one
+	// attempt at a helping (middle) level may drive to decision before the
+	// attempt aborts explicitly and hands the operation on.
+	DefaultHelpBudget = 4
 )
 
 // Policy configures the attempt loop run at every speculation site it is
@@ -177,6 +181,10 @@ func (p Policy) backoffMax() int {
 
 // Level describes one speculative tier of a site's PTO composition,
 // outermost first (level 0 is the whole-operation prefix transaction).
+// Beyond its attempt budget, a Level declares its capabilities: whether an
+// attempt may cooperate with in-flight fallback descriptors (Help, the
+// three-path template's middle tier) and how deterministic aborts resolve
+// at this tier (OnCapacity/OnExplicit, overriding the global policy).
 type Level struct {
 	// Name labels the level (e.g. "pto1").
 	Name string
@@ -187,6 +195,42 @@ type Level struct {
 	// the level (the historical break-on-explicit loops); when true an
 	// explicit abort merely consumes an attempt.
 	RetryOnExplicit bool
+	// Help marks the level as a cooperating (middle) tier: an attempt that
+	// encounters an undecided fallback descriptor helps it to decision
+	// inside the transaction — up to HelpBudget descriptors, then the
+	// attempt aborts explicitly — instead of the fast path's immediate
+	// abort-and-defer.
+	Help bool
+	// HelpBudget bounds the helping per attempt; zero selects
+	// DefaultHelpBudget. Ignored unless Help is set.
+	HelpBudget int
+	// OnCapacity and OnExplicit override the policy-derived exhaustion
+	// rules for this level; RuleInherit (the zero value) keeps the
+	// historical resolution from Policy.FailFast / RetryOnExplicit.
+	OnCapacity Rule
+	OnExplicit Rule
+}
+
+// MiddleLevel returns the canonical helping middle tier of a three-path
+// composition: attempts tries (≤ 0 selects 2), each allowed to drive up to
+// helpBudget undecided descriptors to decision (≤ 0 selects
+// DefaultHelpBudget). Capacity aborts exhaust the level — the footprint
+// will overflow again, helping or not — while explicit aborts (the budget
+// ran out mid-attempt, so the helping made real progress) merely consume an
+// attempt even under a fail-fast policy.
+func MiddleLevel(attempts, helpBudget int) Level {
+	if attempts <= 0 {
+		attempts = 2
+	}
+	return Level{
+		Name:            "middle",
+		Attempts:        attempts,
+		RetryOnExplicit: true,
+		Help:            true,
+		HelpBudget:      helpBudget,
+		OnCapacity:      RuleExhaust,
+		OnExplicit:      RuleRetry,
+	}
 }
 
 // levelState is one level's adaptive window: winAttempts/winCommits fill the
@@ -206,8 +250,14 @@ type levelState struct {
 // stream) and the site's metric destinations.
 type Site struct {
 	c      Core
-	legacy *core.Stats     // historical per-structure counters; may be nil
-	tel    *telemetry.Site // nil when the policy has no registry
+	legacy *core.Stats // historical per-structure counters; may be nil
+
+	// tel holds one metric destination per level (empty when the policy has
+	// no registry). Single-level sites register under the site name alone,
+	// exactly as they historically did; multi-level sites register one
+	// telemetry site per tier as name/levelName with the level label set,
+	// so per-level attempt/commit/helped counters survive aggregation.
+	tel []*telemetry.Site
 
 	// adapt holds one adaptive window per level, so each tier of the PTO
 	// composition disables and re-probes independently.
@@ -224,15 +274,43 @@ type Site struct {
 func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site {
 	s := &Site{c: p.Core(levels...), legacy: legacy, adapt: make([]levelState, len(levels))}
 	if p.Metrics != nil {
-		s.tel = p.Metrics.Site(name)
+		s.tel = make([]*telemetry.Site, len(levels))
+		for i, l := range levels {
+			if len(levels) > 1 {
+				s.tel[i] = p.Metrics.SiteAt(name+"/"+l.Name, l.Name)
+			} else {
+				s.tel[i] = p.Metrics.Site(name)
+			}
+		}
 	}
 	s.rng.Store(0x9E3779B97F4A7C15)
 	return s
 }
 
-// Telemetry returns the site's metric destination, or nil when the policy
-// carries no registry.
-func (s *Site) Telemetry() *telemetry.Site { return s.tel }
+// Core returns the site's bound decision core (read-only: level
+// descriptors, resolved budgets). Drivers that run the walk themselves —
+// txn's composed publication loop iterates levels explicitly — consult it
+// for level count and per-level helping budgets.
+func (s *Site) Core() *Core { return &s.c }
+
+// Telemetry returns the metric destination of the given level, or nil when
+// the policy carries no registry. Out-of-range levels clamp to the last
+// registered site, so fallback accounting recorded at the innermost level
+// always lands somewhere.
+func (s *Site) Telemetry(level int) *telemetry.Site { return s.telAt(level) }
+
+func (s *Site) telAt(level int) *telemetry.Site {
+	if len(s.tel) == 0 {
+		return nil
+	}
+	if level >= len(s.tel) {
+		level = len(s.tel) - 1
+	}
+	if level < 0 {
+		level = 0
+	}
+	return s.tel[level]
+}
 
 // recordAttempt feeds one attempt outcome into the level's adaptive window
 // and, on window close, disables the level if the core's threshold says the
@@ -258,8 +336,8 @@ func (s *Site) recordAttempt(level int, committed bool) {
 	ls.winCommits.Store(0)
 	if s.c.ShouldDisable(a, c) {
 		ls.skip.Store(s.c.DisableOps())
-		if s.tel != nil {
-			s.tel.Disables.Add(1)
+		if t := s.telAt(level); t != nil {
+			t.Disables.Add(1)
 		}
 	}
 }
@@ -272,8 +350,8 @@ func (s *Site) levelDisabled(level int) bool {
 	}
 	ls := &s.adapt[level]
 	if ls.skip.Load() > 0 && ls.skip.Add(-1) >= 0 {
-		if s.tel != nil {
-			s.tel.Skipped.Add(1)
+		if t := s.telAt(level); t != nil {
+			t.Skipped.Add(1)
 		}
 		return true
 	}
@@ -306,7 +384,7 @@ type Run struct {
 // Begin starts one operation at the site against domain d.
 func (s *Site) Begin(d *htm.Domain) Run {
 	r := Run{s: s, d: d, w: s.c.Begin()}
-	if s.tel != nil {
+	if len(s.tel) > 0 {
 		r.startNs = time.Now().UnixNano()
 	}
 	return r
@@ -333,8 +411,16 @@ func (r *Run) Skip() { r.w.Skip() }
 // Try runs one speculative attempt of the current level: waits out any
 // pending backoff, executes body as a transaction against the Run's
 // domain, and records the outcome in the site's adaptive window, its
-// telemetry, and the structure's legacy counters. The caller is responsible
-// for acting on the returned status (returning the operation's result on
+// telemetry, and the structure's legacy counters. At a helping level the
+// transaction carries the level's helping budget (htm.AtomicallyHelping):
+// undecided MultiCAS descriptors its writes collide with are helped to
+// decision at commit instead of killing the attempt or the descriptor. At a
+// non-helping level with a helping tier below it (Core.DefersAt) the attempt
+// defers instead (htm.AtomicallyDeferring): an undecided descriptor on the
+// write set aborts the attempt explicitly, leaving the descriptor alive for
+// the middle tier. Only a level with no cooperating tier beneath it applies
+// the historical kill-paid-by-commit rule. The caller is responsible for
+// acting on the returned status (returning the operation's result on
 // htm.Committed).
 func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 	s := r.s
@@ -344,24 +430,36 @@ func (r *Run) Try(body func(tx *htm.Tx)) htm.Status {
 			runtime.Gosched()
 		}
 	}
-	st, alias := r.d.AtomicallyClassified(body)
-	r.w.Record(outcomeOf(st))
 	level := r.w.Level()
+	var st htm.Status
+	var alias bool
+	var helped int
+	if hb := s.c.HelpBudget(level); hb > 0 {
+		st, alias, helped = r.d.AtomicallyHelping(hb, body)
+	} else if s.c.DefersAt(level) {
+		st, alias = r.d.AtomicallyDeferring(body)
+	} else {
+		st, alias = r.d.AtomicallyClassified(body)
+	}
+	r.w.Record(outcomeOf(st))
 	s.recordAttempt(level, st == htm.Committed)
-	if s.tel != nil {
-		s.tel.Attempts.Add(1)
+	if t := s.telAt(level); t != nil {
+		t.Attempts.Add(1)
+		if helped > 0 {
+			t.Helped.Add(uint64(helped))
+		}
 		switch st {
 		case htm.Committed:
-			s.tel.Commits.Add(1)
+			t.Commits.Add(1)
 		case htm.AbortConflict:
-			s.tel.Conflicts.Add(1)
+			t.Conflicts.Add(1)
 			if alias {
-				s.tel.FalseConflicts.Add(1)
+				t.FalseConflicts.Add(1)
 			}
 		case htm.AbortCapacity:
-			s.tel.Capacity.Add(1)
+			t.Capacity.Add(1)
 		case htm.AbortExplicit:
-			s.tel.Explicit.Add(1)
+			t.Explicit.Add(1)
 		}
 	}
 	if st == htm.Committed {
@@ -398,8 +496,10 @@ func (r *Run) Fallback() {
 	if r.s.legacy != nil {
 		r.s.legacy.Fallbacks.Add(1)
 	}
-	if r.s.tel != nil {
-		r.s.tel.Fallbacks.Add(1)
+	// Recorded at the innermost level the walk reached, mirroring the sim
+	// driver: the fallback is the exit of that tier.
+	if t := r.s.telAt(r.w.Level()); t != nil {
+		t.Fallbacks.Add(1)
 	}
 	r.observeLatency()
 }
@@ -409,8 +509,10 @@ func (r *Run) observeLatency() {
 	if r.startNs == 0 {
 		return
 	}
-	if d := time.Now().UnixNano() - r.startNs; d >= 0 {
-		r.s.tel.SpecNanos.Observe(uint64(d))
+	if t := r.s.telAt(r.w.Level()); t != nil {
+		if d := time.Now().UnixNano() - r.startNs; d >= 0 {
+			t.SpecNanos.Observe(uint64(d))
+		}
 	}
 	r.startNs = 0
 }

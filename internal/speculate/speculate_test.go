@@ -147,12 +147,21 @@ func TestMultiLevelCompositionAndCommitAccounting(t *testing.T) {
 	if commits[0] != 0 || commits[1] != 1 || fallbacks != 0 || aborts != 2 {
 		t.Fatalf("legacy stats: commits=%v fallbacks=%d aborts=%d", commits, fallbacks, aborts)
 	}
-	ts := reg.Site("t/levels").Snapshot()
-	if ts.Attempts != 3 || ts.Commits != 1 || ts.Capacity != 2 {
-		t.Fatalf("telemetry: %+v", ts)
+	// Multi-level sites register one telemetry site per tier, labeled with
+	// the level name, so attempts/commits attribute to the level they ran at.
+	l0 := reg.Site("t/levels/pto1").Snapshot()
+	l1 := reg.Site("t/levels/pto2").Snapshot()
+	if l0.Level != "pto1" || l1.Level != "pto2" {
+		t.Fatalf("level labels: %q, %q", l0.Level, l1.Level)
 	}
-	if ts.SpecNanos.Count != 1 {
-		t.Fatalf("latency observations = %d, want 1 (on commit)", ts.SpecNanos.Count)
+	if l0.Attempts != 2 || l0.Capacity != 2 || l0.Commits != 0 {
+		t.Fatalf("level-0 telemetry: %+v", l0)
+	}
+	if l1.Attempts != 1 || l1.Commits != 1 {
+		t.Fatalf("level-1 telemetry: %+v", l1)
+	}
+	if got := l0.SpecNanos.Count + l1.SpecNanos.Count; got != 1 {
+		t.Fatalf("latency observations = %d, want 1 (on commit)", got)
 	}
 }
 
@@ -306,13 +315,17 @@ func TestPerLevelAdaptiveIndependence(t *testing.T) {
 	if level1Commits != 100 {
 		t.Fatalf("level-1 commits = %d, want 100", level1Commits)
 	}
-	ts := reg.Site("t/perlevel").Snapshot()
-	if ts.Disables == 0 {
-		t.Fatalf("no adaptive disable recorded: %+v", ts)
+	l0 := reg.Site("t/perlevel/pto1").Snapshot()
+	l1 := reg.Site("t/perlevel/pto2").Snapshot()
+	if l0.Disables == 0 {
+		t.Fatalf("no adaptive disable recorded at level 0: %+v", l0)
 	}
 	// A healthy level 1 must never be the one disabled: with SkipOps huge,
 	// had level 1 been disabled the commits above would have stopped.
-	if ts.Commits < 100 {
-		t.Fatalf("commits = %d, want >= 100", ts.Commits)
+	if l1.Disables != 0 {
+		t.Fatalf("healthy level 1 was disabled: %+v", l1)
+	}
+	if l1.Commits < 100 {
+		t.Fatalf("level-1 commits = %d, want >= 100", l1.Commits)
 	}
 }

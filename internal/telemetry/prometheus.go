@@ -8,9 +8,11 @@ import (
 )
 
 // Prometheus metric names emitted by WritePrometheus. Counters carry a
-// {site="..."} label; aborts additionally carry {reason="conflict|capacity|
-// explicit"}; the latency histogram follows the standard _bucket/_sum/_count
-// convention with cumulative le bounds in seconds.
+// {site="..."} label, plus {level="fast|middle|..."} when the site was
+// registered per speculation level; aborts additionally carry
+// {reason="conflict|capacity|explicit"}; the latency histogram follows the
+// standard _bucket/_sum/_count convention with cumulative le bounds in
+// seconds.
 const (
 	MetricAttempts  = "pto_speculation_attempts_total"
 	MetricCommits   = "pto_speculation_commits_total"
@@ -18,6 +20,7 @@ const (
 	MetricFallbacks = "pto_speculation_fallbacks_total"
 	MetricDisables  = "pto_speculation_adaptive_disables_total"
 	MetricSkipped   = "pto_speculation_skipped_ops_total"
+	MetricHelped    = "pto_speculation_helped_descs_total"
 	MetricLatency   = "pto_speculation_latency_seconds"
 
 	// Composed-operation metrics (internal/txn). Ops carry a {site="..."}
@@ -41,6 +44,15 @@ const (
 	MetricOpenOps     = "pto_open_ops_per_txn"
 )
 
+// siteLabels renders a site snapshot's label set, without braces: the site
+// name plus, for per-level sites, the level label.
+func siteLabels(s SiteSnapshot) string {
+	if s.Level == "" {
+		return fmt.Sprintf("site=%q", s.Name)
+	}
+	return fmt.Sprintf("site=%q,level=%q", s.Name, s.Level)
+}
+
 // WritePrometheus renders every site of the registry in Prometheus text
 // exposition format (version 0.0.4). Sites are emitted in name order so the
 // output is stable for diffing and scraping tests.
@@ -51,12 +63,12 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s Speculative transaction attempts per site.\n", MetricAttempts)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricAttempts)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricAttempts, s.Name, s.Attempts)
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricAttempts, siteLabels(s), s.Attempts)
 	}
 	fmt.Fprintf(w, "# HELP %s Committed speculative transactions per site.\n", MetricCommits)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricCommits)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricCommits, s.Name, s.Commits)
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricCommits, siteLabels(s), s.Commits)
 	}
 	fmt.Fprintf(w, "# HELP %s Aborted speculative attempts per site, by abort reason.\n", MetricAborts)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricAborts)
@@ -64,25 +76,30 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		// Conflicts are split by the engine's attribution: "conflict" is
 		// true data conflicts, "conflict_alias" the stripe-alias (false)
 		// share, so the two sum to the total conflict aborts.
-		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict\"} %d\n", MetricAborts, s.Name, s.Conflicts-s.FalseConflicts)
-		fmt.Fprintf(w, "%s{site=%q,reason=\"conflict_alias\"} %d\n", MetricAborts, s.Name, s.FalseConflicts)
-		fmt.Fprintf(w, "%s{site=%q,reason=\"capacity\"} %d\n", MetricAborts, s.Name, s.Capacity)
-		fmt.Fprintf(w, "%s{site=%q,reason=\"explicit\"} %d\n", MetricAborts, s.Name, s.Explicit)
+		fmt.Fprintf(w, "%s{%s,reason=\"conflict\"} %d\n", MetricAborts, siteLabels(s), s.Conflicts-s.FalseConflicts)
+		fmt.Fprintf(w, "%s{%s,reason=\"conflict_alias\"} %d\n", MetricAborts, siteLabels(s), s.FalseConflicts)
+		fmt.Fprintf(w, "%s{%s,reason=\"capacity\"} %d\n", MetricAborts, siteLabels(s), s.Capacity)
+		fmt.Fprintf(w, "%s{%s,reason=\"explicit\"} %d\n", MetricAborts, siteLabels(s), s.Explicit)
 	}
 	fmt.Fprintf(w, "# HELP %s Operations completed by the nonblocking fallback per site.\n", MetricFallbacks)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricFallbacks)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricFallbacks, s.Name, s.Fallbacks)
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricFallbacks, siteLabels(s), s.Fallbacks)
 	}
 	fmt.Fprintf(w, "# HELP %s Adaptive-disable events per site.\n", MetricDisables)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricDisables)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricDisables, s.Name, s.Disables)
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricDisables, siteLabels(s), s.Disables)
 	}
 	fmt.Fprintf(w, "# HELP %s Operations that skipped speculation while adaptively disabled.\n", MetricSkipped)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricSkipped)
 	for _, s := range snap {
-		fmt.Fprintf(w, "%s{site=%q} %d\n", MetricSkipped, s.Name, s.Skipped)
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricSkipped, siteLabels(s), s.Skipped)
+	}
+	fmt.Fprintf(w, "# HELP %s MultiCAS descriptors helped to decision inside speculative attempts per site.\n", MetricHelped)
+	fmt.Fprintf(w, "# TYPE %s counter\n", MetricHelped)
+	for _, s := range snap {
+		fmt.Fprintf(w, "%s{%s} %d\n", MetricHelped, siteLabels(s), s.Helped)
 	}
 	fmt.Fprintf(w, "# HELP %s Speculative-phase latency per site.\n", MetricLatency)
 	fmt.Fprintf(w, "# TYPE %s histogram\n", MetricLatency)
@@ -91,13 +108,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		for i, c := range s.SpecNanos.Buckets {
 			cum += c
 			if ub := BucketUpperBound(i); ub != 0 {
-				fmt.Fprintf(w, "%s_bucket{site=%q,le=\"%g\"} %d\n",
-					MetricLatency, s.Name, float64(ub)/1e9, cum)
+				fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n",
+					MetricLatency, siteLabels(s), float64(ub)/1e9, cum)
 			}
 		}
-		fmt.Fprintf(w, "%s_bucket{site=%q,le=\"+Inf\"} %d\n", MetricLatency, s.Name, cum)
-		fmt.Fprintf(w, "%s_sum{site=%q} %g\n", MetricLatency, s.Name, float64(s.SpecNanos.SumNs)/1e9)
-		fmt.Fprintf(w, "%s_count{site=%q} %d\n", MetricLatency, s.Name, s.SpecNanos.Count)
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", MetricLatency, siteLabels(s), cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", MetricLatency, siteLabels(s), float64(s.SpecNanos.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", MetricLatency, siteLabels(s), s.SpecNanos.Count)
 	}
 
 	comp := r.Snapshot().Composed

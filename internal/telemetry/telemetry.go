@@ -101,6 +101,11 @@ func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
 // are cumulative and updated with single atomic adds.
 type Site struct {
 	name string
+	// level labels the speculation level this site represents ("fast",
+	// "middle", "pto1", ...) when the registering driver splits one call
+	// site into per-level sites; empty for aggregate sites. It is carried
+	// into snapshots and emitted as a Prometheus label.
+	level string
 
 	// Attempts counts transaction attempts; Commits and the three abort
 	// counters partition it by htm.Status.
@@ -124,6 +129,11 @@ type Site struct {
 	// Skipped counts operations that bypassed speculation entirely because
 	// the site was adaptively disabled.
 	Skipped atomic.Uint64
+	// Helped counts MultiCAS descriptors a speculative attempt helped to
+	// decision from inside its transaction — the middle path's cooperative
+	// work. Only helping-capable levels produce them; fast levels report
+	// zero (they kill or defer instead of helping).
+	Helped atomic.Uint64
 
 	// SpecNanos is the latency of the speculative phase: Begin to commit,
 	// or Begin to the fallback decision.
@@ -133,9 +143,13 @@ type Site struct {
 // Name returns the site's registered name.
 func (s *Site) Name() string { return s.name }
 
+// Level returns the site's level label, or "" for an aggregate site.
+func (s *Site) Level() string { return s.level }
+
 // SiteSnapshot is a plain-value copy of a Site's counters.
 type SiteSnapshot struct {
 	Name           string            `json:"site"`
+	Level          string            `json:"level,omitempty"`
 	Attempts       uint64            `json:"attempts"`
 	Commits        uint64            `json:"commits"`
 	Conflicts      uint64            `json:"conflicts"`
@@ -145,6 +159,7 @@ type SiteSnapshot struct {
 	Fallbacks      uint64            `json:"fallbacks"`
 	Disables       uint64            `json:"adaptive_disables"`
 	Skipped        uint64            `json:"skipped_ops"`
+	Helped         uint64            `json:"helped_descs"`
 	SpecNanos      HistogramSnapshot `json:"spec_latency"`
 }
 
@@ -152,6 +167,7 @@ type SiteSnapshot struct {
 func (s *Site) Snapshot() SiteSnapshot {
 	return SiteSnapshot{
 		Name:           s.name,
+		Level:          s.level,
 		Attempts:       s.Attempts.Load(),
 		Commits:        s.Commits.Load(),
 		Conflicts:      s.Conflicts.Load(),
@@ -161,6 +177,7 @@ func (s *Site) Snapshot() SiteSnapshot {
 		Fallbacks:      s.Fallbacks.Load(),
 		Disables:       s.Disables.Load(),
 		Skipped:        s.Skipped.Load(),
+		Helped:         s.Helped.Load(),
 		SpecNanos:      s.SpecNanos.Snapshot(),
 	}
 }
@@ -170,6 +187,7 @@ func (s *Site) Snapshot() SiteSnapshot {
 func (s SiteSnapshot) Delta(prev SiteSnapshot) SiteSnapshot {
 	return SiteSnapshot{
 		Name:           s.Name,
+		Level:          s.Level,
 		Attempts:       s.Attempts - prev.Attempts,
 		Commits:        s.Commits - prev.Commits,
 		Conflicts:      s.Conflicts - prev.Conflicts,
@@ -179,6 +197,7 @@ func (s SiteSnapshot) Delta(prev SiteSnapshot) SiteSnapshot {
 		Fallbacks:      s.Fallbacks - prev.Fallbacks,
 		Disables:       s.Disables - prev.Disables,
 		Skipped:        s.Skipped - prev.Skipped,
+		Helped:         s.Helped - prev.Helped,
 		SpecNanos:      s.SpecNanos.Delta(prev.SpecNanos),
 	}
 }
@@ -224,6 +243,15 @@ var Default = NewRegistry()
 // Two structures registering the same name share counters (aggregation
 // across instances is usually what a fleet-wide view wants).
 func (r *Registry) Site(name string) *Site {
+	return r.SiteAt(name, "")
+}
+
+// SiteAt is Site with a level label: drivers that split one call site into
+// per-level sites ("txn/atomic/fast", "txn/atomic/middle") register each
+// with its level name so exports can aggregate and filter by level. The
+// label is fixed at first registration; later registrations under the same
+// name share the existing site regardless of the level they pass.
+func (r *Registry) SiteAt(name, level string) *Site {
 	r.mu.RLock()
 	s := r.byName[name]
 	r.mu.RUnlock()
@@ -235,7 +263,7 @@ func (r *Registry) Site(name string) *Site {
 	if s = r.byName[name]; s != nil {
 		return s
 	}
-	s = &Site{name: name}
+	s = &Site{name: name, level: level}
 	r.byName[name] = s
 	r.order = append(r.order, s)
 	return s

@@ -95,12 +95,39 @@ func TestGoldenTelemetryNames(t *testing.T) {
 		t.Errorf("modeled site classes %v missing %q", keysOf(simNames), "simtxn/atomic/fast")
 	}
 
+	// Three-path managers (WithMiddle) register one site class per level on
+	// both substrates — the fast tier moves from the bare site name to
+	// name/fast, and the helping tier appears as name/middle. The A10
+	// harness and the CI smoke grep key on these.
+	treg := telemetry.NewRegistry()
+	txn.New(0).WithPolicy(speculate.Fixed(0).WithMetrics(treg)).WithMiddle(0, 0)
+	threeNames := map[string]bool{}
+	for _, s := range treg.Snapshot().Sites {
+		threeNames[s.Name] = true
+	}
+	for _, want := range []string{"txn/atomic/fast", "txn/atomic/middle"} {
+		if !threeNames[want] {
+			t.Errorf("three-path runtime site classes %v missing %q", keysOf(threeNames), want)
+		}
+	}
+	streg := telemetry.NewRegistry()
+	simtxn.New(0).WithPolicy(speculate.Fixed(0).WithMetrics(streg)).WithMiddle(0, 0)
+	sthreeNames := map[string]bool{}
+	for _, s := range streg.Snapshot().Sites {
+		sthreeNames[s.Name] = true
+	}
+	for _, want := range []string{"simtxn/atomic/fast", "simtxn/atomic/middle"} {
+		if !sthreeNames[want] {
+			t.Errorf("three-path modeled site classes %v missing %q", keysOf(sthreeNames), want)
+		}
+	}
+
 	// Counter names, shared by both substrates: the per-site attempt
 	// partition and the composed-path counter block.
 	wantSite := []string{
 		"adaptive_disables", "attempts", "capacity", "commits", "conflicts",
-		"explicit", "fallbacks", "false_conflicts", "site", "skipped_ops",
-		"spec_latency",
+		"explicit", "fallbacks", "false_conflicts", "helped_descs", "site",
+		"skipped_ops", "spec_latency",
 	}
 	if got := jsonKeys(t, telemetry.SiteSnapshot{}); !reflect.DeepEqual(got, wantSite) {
 		t.Errorf("site counter names drifted:\n got %v\nwant %v", got, wantSite)

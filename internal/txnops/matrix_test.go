@@ -19,6 +19,7 @@ import (
 	"repro/internal/simtxn"
 	"repro/internal/skiplist"
 	"repro/internal/txn"
+	"repro/internal/txnops"
 )
 
 // The matrix, checked at compile time: every adapter satisfies its
@@ -36,6 +37,11 @@ var (
 	_ simtxn.Set   = (*simds.SimHash)(nil)
 	_ simtxn.Set   = (*simds.SimSkip)(nil)
 	_ simtxn.Queue = (*simds.SimMSQueue)(nil)
+	_ simtxn.PQ    = (*simds.SimSkipQ)(nil)
+
+	// The optional read-only PQ extension, on both substrates.
+	_ txnops.MinPQ[*txn.Ctx, int64]     = (*mound.Mound)(nil)
+	_ txnops.MinPQ[*simtxn.Ctx, uint64] = (*simds.SimSkipQ)(nil)
 )
 
 func splitmix(x uint64) uint64 {
@@ -239,6 +245,77 @@ func TestConservationFuzzSim(t *testing.T) {
 	for v := 1; v <= keyRange; v++ {
 		if seen[v] != 1 {
 			t.Errorf("queue value %d seen %d times, want 1", v, seen[v])
+		}
+	}
+}
+
+// TestConservationFuzzSimPQ closes the PQ corner of the modeled matrix:
+// random MoveMin/MoveToPQ traffic between the simulated skip-based priority
+// queue and a skiplist set, with multiset conservation verified at
+// quiescence — every initial value lives in exactly one of the two
+// structures. (The set-only fuzz above cannot host PQ traffic: MoveMin
+// drains an a-priori-unknown value, which would break its per-key
+// one-home bookkeeping.)
+func TestConservationFuzzSimPQ(t *testing.T) {
+	const (
+		valRange = 48
+		threads  = 4
+		opsPer   = 150
+	)
+	machine := sim.New(sim.DefaultConfig(threads))
+	setup := machine.Thread(0)
+	mgr := simtxn.New(0)
+	pq := simds.NewSimSkipQ(setup, false, threads)
+	set := simds.NewSimSkip(setup, false, threads)
+	for v := uint64(1); v <= valRange; v++ {
+		if v%2 == 0 {
+			pq.Push(setup, v)
+		} else {
+			set.Insert(setup, v)
+		}
+	}
+
+	machine.Run(func(th *sim.Thread) {
+		for i := 0; i < opsPer; i++ {
+			x := th.Rand()
+			if x&1 == 0 {
+				simtxn.MoveMin(mgr, th, pq, set)
+			} else {
+				simtxn.MoveToPQ(mgr, th, set, pq, x>>8%valRange+1)
+			}
+		}
+	})
+
+	homes := make([]int, valRange+1)
+	for _, v := range set.Keys(setup) {
+		if v < 1 || v > valRange {
+			t.Fatalf("out-of-range set value %d surfaced", v)
+		}
+		homes[v]++
+	}
+	// Drain the queue through its own composed pop — the structure's raw
+	// Pop cannot traverse the corpses composed pops leave linked.
+	machine.Run(func(th *sim.Thread) {
+		if th.ID() != 0 {
+			return
+		}
+		for {
+			var v uint64
+			var ok bool
+			mgr.Atomic(th, func(c *simtxn.Ctx) { v, ok = pq.TxPopMin(c) })
+			if !ok {
+				return
+			}
+			if v < 1 || v > valRange {
+				t.Errorf("out-of-range popped value %d", v)
+				return
+			}
+			homes[v]++
+		}
+	})
+	for v := 1; v <= valRange; v++ {
+		if homes[v] != 1 {
+			t.Errorf("value %d lives in %d homes, want 1", v, homes[v])
 		}
 	}
 }
