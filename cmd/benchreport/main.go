@@ -39,11 +39,19 @@
 //     middle_path_ok bit (the three-path shape wins at ≥1 thread count and
 //     the middle tier actually helped), the stable cross-host signal.
 //
+//   - One self-tuning controller sample (under -selftune, on by default):
+//     ablation A11 — the telemetry→policy controller (internal/tune) vs
+//     static (stripes, batch-k) corners under the phase-changing adversary
+//     (alias-heavy → capacity-heavy → calm). Wall-clock throughput varies
+//     with the host; the stable signals are the controller's per-law
+//     action counts (controller_actions > 0 is the CI gate) and its end
+//     state; the adaptive_ok bit records the full acceptance claim.
+//
 // Usage:
 //
 //	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
 //	            [-ops 20000] [-keys 256] [-compose] [-semantic]
-//	            [-semtxns 800] [-threepath] [-out BENCH_pto.json]
+//	            [-semtxns 800] [-threepath] [-selftune] [-out BENCH_pto.json]
 //
 // -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
 // rejected: everything under "figures" must be deterministic; A8 carries
@@ -159,6 +167,14 @@ type report struct {
 	// (three-path wins at ≥1 thread count AND the middle tier actually
 	// helped). CI greps this bit.
 	ThreePath *bench.ThreePathResult `json:"three_path,omitempty"`
+
+	// SelfTune is the A11 sample: the self-tuning controller vs the static
+	// (stripes, batch-k) corners under the phase-changing adversary, with
+	// the controller's per-law action counts and end state. Throughput is
+	// wall-clock and host-dependent, so CI asserts only the structural
+	// signal (controller_actions > 0); the adaptive_ok bit is the
+	// full-scale acceptance claim and is reported, not gated.
+	SelfTune *bench.SelfTuneResult `json:"self_tune,omitempty"`
 }
 
 // deterministic maps figure IDs to their runners, excluding the wall-clock
@@ -341,6 +357,7 @@ func main() {
 	compose := flag.Bool("compose", true, "include the composed-layer sample")
 	semantic := flag.Bool("semantic", true, "include the semantic-validation (A9) sample")
 	threepath := flag.Bool("threepath", true, "include the three-path speculation (A10) modeled sample")
+	selftune := flag.Bool("selftune", true, "include the self-tuning controller (A11) sample")
 	semTxns := flag.Int("semtxns", 800, "semantic sample transactions per thread per arm")
 	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
 	flag.Parse()
@@ -374,6 +391,10 @@ func main() {
 	if *threepath {
 		tp := bench.ThreePathSample(*scale)
 		rep.ThreePath = &tp
+	}
+	if *selftune {
+		st := bench.SelfTuneSample(*scale)
+		rep.SelfTune = &st
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a10|e1|e2] [-scale 1.0] [-csv]
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a11|e1|e2] [-scale 1.0] [-csv]
 //	         [-policy adaptive|fixed] [-attempts N]
 //
-// -figure also accepts individual ablation (a1..a10) and extension (e1, e2)
+// -figure also accepts individual ablation (a1..a11) and extension (e1, e2)
 // IDs; -ablations / -extensions run each full set. -policy/-attempts build ONE speculation policy (speculate.Policy)
 // installed on every structure the benchmarks construct, on both substrates:
 // the real runtime (wall-clock ablations A6/A7) and the simulated machine
@@ -30,7 +30,9 @@
 // adds a simulated-skiplist pair arm and the same batched sweep. A10 is the
 // three-path speculation shape (fast / helping-middle / slow) under the
 // occupied-fallback adversary, with deterministic modeled arms and
-// wall-clock arms.
+// wall-clock arms. A11 is the self-tuning controller (internal/tune) vs
+// static (stripes, batch-k) corners under a phase-changing adversary
+// (alias-heavy → capacity-heavy → calm), wall clock.
 //
 // -scale shrinks or stretches the simulated measurement window (1.0 is the
 // duration used for EXPERIMENTS.md). Runs are deterministic.
@@ -47,10 +49,10 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a10)")
+	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a11)")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A10; A6, A7, A9, and A10's wall arms are wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A11; A6, A7, A9, A11, and A10's wall arms are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
 	policy := flag.String("policy", "", "speculation policy for both substrates: adaptive or fixed (empty = per-substrate default)")
 	attempts := flag.Int("attempts", 0, "override every speculation attempt budget (0 = per-structure defaults; implies -policy fixed if unset)")
@@ -93,6 +95,7 @@ func main() {
 		"a8":  bench.AblationComposedMoveSim,
 		"a9":  bench.AblationSemantic,
 		"a10": bench.AblationThreePath,
+		"a11": bench.AblationSelfTune,
 		"e1":  func(s float64) bench.Figure { return bench.ExtList(34, s) },
 		"e2":  bench.ExtQueue,
 	}

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hashtable"
+	"repro/internal/htm"
+	"repro/internal/telemetry"
+	"repro/internal/tune"
+	"repro/internal/txn"
+)
+
+// Ablation A11: the self-tuning controller (internal/tune) against a
+// phase-changing adversary. One run visits three regimes in sequence on the
+// same domain and structures:
+//
+//   - alias-heavy: single-key Moves across a wide key range on a bucket-rich
+//     hash-table pair, so the working set is ~2k distinct orec words. With a
+//     small stripe table, writers to unrelated buckets share stripes and
+//     in-flight validations abort as false conflicts; a large table makes
+//     the phase embarrassingly parallel.
+//
+//   - capacity-heavy: the domain's write capacity drops to a11WriteCap and
+//     the workload switches to batched MoveAll chunks over per-thread
+//     disjoint key lanes. A chunk wider than the capacity allows aborts
+//     deterministically on footprint overflow and pays the slow MultiCAS
+//     fallback for the whole batch; a chunk that fits commits on the fast
+//     path. No key is shared between threads, so capacity is the only
+//     failure mode.
+//
+//   - calm: full capacity restored, same lane workload. Now wide batches
+//     are strictly better — one composed publication amortizes its
+//     begin/validate/commit overhead over 16 keys instead of 2.
+//
+// The static arms pin (stripes, batch k) to one corner each — "lean" is
+// right for the capacity phase and wrong for the other two, "wide" is the
+// reverse — so neither can win everywhere. The adaptive arm starts from the
+// lean stripe table and a middling batch width and lets the controller
+// steer: law A grows the stripe table under the alias phase's
+// false-conflict rate, law B's AIMD walks k down when capacity aborts
+// appear and back up through the calm phase, law C trims the fast budget
+// while commits collapse. The claim (the adaptive_ok bit): the controller
+// holds every phase near that phase's best static arm and therefore beats
+// both static arms on aggregate throughput, and it visibly acted
+// (controller_actions > 0 — a zero-action "win" would mean the adversary
+// never pressured the laws at all).
+//
+// Wall-clock numbers vary with the host, so like A6/A7 this figure is only
+// emitted under -ablations or by ID; the cross-host stable signals
+// (controller_actions, adaptive_ok, the end-state stripe table and batch
+// width) ride the series names and the benchreport self_tune sample.
+const (
+	a11Threads = 4
+	// a11WideKeys is the alias phase's key range (on ~2*a11Buckets distinct
+	// bucket words across the two tables).
+	a11WideKeys = 1024
+	a11Buckets  = 512
+	// a11LaneKeys is each thread's private lane length for the batched
+	// phases.
+	a11LaneKeys = 64
+	// a11WriteCap is the capacity phase's write-footprint ceiling: a
+	// hash-table move costs two bucket-word writes per key, so the wide
+	// batch (16 keys, 32 writes) overflows while the lean batch fits.
+	a11WriteCap = 12
+	// Static corners: lean = capacity-phase-tuned (no batching at all, the
+	// most footprint-conservative shape), wide = alias/calm-tuned.
+	a11LeanStripes = 64
+	a11WideStripes = 1024
+	a11LeanBatch   = 1
+	a11WideBatch   = 32
+	// a11StartBatch is the adaptive arm's deliberately-middling start.
+	a11StartBatch = 8
+	// a11PhaseWindow is one phase's wall-clock window at scale 1.0;
+	// a11TuneInterval the controller cadence — 1ms so the additive half of
+	// the AIMD walk (one step per interval) converges well inside a phase
+	// even at the smoke-test floor.
+	a11PhaseWindow  = 120 * time.Millisecond
+	a11PhaseFloor   = 90 * time.Millisecond
+	a11TuneInterval = time.Millisecond
+	// a11PhaseTolerance is the per-phase noise allowance for the
+	// adaptive_ok bit: the adaptive arm must reach this fraction of the
+	// best static arm in every phase (it pays a real adaptation transient
+	// at each phase boundary). The aggregate comparison is strict.
+	a11PhaseTolerance = 0.7
+)
+
+// a11PhaseNames index the phase sequence everywhere below.
+var a11PhaseNames = [3]string{"alias-heavy", "capacity-heavy", "calm"}
+
+// batchKnob is the bench-side BatchSetter (law B's actuation surface
+// outside the server): the MoveAll chunk width the lane workload reads
+// before each batch.
+type batchKnob struct {
+	k   atomic.Int64
+	max int64
+}
+
+func newBatchKnob(start, max int) *batchKnob {
+	b := &batchKnob{max: int64(max)}
+	b.k.Store(int64(start))
+	return b
+}
+
+func (b *batchKnob) BatchK() int { return int(b.k.Load()) }
+
+func (b *batchKnob) SetBatchK(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if int64(n) > b.max {
+		n = int(b.max)
+	}
+	b.k.Store(int64(n))
+	return n
+}
+
+// SelfTuneArm is one arm's measured row: work-units per millisecond for
+// each phase (alias counts completed Moves, the batched phases count moved
+// keys; each row is the median of three sub-windows) and the aggregate —
+// the mean of the phase rates, i.e. the whole-run rate under the equal
+// phase windows the schedule uses.
+type SelfTuneArm struct {
+	Name      string    `json:"name"`
+	PhaseTput []float64 `json:"phase_tput"`
+	Aggregate float64   `json:"aggregate_tput"`
+}
+
+// SelfTuneResult is the benchreport self_tune sample: both static corners,
+// the adaptive arm, the controller's final state (stripe table size, batch
+// width, per-law action counts), and the acceptance bit.
+type SelfTuneResult struct {
+	Phases   [3]string     `json:"phases"`
+	Static   []SelfTuneArm `json:"static"`
+	Adaptive SelfTuneArm   `json:"adaptive"`
+	// Tune is the adaptive arm's controller snapshot at the end of the run;
+	// Tune.Actions is the controller_actions total the A11 smoke greps.
+	Tune tune.Snapshot `json:"tune"`
+	// AdaptiveOK: the controller acted, the adaptive arm reached
+	// a11PhaseTolerance of the best static arm in every phase, and it beat
+	// every static arm on aggregate throughput.
+	AdaptiveOK bool `json:"adaptive_ok"`
+}
+
+// AblationSelfTune regenerates the A11 table (wall clock; emitted only
+// under -ablations or by ID).
+func AblationSelfTune(scale float64) Figure {
+	r := SelfTuneSample(scale)
+	f := Figure{
+		ID:     "Ablation A11",
+		Title:  "Self-tuning controller vs static corners under a phase-changing adversary (wall clock)",
+		XLabel: "phase (1=alias-heavy 2=capacity-heavy 3=calm)",
+		YLabel: "work/ms",
+	}
+	arms := append(append([]SelfTuneArm{}, r.Static...), r.Adaptive)
+	for i, a := range arms {
+		name := a.Name
+		if i == len(arms)-1 {
+			name = fmt.Sprintf("%s (controller_actions=%d remap=%d batch=%d budget=%d, stripes_end=%d, k_end=%d, adaptive_ok=%v)",
+				a.Name, r.Tune.Actions, r.Tune.RemapActions, r.Tune.BatchActions,
+				r.Tune.BudgetActions, r.Tune.Stripes, r.Tune.BatchK, r.AdaptiveOK)
+		}
+		s := Series{Name: fmt.Sprintf("%s aggregate=%.1f", name, a.Aggregate)}
+		for p, tput := range a.PhaseTput {
+			s.Points = append(s.Points, Point{Threads: p + 1, Throughput: tput})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// SelfTuneSample runs all three arms and computes the acceptance bit.
+func SelfTuneSample(scale float64) SelfTuneResult {
+	var r SelfTuneResult
+	r.Phases = a11PhaseNames
+	lean, _ := runSelfTuneArm(fmt.Sprintf("Static lean (stripes=%d, k=%d)", a11LeanStripes, a11LeanBatch),
+		a11LeanStripes, a11LeanBatch, false, scale)
+	wide, _ := runSelfTuneArm(fmt.Sprintf("Static wide (stripes=%d, k=%d)", a11WideStripes, a11WideBatch),
+		a11WideStripes, a11WideBatch, false, scale)
+	r.Static = []SelfTuneArm{lean, wide}
+	r.Adaptive, r.Tune = runSelfTuneArm("Adaptive controller", a11LeanStripes, a11StartBatch, true, scale)
+
+	r.AdaptiveOK = r.Tune.Actions > 0
+	for p := range r.Adaptive.PhaseTput {
+		best := 0.0
+		for _, a := range r.Static {
+			if a.PhaseTput[p] > best {
+				best = a.PhaseTput[p]
+			}
+		}
+		if r.Adaptive.PhaseTput[p] < a11PhaseTolerance*best {
+			r.AdaptiveOK = false
+		}
+	}
+	for _, a := range r.Static {
+		if r.Adaptive.Aggregate <= a.Aggregate {
+			r.AdaptiveOK = false
+		}
+	}
+	return r
+}
+
+// a11Lane is one thread's persistent lane cursor across the batched phases:
+// which table currently holds the lane's keys and how far into the lane the
+// next chunk starts.
+type a11Lane struct {
+	onDst bool
+	pos   int
+}
+
+// runSelfTuneArm measures one arm: fresh domain, tables, and (for the
+// adaptive arm) a running controller; the same three-phase schedule for
+// everyone. Returns the arm row and the final controller snapshot (zero for
+// static arms).
+func runSelfTuneArm(name string, stripes, batch int, adaptive bool, scale float64) (SelfTuneArm, tune.Snapshot) {
+	reg := telemetry.NewRegistry()
+	d := htm.NewDomainStripes(0, 0, stripes)
+	m := txn.NewIn(d, 0).WithPolicy(realPolicy().WithMetrics(reg)).WithMiddle(0, 0)
+	src := hashtable.NewPTOTableIn(d, a11Buckets, 0)
+	dst := hashtable.NewPTOTableIn(d, a11Buckets, 0)
+	// Alias-phase keys alternate sides so roughly half the random Moves
+	// find their key; lane keys (disjoint, above the wide range) all start
+	// on src.
+	for k := int64(1); k <= a11WideKeys; k++ {
+		t, kk := src, k
+		if k&1 == 0 {
+			t = dst
+		}
+		m.Atomic(func(c *txn.Ctx) { t.TxInsert(c, kk) })
+	}
+	lanes := make([]a11Lane, a11Threads)
+	for g := 0; g < a11Threads; g++ {
+		for i := 0; i < a11LaneKeys; i++ {
+			kk := a11LaneKey(g, i)
+			m.Atomic(func(c *txn.Ctx) { src.TxInsert(c, kk) })
+		}
+	}
+
+	knob := newBatchKnob(batch, a11WideBatch)
+	var ctrl *tune.Controller
+	if adaptive {
+		ctrl = tune.New(tune.Config{
+			Registry:   reg,
+			SitePrefix: "txn/atomic",
+			Interval:   a11TuneInterval,
+			Domain:     d,
+			MinStripes: a11LeanStripes,
+			MaxStripes: a11WideStripes,
+			Batch:      knob,
+			MinBatch:   1,
+			MaxBatch:   a11WideBatch,
+			Budgets:    m.Site().Actuator(),
+		})
+		ctrl.Start()
+	}
+
+	window := time.Duration(float64(a11PhaseWindow) * scale)
+	if window < a11PhaseFloor {
+		window = a11PhaseFloor
+	}
+	arm := SelfTuneArm{Name: name}
+	for phase := 0; phase < 3; phase++ {
+		if phase == 1 {
+			d.SetCapacity(0, a11WriteCap)
+		} else {
+			d.SetCapacity(0, 0)
+		}
+		// The COW tables allocate on every move, so the collector runs
+		// throughout; flush it at the phase boundary and take the median of
+		// three sub-windows so one badly-sampled pause cannot swing an
+		// arm's phase row.
+		runtime.GC()
+		var rates []float64
+		for rep := 0; rep < 3; rep++ {
+			work, ms := runA11Phase(phase, window/3, m, src, dst, knob, lanes)
+			rates = append(rates, work/ms)
+		}
+		sort.Float64s(rates)
+		arm.PhaseTput = append(arm.PhaseTput, rates[1])
+		arm.Aggregate += rates[1] / 3
+	}
+	var snap tune.Snapshot
+	if ctrl != nil {
+		ctrl.Stop()
+		snap = ctrl.Snapshot()
+	}
+	return arm, snap
+}
+
+func a11LaneKey(g, i int) int64 {
+	return int64(a11WideKeys + g*a11LaneKeys + i + 1)
+}
+
+// runA11Phase runs one phase's workload for the window and returns (work
+// units, elapsed ms). Phase 0 is the alias adversary: random single-key
+// Moves across the wide range, one work unit per completed Move op (found
+// or not — a miss still pays the composed read-only commit). Phases 1 and 2
+// are the batched lane workload: each thread bounces its private lane
+// between the tables in chunks of the knob's current width, one work unit
+// per moved key. Every worker yields once per op so conflict windows
+// actually interleave on small hosts (same harness choice as A10).
+func runA11Phase(phase int, window time.Duration, m *txn.Manager,
+	src, dst *hashtable.PTOTable, knob *batchKnob, lanes []a11Lane) (float64, float64) {
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg, ready, start sync.WaitGroup
+	ready.Add(a11Threads)
+	start.Add(1)
+	for g := 0; g < a11Threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := uint64(g)*0x9E3779B97F4A7C15 + 1
+			chunk := make([]int64, 0, a11WideBatch)
+			ready.Done()
+			start.Wait()
+			n := int64(0)
+			for !stop.Load() {
+				rnd ^= rnd << 13
+				rnd ^= rnd >> 7
+				rnd ^= rnd << 17
+				if phase == 0 {
+					k := int64(rnd%a11WideKeys) + 1
+					if rnd&(1<<40) != 0 {
+						txn.Move(m, src, dst, k)
+					} else {
+						txn.Move(m, dst, src, k)
+					}
+					n++
+				} else {
+					ln := &lanes[g]
+					k := knob.BatchK()
+					chunk = chunk[:0]
+					for i := 0; i < k && ln.pos+i < a11LaneKeys; i++ {
+						chunk = append(chunk, a11LaneKey(g, ln.pos+i))
+					}
+					from, to := src, dst
+					if ln.onDst {
+						from, to = dst, src
+					}
+					n += int64(txn.MoveAll(m, from, to, chunk...))
+					ln.pos += len(chunk)
+					if ln.pos >= a11LaneKeys {
+						ln.pos = 0
+						ln.onDst = !ln.onDst
+					}
+				}
+				runtime.Gosched()
+			}
+			total.Add(n)
+		}(g)
+	}
+	ready.Wait()
+	begin := time.Now()
+	start.Done()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(total.Load()), float64(elapsed.Nanoseconds()) / 1e6
+}

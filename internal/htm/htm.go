@@ -52,6 +52,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -131,14 +132,31 @@ type stripe struct {
 	_          [48]byte
 }
 
-// stripeTable is one domain's ownership-record table: a power-of-two count
-// of stripes plus the derived hash shift and bitmap width. Built once per
-// domain (lazily on first Var.Init, or eagerly by NewDomainStripes) and
-// immutable afterwards, so hot paths read it without synchronization.
+// stripeTable is one generation of a domain's ownership-record table: a
+// power-of-two count of stripes plus the derived hash shift and bitmap
+// width. A table's shape is immutable after construction, so hot paths read
+// it without synchronization; what can change is WHICH table is the
+// domain's current generation (ResizeStripes swaps in a new one). active
+// counts the transactions pinned to this generation: a transaction
+// increments it at begin and validates its whole read set against this
+// table, so a retiring table stays write-bumped (see the dual-table writer
+// protocol) until active drains to zero — the swap's RCU grace period.
 type stripeTable struct {
 	shift   uint32 // 64 - log2(len(stripes)): the Fibonacci-hash shift
 	words   int    // stripe bitmap size in 64-bit words
 	stripes []stripe
+	active  atomic.Int64 // transactions pinned to this generation
+}
+
+// tables is the domain's live stripe-table generations: cur is the table
+// new transactions pin and all writers bump; prev, non-nil only during a
+// ResizeStripes grace period, is the migrating-out generation that pinned
+// transactions still validate against — writers bump BOTH until it drains.
+// Every swap installs a fresh tables value, so pointer equality of the pair
+// is a reliable "no swap happened in this window" check (no ABA).
+type tables struct {
+	cur  *stripeTable
+	prev *stripeTable
 }
 
 func newStripeTable(n int) *stripeTable {
@@ -183,11 +201,15 @@ type Domain struct {
 	readCap  atomic.Int64
 	writeCap atomic.Int64
 
-	// stripeCfg is the requested stripe count (0 = DefaultStripes); tbl is
-	// the table itself, built on first use. The indirection keeps the zero
-	// Domain ready to use while making the count a per-domain option.
+	// stripeCfg is the requested stripe count (0 = DefaultStripes); tbls is
+	// the live generation pair, built on first use. The indirection keeps
+	// the zero Domain ready to use while making the count a per-domain
+	// option — and, since the striped-remap work, a per-domain *runtime*
+	// knob: ResizeStripes swaps in a new generation under remapMu.
 	stripeCfg atomic.Int64
-	tbl       atomic.Pointer[stripeTable]
+	tbls      atomic.Pointer[tables]
+	remapMu   sync.Mutex
+	remaps    atomic.Uint64
 }
 
 // Default capacity limits, chosen to approximate an L1-bounded write set and
@@ -220,23 +242,114 @@ func NewDomainStripes(readCap, writeCap, stripes int) *Domain {
 	return d
 }
 
-// Stripes returns the domain's ownership-record stripe count.
+// Stripes returns the domain's current ownership-record stripe count.
 func (d *Domain) Stripes() int { return len(d.table().stripes) }
 
-// table returns the domain's stripe table, building it on first use.
-func (d *Domain) table() *stripeTable {
-	if t := d.tbl.Load(); t != nil {
-		return t
+// Remaps returns how many stripe-table generation swaps (ResizeStripes)
+// the domain has completed.
+func (d *Domain) Remaps() uint64 { return d.remaps.Load() }
+
+// pair returns the domain's live table generations, building the first one
+// on first use.
+func (d *Domain) pair() *tables {
+	if p := d.tbls.Load(); p != nil {
+		return p
 	}
 	n := int(d.stripeCfg.Load())
 	if n == 0 {
 		n = DefaultStripes
 	}
-	t := newStripeTable(n)
-	if d.tbl.CompareAndSwap(nil, t) {
-		return t
+	p := &tables{cur: newStripeTable(n)}
+	if d.tbls.CompareAndSwap(nil, p) {
+		return p
 	}
-	return d.tbl.Load()
+	return d.tbls.Load()
+}
+
+// table returns the domain's current stripe table.
+func (d *Domain) table() *stripeTable { return d.pair().cur }
+
+// pin marks one transaction as validating against the current table
+// generation and returns that table. The increment-then-revalidate loop
+// closes the race with a concurrent swap: an increment that lands after the
+// controller's grace check would pin a retired table, so the pin only
+// sticks if the table is still current AFTER the increment is visible —
+// atomic RMWs are totally ordered, so a pin the revalidation confirms is
+// guaranteed visible to the controller's subsequent grace-period scan. The
+// caller must balance with active.Add(-1) when the attempt ends.
+func (d *Domain) pin() *stripeTable {
+	for {
+		t := d.pair().cur
+		t.active.Add(1)
+		if d.tbls.Load().cur == t {
+			return t
+		}
+		t.active.Add(-1)
+	}
+}
+
+// remapOwner is the sentinel lock owner ResizeStripes holds every old-
+// generation stripe under while installing the new table. It is outside the
+// Var id space, so conflicts observed against it classify as stripe-alias
+// (false) conflicts: a migration abort is engine-induced, not a data race.
+const remapOwner = uint64(1) << 62
+
+// ResizeStripes swaps the domain's ownership-record table for a fresh one
+// with n stripes (a power of two; panics otherwise), rehashing every Var's
+// stripe assignment, and reports whether a swap happened (false when n is
+// already the current count). It is the actuation point of the
+// contention-adaptive stripe controller (internal/tune): growing the table
+// dilutes stripe aliasing without touching any Var.
+//
+// Safety protocol (the RCU-style swap):
+//
+//  1. Quiesce writers: acquire every old-generation stripe, in ascending
+//     order, under the remapOwner sentinel. Commits that race this abort
+//     (they never spin); direct writers and MultiCAS decisions spin
+//     briefly. Holding the whole table guarantees no writer is mid-
+//     publication with only-old-generation locks when the new table
+//     becomes visible.
+//  2. Install {cur: new, prev: old} and release the old stripes at their
+//     pre-lock words. From here every writer bumps BOTH generations
+//     (commit, direct store/CAS/Add, MultiCAS decision all re-check the
+//     pair after locking), so transactions pinned to either table still
+//     observe every conflict.
+//  3. Grace period: wait until no transaction is pinned to the old table
+//     (attempts are short; pin lifetime is one attempt). Then install
+//     {cur: new} and retire the old generation — writers go back to
+//     single-table bumps.
+//
+// New-generation stripes start at version 0, which is safe under the
+// shared commit clock: any write a post-swap transaction must observe
+// commits after the swap install and therefore bumps the new table past
+// that transaction's begin snapshot. Concurrent ResizeStripes calls
+// serialize; the call blocks for one grace period (microseconds under
+// normal load).
+func (d *Domain) ResizeStripes(n int) bool {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("htm: stripe count %d is not a power of two", n))
+	}
+	d.remapMu.Lock()
+	defer d.remapMu.Unlock()
+	old := d.pair().cur // prev is always nil between swaps (remapMu)
+	if len(old.stripes) == n {
+		return false
+	}
+	nt := newStripeTable(n)
+	prevWords := make([]uint64, len(old.stripes))
+	for i := range old.stripes {
+		prevWords[i] = acquire(&old.stripes[i], remapOwner)
+	}
+	d.tbls.Store(&tables{cur: nt, prev: old})
+	for i := range old.stripes {
+		old.stripes[i].word.Store(prevWords[i])
+	}
+	for old.active.Load() != 0 {
+		runtime.Gosched()
+	}
+	d.tbls.Store(&tables{cur: nt})
+	d.remaps.Add(1)
+	return true
 }
 
 // SetCapacity changes the domain's footprint limits. Zero selects the
@@ -335,23 +448,23 @@ var varIDs atomic.Uint64
 // path used by fallback code. Vars additionally participate in MultiCAS, the
 // lock-free multi-Var publication primitive of the composition layer.
 type Var[T comparable] struct {
-	d    *Domain
-	id   uint64
-	sidx uint32
-	st   *stripe // the stripe at sidx, cached so hot paths skip the table
-	p    atomic.Pointer[cell[T]]
+	d  *Domain
+	id uint64
+	p  atomic.Pointer[cell[T]]
 }
 
 // Init binds an embedded Var to domain d and sets its initial value. It must
 // be called exactly once, before any concurrent access; it is intended for
 // initializing Var fields of freshly allocated nodes. Init assigns the Var
-// its identity — its MultiCAS ordering id and its conflict-detection stripe.
+// its identity — its MultiCAS ordering id, from which each table generation
+// hashes the Var's conflict-detection stripe. The stripe is deliberately
+// NOT cached on the Var: ResizeStripes swaps the table at runtime, so every
+// access resolves id → stripe against the generation it is validating in
+// (one multiply and shift).
 func (v *Var[T]) Init(d *Domain, init T) {
 	v.d = d
 	v.id = varIDs.Add(1)
-	t := d.table()
-	v.sidx = t.indexOf(v.id)
-	v.st = &t.stripes[v.sidx]
+	d.pair() // force the first table generation before the Var is shared
 	v.p.Store(&cell[T]{val: init})
 }
 
@@ -389,10 +502,10 @@ type stripeRec struct {
 // or used after that function returns.
 type Tx struct {
 	d  *Domain
-	rv uint64 // commit-clock snapshot taken at begin (the TL2 read version)
+	t  *stripeTable // the generation pinned at begin; all reads validate here
+	rv uint64       // commit-clock snapshot taken at begin (the TL2 read version)
 
 	reads    int
-	sw       int         // stripe bitmap size in words (from the domain table)
 	readSet  []uint64    // stripes with at least one transactional read
 	readRecs []stripeRec // one record per read stripe, first-touch order
 
@@ -425,8 +538,6 @@ type Tx struct {
 
 type writeEntry struct {
 	key   any
-	s     *stripe
-	sidx  uint32
 	varID uint64
 	boxed any // the pending value, boxed, for read-own-writes
 	apply func(boxed any)
@@ -535,12 +646,15 @@ func (d *Domain) AtomicallyDeferring(f func(tx *Tx)) (Status, bool) {
 
 func (d *Domain) atomically(helpBudget int, deferPending bool, f func(tx *Tx)) (Status, bool, int) {
 	rc, wc := d.caps()
-	sw := d.table().words
+	// Pin the table generation first, THEN snapshot the clock: a writer
+	// that finished before the current generation was installed has already
+	// bumped the clock, so a post-pin snapshot can never miss it.
+	t := d.pin()
 	tx := &Tx{
 		d:            d,
+		t:            t,
 		rv:           d.clock.Load(),
-		sw:           sw,
-		readSet:      make([]uint64, sw),
+		readSet:      make([]uint64, t.words),
 		writeIdx:     make(map[any]int, 8),
 		readCap:      rc,
 		writeCap:     wc,
@@ -548,6 +662,7 @@ func (d *Domain) atomically(helpBudget int, deferPending bool, f func(tx *Tx)) (
 		deferPending: deferPending,
 	}
 	status := d.attempt(tx, f)
+	t.active.Add(-1)
 	switch status {
 	case Committed:
 		d.commits.Add(1)
@@ -625,30 +740,50 @@ func (tx *Tx) commit() Status {
 		}
 	}
 
-	// Deduplicate the write log onto stripes and sort ascending.
-	wset := make([]uint64, tx.sw)
-	recs := make([]stripeRec, 0, 8)
-	for i := range tx.writeLog {
-		e := &tx.writeLog[i]
-		w, b := e.sidx>>6, uint64(1)<<(e.sidx&63)
-		if wset[w]&b != 0 {
-			continue
+	// Deduplicate the write log onto stripes — in EVERY live table
+	// generation — and lock prev-generation stripes first, then current,
+	// each group ascending (the one global order every spinning acquirer
+	// follows). During a ResizeStripes migration two generations are live
+	// and transactions pinned to either validate against their own, so the
+	// commit must bump both. The pair is re-checked after locking: a swap
+	// between reading it and locking would leave a generation unbumped.
+	var recs, pinRecs []stripeRec
+	for {
+		p := d.tbls.Load()
+		recs = recs[:0]
+		if p.prev != nil {
+			recs = appendWriteRecs(recs, p.prev, tx.writeLog)
 		}
-		wset[w] |= b
-		recs = append(recs, stripeRec{s: e.s, idx: e.sidx, varID: e.varID})
-	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].idx < recs[j].idx })
+		split := len(recs)
+		recs = appendWriteRecs(recs, p.cur, tx.writeLog)
 
-	// Lock phase. On failure restore every stripe already taken.
-	for i := range recs {
-		s := recs[i].s
-		w := s.word.Load()
-		if w&1 != 0 || !s.word.CompareAndSwap(w, recs[i].varID<<1|1) {
-			tx.alias = aliasConflict(s.word.Load(), s, recs[i].varID)
-			tx.unlock(recs[:i], 0)
-			return AbortConflict
+		// Lock phase. On failure restore every stripe already taken.
+		for i := range recs {
+			s := recs[i].s
+			w := s.word.Load()
+			if w&1 != 0 || !s.word.CompareAndSwap(w, recs[i].varID<<1|1) {
+				tx.alias = aliasConflict(s.word.Load(), s, recs[i].varID)
+				tx.unlock(recs[:i], 0)
+				return AbortConflict
+			}
+			recs[i].prev = w
 		}
-		recs[i].prev = w
+		if d.tbls.Load() == p {
+			// pinRecs is the locked group in the generation the read set
+			// validates against (the pinned table is always one of the
+			// pair: the grace period cannot end while we are pinned).
+			if tx.t == p.cur {
+				pinRecs = recs[split:]
+			} else {
+				pinRecs = recs[:split]
+			}
+			break
+		}
+		tx.unlock(recs, 0) // swap raced the lock phase; relock both tables
+	}
+	wset := make([]uint64, tx.t.words)
+	for i := range pinRecs {
+		wset[pinRecs[i].idx>>6] |= 1 << (pinRecs[i].idx & 63)
 	}
 
 	wv := d.clock.Add(1)
@@ -658,7 +793,7 @@ func (tx *Tx) commit() Status {
 		for _, r := range tx.readRecs {
 			if wset[r.idx>>6]&(1<<(r.idx&63)) != 0 {
 				// We hold this stripe's lock; judge it by its pre-lock word.
-				if prev := prevOf(recs, r.idx); prev>>1 > tx.rv {
+				if prev := prevOf(pinRecs, r.idx); prev>>1 > tx.rv {
 					tx.alias = aliasConflict(prev, r.s, r.varID)
 					tx.unlock(recs, 0)
 					return AbortConflict
@@ -706,6 +841,75 @@ func prevOf(recs []stripeRec, idx uint32) uint64 {
 	return recs[i].prev
 }
 
+// appendWriteRecs appends one record per distinct stripe the write log
+// touches in table t, sorted ascending within the appended group.
+func appendWriteRecs(recs []stripeRec, t *stripeTable, log []writeEntry) []stripeRec {
+	base := len(recs)
+	seen := make([]uint64, t.words)
+	for i := range log {
+		idx := t.indexOf(log[i].varID)
+		w, b := idx>>6, uint64(1)<<(idx&63)
+		if seen[w]&b != 0 {
+			continue
+		}
+		seen[w] |= b
+		recs = append(recs, stripeRec{s: &t.stripes[idx], idx: idx, varID: log[i].varID})
+	}
+	grp := recs[base:]
+	sort.Slice(grp, func(i, j int) bool { return grp[i].idx < grp[j].idx })
+	return recs
+}
+
+// directLock is the stripe set a single-Var direct writer (Store, CAS, Add)
+// holds: the Var's stripe in the current generation and, during a
+// migration, in the retiring one too — prev-generation first, matching the
+// commit path's global lock order. lockVar re-checks the generation pair
+// after acquiring, so a writer never publishes with a generation unlocked.
+type directLock struct {
+	curS, prevS *stripe // prevS nil outside a migration window
+	curW, prevW uint64  // pre-lock words
+}
+
+func (d *Domain) lockVar(id uint64) directLock {
+	for {
+		p := d.pair()
+		var dl directLock
+		if p.prev != nil {
+			dl.prevS = &p.prev.stripes[p.prev.indexOf(id)]
+			dl.prevW = acquire(dl.prevS, id)
+		}
+		dl.curS = &p.cur.stripes[p.cur.indexOf(id)]
+		dl.curW = acquire(dl.curS, id)
+		if d.tbls.Load() == p {
+			return dl
+		}
+		dl.curS.word.Store(dl.curW)
+		if dl.prevS != nil {
+			dl.prevS.word.Store(dl.prevW)
+		}
+	}
+}
+
+// publish releases the held stripes at version wv, recording id as each
+// stripe's last writer first (the attribution order every writer follows).
+func (dl *directLock) publish(id, wv uint64) {
+	if dl.prevS != nil {
+		dl.prevS.lastWriter.Store(id)
+		dl.prevS.word.Store(wv << 1)
+	}
+	dl.curS.lastWriter.Store(id)
+	dl.curS.word.Store(wv << 1)
+}
+
+// restore releases the held stripes back to their pre-lock words (the
+// logical value did not change; overlapping readers have nothing to see).
+func (dl *directLock) restore() {
+	dl.curS.word.Store(dl.curW)
+	if dl.prevS != nil {
+		dl.prevS.word.Store(dl.prevW)
+	}
+}
+
 // Load reads v. With a non-nil tx it is a transactional read: it returns the
 // transaction's own pending write if any, validates v's stripe against the
 // begin snapshot (aborting if the stripe is locked or has been written since
@@ -721,7 +925,10 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 		if tx.reads > tx.readCap {
 			panic(abortSignal{status: AbortCapacity})
 		}
-		s := v.st
+		// Resolve the stripe in the PINNED generation: writers bump it for
+		// as long as we hold the pin, swap or no swap.
+		idx := tx.t.indexOf(v.id)
+		s := &tx.t.stripes[idx]
 		pre := s.word.Load()
 		if pre&1 != 0 || pre>>1 > tx.rv {
 			tx.conflict(pre, s, v.id)
@@ -730,18 +937,23 @@ func Load[T comparable](tx *Tx, v *Var[T]) T {
 		if w := s.word.Load(); w != pre {
 			tx.conflict(w, s, v.id)
 		}
-		tx.recordRead(s, v.sidx, v.id)
+		tx.recordRead(s, idx, v.id)
 		return x
 	}
-	s := v.st
+	d := v.d
 	for {
+		// Re-resolve the stripe each try: a table swap retires the old
+		// generation's stripes (writers stop bumping them), so the window
+		// is only trusted if the generation pair did not change across it.
+		p := d.pair()
+		s := &p.cur.stripes[p.cur.indexOf(v.id)]
 		pre := s.word.Load()
 		if pre&1 != 0 {
 			runtime.Gosched()
 			continue
 		}
 		x := loadResolved(v)
-		if s.word.Load() == pre {
+		if s.word.Load() == pre && d.tbls.Load() == p {
 			return x
 		}
 	}
@@ -797,8 +1009,6 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		tx.writeIdx[v] = len(tx.writeLog)
 		tx.writeLog = append(tx.writeLog, writeEntry{
 			key:   v,
-			s:     v.st,
-			sidx:  v.sidx,
 			varID: v.id,
 			boxed: x,
 			apply: func(boxed any) {
@@ -814,11 +1024,9 @@ func Store[T comparable](tx *Tx, v *Var[T], x T) {
 		return
 	}
 	d := v.d
-	s := v.st
-	acquire(s, v.id)
+	dl := d.lockVar(v.id)
 	storeLocked(v, x)
-	s.lastWriter.Store(v.id)
-	s.word.Store(d.clock.Add(1) << 1)
+	dl.publish(v.id, d.clock.Add(1))
 }
 
 // CAS atomically compares v against old and, if equal, replaces it with new,
@@ -848,8 +1056,7 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 		return true
 	}
 	d := v.d
-	s := v.st
-	prev := acquire(s, v.id)
+	dl := d.lockVar(v.id)
 	ok := false
 	for {
 		c := v.p.Load()
@@ -879,10 +1086,9 @@ func CAS[T comparable](tx *Tx, v *Var[T], old, new T) bool {
 		}
 	}
 	if ok {
-		s.lastWriter.Store(v.id)
-		s.word.Store(d.clock.Add(1) << 1)
+		dl.publish(v.id, d.clock.Add(1))
 	} else {
-		s.word.Store(prev)
+		dl.restore()
 	}
 	return ok
 }
@@ -895,8 +1101,7 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 		return x
 	}
 	d := v.d
-	s := v.st
-	acquire(s, v.id)
+	dl := d.lockVar(v.id)
 	var x uint64
 	for {
 		c := v.p.Load()
@@ -910,7 +1115,6 @@ func Add(tx *Tx, v *Var[uint64], delta uint64) uint64 {
 			break
 		}
 	}
-	s.lastWriter.Store(v.id)
-	s.word.Store(d.clock.Add(1) << 1)
+	dl.publish(v.id, d.clock.Add(1))
 	return x
 }

@@ -77,8 +77,6 @@ type MultiDesc struct {
 // makes the leg a pure validation (a DCSS read-guard generalized to N legs).
 type Entry interface {
 	varID() uint64
-	stripeIdx() uint32
-	stripePtr() *stripe
 	writes() bool
 	dom() *Domain
 	claim(m *MultiDesc) (claimResult, *MultiDesc)
@@ -111,11 +109,9 @@ func (u *Update[T]) SetNew(x T) { u.new = x }
 // IsWrite reports whether the leg changes the value.
 func (u *Update[T]) IsWrite() bool { return u.old != u.new }
 
-func (u *Update[T]) varID() uint64      { return u.v.id }
-func (u *Update[T]) stripeIdx() uint32  { return u.v.sidx }
-func (u *Update[T]) stripePtr() *stripe { return u.v.st }
-func (u *Update[T]) writes() bool       { return u.old != u.new }
-func (u *Update[T]) dom() *Domain       { return u.v.d }
+func (u *Update[T]) varID() uint64 { return u.v.id }
+func (u *Update[T]) writes() bool  { return u.old != u.new }
+func (u *Update[T]) dom() *Domain  { return u.v.d }
 
 func (u *Update[T]) claim(m *MultiDesc) (claimResult, *MultiDesc) {
 	for {
@@ -259,24 +255,29 @@ func (m *MultiDesc) decide() {
 		return
 	}
 	d := m.d
-	stripes := make([]decStripe, 0, len(m.entries))
-merge:
-	for _, e := range m.entries {
-		idx := e.stripeIdx()
-		for i := range stripes {
-			if stripes[i].idx == idx {
-				if e.writes() && !stripes[i].write {
-					stripes[i].write = true
-					stripes[i].varID = e.varID()
-				}
-				continue merge
-			}
+	// Merge the entries onto the stripes of every live table generation —
+	// both during a ResizeStripes migration — locking prev-generation
+	// stripes first, then current, each group ascending (the same global
+	// order the commit path and direct writers follow, so spinning
+	// acquirers never deadlock). Re-check the generation pair after
+	// locking: a swap in between would leave one generation unbumped.
+	var stripes []decStripe
+	for {
+		p := d.pair()
+		stripes = stripes[:0]
+		if p.prev != nil {
+			stripes = appendDecStripes(stripes, p.prev, m.entries)
 		}
-		stripes = append(stripes, decStripe{s: e.stripePtr(), idx: idx, varID: e.varID(), write: e.writes()})
-	}
-	sort.Slice(stripes, func(i, j int) bool { return stripes[i].idx < stripes[j].idx })
-	for i := range stripes {
-		stripes[i].prev = acquire(stripes[i].s, stripes[i].varID)
+		stripes = appendDecStripes(stripes, p.cur, m.entries)
+		for i := range stripes {
+			stripes[i].prev = acquire(stripes[i].s, stripes[i].varID)
+		}
+		if d.tbls.Load() == p {
+			break
+		}
+		for i := range stripes {
+			stripes[i].s.word.Store(stripes[i].prev)
+		}
 	}
 	if m.status.CompareAndSwap(mwUndecided, mwSucceeded) {
 		wv := d.clock.Add(1)
@@ -300,6 +301,29 @@ merge:
 	}
 }
 
+// appendDecStripes appends one decision record per distinct stripe the
+// entries hash to in table t, sorted ascending within the appended group.
+func appendDecStripes(out []decStripe, t *stripeTable, entries []Entry) []decStripe {
+	base := len(out)
+merge:
+	for _, e := range entries {
+		idx := t.indexOf(e.varID())
+		for i := base; i < len(out); i++ {
+			if out[i].idx == idx {
+				if e.writes() && !out[i].write {
+					out[i].write = true
+					out[i].varID = e.varID()
+				}
+				continue merge
+			}
+		}
+		out = append(out, decStripe{s: &t.stripes[idx], idx: idx, varID: e.varID(), write: e.writes()})
+	}
+	grp := out[base:]
+	sort.Slice(grp, func(i, j int) bool { return grp[i].idx < grp[j].idx })
+	return out
+}
+
 // releaseAll returns every claimed cell to a plain value: the new value if
 // the operation succeeded, the old value otherwise. Idempotent.
 func (m *MultiDesc) releaseAll() {
@@ -321,29 +345,40 @@ func MultiValidate(entries ...Entry) bool {
 		return true
 	}
 	d := entries[0].dom()
-	seen := make([]uint64, d.table().words)
-	strps := make([]*stripe, 0, len(entries))
 	for _, e := range entries {
 		if e.dom() != d {
 			panic("htm: MultiValidate entries span domains")
 		}
-		i := e.stripeIdx()
-		w, b := i>>6, uint64(1)<<(i&63)
-		if seen[w]&b == 0 {
-			seen[w] |= b
-			strps = append(strps, e.stripePtr())
-		}
 	}
-	snaps := make([]uint64, len(strps))
+	var strps []*stripe
+	var snaps []uint64
 retry:
 	for {
-		for i, s := range strps {
+		// Resolve the stripes against the CURRENT generation each try, and
+		// only trust a window in which the generation pair did not change:
+		// after a swap's grace period writers stop bumping retired stripes,
+		// so a stale stripe set would miss them. Pair pointers are fresh
+		// per swap, so equality means no swap overlapped the window.
+		p := d.pair()
+		t := p.cur
+		seen := make([]uint64, t.words)
+		strps = strps[:0]
+		for _, e := range entries {
+			i := t.indexOf(e.varID())
+			w, b := i>>6, uint64(1)<<(i&63)
+			if seen[w]&b == 0 {
+				seen[w] |= b
+				strps = append(strps, &t.stripes[i])
+			}
+		}
+		snaps = snaps[:0]
+		for _, s := range strps {
 			w := s.word.Load()
 			if w&1 != 0 {
 				runtime.Gosched()
 				continue retry
 			}
-			snaps[i] = w
+			snaps = append(snaps, w)
 		}
 		ok := true
 		for _, e := range entries {
@@ -356,6 +391,9 @@ retry:
 			if s.word.Load() != snaps[i] {
 				continue retry
 			}
+		}
+		if d.tbls.Load() != p {
+			continue retry
 		}
 		return ok
 	}

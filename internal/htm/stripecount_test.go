@@ -22,8 +22,8 @@ func TestStripeCountOption(t *testing.T) {
 			t.Fatalf("stripes(%d) = %d", n, got)
 		}
 		v := NewVar(d, 0)
-		if int(v.sidx) >= n {
-			t.Fatalf("stripe index %d out of range for %d stripes", v.sidx, n)
+		if int(sidxOf(d, v)) >= n {
+			t.Fatalf("stripe index %d out of range for %d stripes", sidxOf(d, v), n)
 		}
 	}
 	for _, n := range []int{-1, 3, 6, 100} {

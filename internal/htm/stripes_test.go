@@ -5,6 +5,12 @@ import (
 	"testing"
 )
 
+// sidxOf resolves a Var's stripe index in the domain's current table
+// generation (the cached field it replaces went away with ResizeStripes).
+func sidxOf[T comparable](d *Domain, v *Var[T]) uint32 {
+	return d.table().indexOf(v.id)
+}
+
 // aliasVar allocates Vars until one hashes to the same stripe as a — the
 // deliberate stripe-alias pair the classification tests need. The Fibonacci
 // stripe hash walks every bucket within a few multiples of the table size,
@@ -13,11 +19,11 @@ func aliasVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
 	t.Helper()
 	for i := 0; i < 16*d.Stripes(); i++ {
 		b := NewVar(d, 0)
-		if b.sidx == a.sidx {
+		if sidxOf(d, b) == sidxOf(d, a) {
 			return b
 		}
 	}
-	t.Fatalf("no Var aliasing stripe %d after %d allocations", a.sidx, 16*d.Stripes())
+	t.Fatalf("no Var aliasing stripe %d after %d allocations", sidxOf(d, a), 16*d.Stripes())
 	return nil
 }
 
@@ -26,11 +32,11 @@ func disjointVar(t *testing.T, d *Domain, a *Var[int]) *Var[int] {
 	t.Helper()
 	for i := 0; i < 16*d.Stripes(); i++ {
 		b := NewVar(d, 0)
-		if b.sidx != a.sidx {
+		if sidxOf(d, b) != sidxOf(d, a) {
 			return b
 		}
 	}
-	t.Fatalf("no Var avoiding stripe %d after %d allocations", a.sidx, 16*d.Stripes())
+	t.Fatalf("no Var avoiding stripe %d after %d allocations", sidxOf(d, a), 16*d.Stripes())
 	return nil
 }
 
@@ -137,7 +143,7 @@ func TestCommitValidationClassifiesAlias(t *testing.T) {
 	d := NewDomain(0, 0)
 	a := NewVar(d, 1)
 	w := NewVar(d, 0) // write target, any stripe not aliasing a
-	if w.sidx == a.sidx {
+	if sidxOf(d, w) == sidxOf(d, a) {
 		w = disjointVar(t, d, a)
 	}
 	b := aliasVar(t, d, a)

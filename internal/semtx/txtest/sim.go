@@ -11,17 +11,16 @@ import (
 	"repro/internal/telemetry"
 )
 
-// RunSim runs the tester on the modeled substrate: the three simulated set
-// adapters (BST, 16-bucket hash table, skiplist) plus a simulated MS queue
-// on a cfg.Threads-thread machine, the same corpus generator, the same
-// stamp-ordered replay. The machine's scheduler serializes simulated memory
-// accesses but the thread bodies are real goroutines between sim calls, so
-// the commit log is mutex-protected exactly as on the runtime substrate.
-// (No simulated PQ adapter exists yet — see ROADMAP — so the sim shape has
-// no PQ and the generator emits no Push/PopMin here.)
+// RunSim runs the tester on the modeled substrate: the four simulated set
+// adapters (BST, 16-bucket hash table, skiplist, Harris list) plus a
+// simulated MS queue on a cfg.Threads-thread machine, the same corpus
+// generator, the same stamp-ordered replay. The machine's scheduler
+// serializes simulated memory accesses but the thread bodies are real
+// goroutines between sim calls, so the commit log is mutex-protected
+// exactly as on the runtime substrate.
 func RunSim(cfg Config) Result {
 	cfg.defaults()
-	sh := Shape{Sets: 3, Queues: 1, PQs: 0}
+	sh := Shape{Sets: 4, Queues: 1, PQs: 0}
 
 	machine := sim.New(sim.DefaultConfig(cfg.Threads))
 	setup := machine.Thread(0)
@@ -31,9 +30,11 @@ func RunSim(cfg Config) Result {
 	h := simds.NewSimHash(setup, simds.HashPTO, 16, cfg.Threads)
 	h.Stabilize(setup)
 	sk := simds.NewSimSkip(setup, false, cfg.Threads)
+	li := simds.NewSimList(setup, false, cfg.Threads)
 	reg.AddSet("bst", b)
 	reg.AddSet("hashtable", h)
 	reg.AddSet("skiplist", sk)
+	reg.AddSet("list", li)
 	q := simds.NewSimMSQueue(setup, true)
 	reg.AddQueue("ingress", q)
 
@@ -43,7 +44,7 @@ func RunSim(cfg Config) Result {
 		WithTelemetry(tel)
 	w := &world[*simtxn.Ctx, uint64]{
 		mgr:    sm,
-		sets:   []string{"bst", "hashtable", "skiplist"},
+		sets:   []string{"bst", "hashtable", "skiplist", "list"},
 		queues: []string{"ingress"},
 		key:    func(u uint64) uint64 { return u },
 		canon:  func(k uint64) uint64 { return k },
@@ -83,7 +84,7 @@ func RunSim(cfg Config) Result {
 
 	tw := replay(cfg, sh, corpus, commits, &res)
 	members := make([]map[uint64]bool, sh.Sets)
-	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup)} {
+	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup), li.Keys(setup)} {
 		members[i] = make(map[uint64]bool, len(keys))
 		for _, k := range keys {
 			members[i][k] = true

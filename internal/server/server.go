@@ -8,16 +8,18 @@ import (
 
 	"repro/internal/speculate"
 	"repro/internal/telemetry"
+	"repro/internal/tune"
 )
 
 // Defaults for Config's zero values.
 const (
-	DefaultShards     = 4
-	DefaultEpoch      = 500 * time.Microsecond
-	DefaultMaxBatch   = 64
-	DefaultAdmitFloor = 0.2 // mirrors speculate.DefaultMinCommitRatio
-	DefaultAdmitMin   = 32
-	DefaultAdmitEvery = 100 * time.Millisecond
+	DefaultShards       = 4
+	DefaultEpoch        = 500 * time.Microsecond
+	DefaultMaxBatch     = 64
+	DefaultAdmitFloor   = 0.2 // mirrors speculate.DefaultMinCommitRatio
+	DefaultAdmitMin     = 32
+	DefaultAdmitEvery   = 100 * time.Millisecond
+	DefaultTuneInterval = 50 * time.Millisecond
 )
 
 // Config parameterizes a Server. The zero value is a working 4-shard
@@ -53,6 +55,13 @@ type Config struct {
 	AdmitMinAttempts int
 	AdmitInterval    time.Duration
 
+	// TuneInterval is each shard's self-tuning controller cadence (stripe
+	// remapping, batch-size AIMD, speculation-budget retuning; see
+	// internal/tune). Zero selects DefaultTuneInterval; negative disables
+	// the background controllers — they are still constructed, so tests
+	// drive Step on their own clock and /statz still reports their state.
+	TuneInterval time.Duration
+
 	// Registry receives every shard's telemetry (nil: a fresh registry).
 	// Expose it with telemetry's existing expvar/Prometheus exporters.
 	Registry *telemetry.Registry
@@ -82,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.AdmitInterval == 0 {
 		c.AdmitInterval = DefaultAdmitEvery
 	}
+	if c.TuneInterval == 0 {
+		c.TuneInterval = DefaultTuneInterval
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -108,6 +120,23 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg, s.reg)
 		sh.b = newBatcher(sh, cfg.Epoch, cfg.MaxBatch, cfg.batchTick)
+		// One self-tuning controller per shard, steering the shard's own
+		// stripe table, its batcher's chunk size, and its speculation
+		// site's budgets from the shard's own telemetry deltas. The
+		// domain's configured stripe count is the shrink floor: the
+		// controller grows past it under alias pressure and returns to it
+		// after sustained calm, never below provisioned capacity.
+		sh.tuner = tune.New(tune.Config{
+			Registry:   s.reg,
+			SitePrefix: siteName(i),
+			Interval:   cfg.TuneInterval,
+			Domain:     sh.m.Domain(),
+			MinStripes: sh.m.Domain().Stripes(),
+			Batch:      sh.b,
+			MaxBatch:   cfg.MaxBatch,
+			Budgets:    sh.m.Site().Actuator(),
+		})
+		sh.tuner.Start()
 		s.shards = append(s.shards, sh)
 	}
 	s.adm = newAdmission(s.shards, cfg.AdmitFloor, cfg.AdmitMinAttempts, cfg.AdmitInterval)
@@ -123,6 +152,11 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // request can race the drain. Safe to call more than once.
 func (s *Server) Close() {
 	s.once.Do(func() {
+		// Tuners stop first so no stripe remap or batch retune lands while
+		// the batchers drain their final epochs.
+		for _, sh := range s.shards {
+			sh.tuner.Stop()
+		}
 		for _, sh := range s.shards {
 			sh.b.close()
 		}
@@ -160,6 +194,11 @@ type ShardStats struct {
 	BatchedOps uint64                           `json:"batched_ops"`
 	BatchSizes telemetry.WidthHistogramSnapshot `json:"batch_sizes"`
 
+	// Tune is the shard's self-tuning controller state: current stripe
+	// count and batch k, effective speculation budgets, and how many
+	// actuations each control law has fired.
+	Tune tune.Snapshot `json:"tune"`
+
 	// Open-transaction counters (/v1/txn): committed transactions, commits
 	// retried after a semantic validation mismatch, and bodies that aborted
 	// (assert mismatches and restriction violations).
@@ -180,6 +219,7 @@ type Stats struct {
 	Batches      uint64       `json:"total_batches"`
 	BatchedOps   uint64       `json:"total_batched_ops"`
 	OpenTxns     uint64       `json:"total_open_txns"`
+	TuneActions  uint64       `json:"total_tune_actions"`
 }
 
 // Stats snapshots every shard.
@@ -204,6 +244,7 @@ func (s *Server) Stats() Stats {
 			Batches:         sh.b.batches.Load(),
 			BatchedOps:      sh.b.batchedOps.Load(),
 			BatchSizes:      sh.b.sizes.Snapshot(),
+			Tune:            sh.tuner.Snapshot(),
 			OpenTxns:        open.Txns,
 			OpenRetries:     open.SemRetries,
 			OpenUserAborts:  open.UserAborts,
@@ -214,6 +255,7 @@ func (s *Server) Stats() Stats {
 		out.Batches += st.Batches
 		out.BatchedOps += st.BatchedOps
 		out.OpenTxns += st.OpenTxns
+		out.TuneActions += st.Tune.Actions
 	}
 	return out
 }

@@ -345,6 +345,104 @@ func (s *SimSkip) TxRemove(c *simtxn.Ctx, key uint64) bool {
 	return true
 }
 
+// txListSearch is the Harris list's non-helping search, the single-level
+// analogue of SimSkip.txFind: marked nodes are skipped in place (a next
+// word, once marked, is never written again, so the chain of corpses
+// between a validated predecessor and curr is immutable), pred only ever
+// advances onto nodes whose next word was observed unmarked, and pw — the
+// predecessor's observed next word — is the one word whose stability pins
+// the whole gap. Next words are line-aligned addresses with the mark in
+// bit 0 (bit 63 clear: Read/Write-safe); key words use PeekRaw (the tail
+// sentinel is all-ones).
+func (l *SimList) txListSearch(c *simtxn.Ctx, key uint64) (pred, curr sim.Addr, pw uint64) {
+	pred = l.head
+	pw = c.Peek(pred + 1)
+	if pw&1 != 0 {
+		c.Retry() // the head is never removed; claimed mid-protocol
+	}
+	curr = sim.Addr(pw &^ 1)
+	for {
+		cw := c.Peek(curr + 1)
+		for cw&1 != 0 {
+			curr = sim.Addr(cw &^ 1)
+			cw = c.Peek(curr + 1)
+		}
+		if c.PeekRaw(curr) < key {
+			pred, pw, curr = curr, cw, sim.Addr(cw&^1)
+		} else {
+			return
+		}
+	}
+}
+
+// TxContains reports membership as part of a composed operation. Presence
+// is witnessed by the key node's own unmarked next word; absence by the
+// predecessor's next word spanning the gap.
+func (l *SimList) TxContains(c *simtxn.Ctx, key uint64) bool {
+	pred, curr, pw := l.txListSearch(c, key)
+	if c.PeekRaw(curr) == key {
+		if c.Read(curr+1)&1 != 0 {
+			c.Retry() // deleted between search and record; re-run
+		}
+		return true
+	}
+	if c.Read(pred+1) != pw {
+		c.Retry()
+	}
+	return false
+}
+
+// TxInsert adds key as part of a composed operation, reporting false if
+// present. The node is private until the commit publishes the predecessor's
+// next word — the same single-word publication as the structure's own
+// prefix transaction.
+func (l *SimList) TxInsert(c *simtxn.Ctx, key uint64) bool {
+	t := c.Thread()
+	pred, curr, pw := l.txListSearch(c, key)
+	if c.PeekRaw(curr) == key {
+		if c.Read(curr+1)&1 != 0 {
+			c.Retry()
+		}
+		return false
+	}
+	if c.Read(pred+1) != pw {
+		c.Retry()
+	}
+	n := t.AllocLocal(listNodeWords)
+	t.Store(n, key)
+	t.Store(n+1, uint64(curr))
+	c.Write(pred+1, uint64(n))
+	return true
+}
+
+// TxRemove deletes key as part of a composed operation, reporting false if
+// absent. Unlike the multi-level SimSkip — whose composed removal can only
+// mark — the single-level list marks AND snips in the one atomic step:
+// the victim's next word takes the mark and the predecessor's next word
+// swings past it (and past any already-marked corpses in between, which
+// are immutable) in the same publication. The snipped node leaks (closed
+// world, no epoch bracket); the simulated machine never reuses addresses,
+// so stale readers stay safe.
+func (l *SimList) TxRemove(c *simtxn.Ctx, key uint64) bool {
+	pred, curr, pw := l.txListSearch(c, key)
+	if c.PeekRaw(curr) != key {
+		if c.Read(pred+1) != pw {
+			c.Retry()
+		}
+		return false
+	}
+	w0 := c.Read(curr + 1)
+	if w0&1 != 0 {
+		return false // lost the race: linearized as "absent"
+	}
+	if c.Read(pred+1) != pw {
+		c.Retry()
+	}
+	c.Write(curr+1, w0|1)
+	c.Write(pred+1, w0&^1)
+	return true
+}
+
 // TxPush inserts prio as part of a composed operation (duplicates allowed),
 // mirroring SimSkipQ.Push: the priority is widened with a per-thread
 // duplicate-breaking sequence field and inserted into the underlying set.

@@ -1,0 +1,175 @@
+// actuator.go is the online-tuning seam of the speculation engine: a small
+// atomic overlay over a Core's statically-declared budgets that a background
+// controller (internal/tune) can mutate while operations are in flight.
+//
+// The overlay is deliberately weaker than the declaration language it sits
+// on. An override can only move a budget *within* the envelope the site
+// declared at construction — attempts clamp to [1, static budget] and help
+// budgets to [0, static help budget] — and a level that did not declare Help
+// can never have helping enabled online (DefersAt is derived from the
+// declared shape at construction; flipping Help at runtime would let an
+// attempt defer toward a tier that will never come). Under those rules every
+// decision sequence an actuated Core can produce is one some static
+// configuration could also have produced, so the safety arguments for the
+// static engine carry over unchanged.
+package speculate
+
+import "sync/atomic"
+
+// Actuator is the mutable overlay for one site's Core. All methods are safe
+// for concurrent use: the controller writes overrides while operation
+// threads read them on every Walk decision. Levels are indexed as in
+// Core.Levels (outermost first).
+type Actuator struct {
+	levels []actLevel
+}
+
+type actLevel struct {
+	name     string
+	attCeil  int // static attempt budget at attach time (the clamp ceiling)
+	helpCeil int // static help budget at attach time; 0 = non-helping level
+	// attempts holds the override as-is (0 = unset). help holds override+1
+	// so an explicit "help 0" override is distinguishable from unset.
+	attempts atomic.Int64
+	help     atomic.Int64
+}
+
+// EnableActuation attaches a fresh Actuator to the Core and returns it. The
+// static budgets resolved at this moment become the clamp ceilings for every
+// later override. Sites call this once on their own Core copy; the returned
+// handle is what the tune controller holds.
+func (c *Core) EnableActuation() *Actuator {
+	a := &Actuator{levels: make([]actLevel, len(c.levels))}
+	for i := range c.levels {
+		a.levels[i] = actLevel{
+			name:     c.levels[i].Name,
+			attCeil:  c.Budget(i),
+			helpCeil: c.HelpBudget(i),
+		}
+	}
+	c.act = a
+	return a
+}
+
+// Actuator returns the attached overlay, nil when actuation is not enabled.
+func (c *Core) Actuator() *Actuator { return c.act }
+
+// Len returns the number of levels the actuator spans.
+func (a *Actuator) Len() int { return len(a.levels) }
+
+// LevelName returns the declared name of the given level.
+func (a *Actuator) LevelName(level int) string {
+	if level < 0 || level >= len(a.levels) {
+		return ""
+	}
+	return a.levels[level].name
+}
+
+// SetAttempts overrides the level's attempt budget, clamped to
+// [1, static budget]; n <= 0 clears the override back to the static value.
+// It returns the effective budget after the call (the static budget when the
+// level is out of range).
+func (a *Actuator) SetAttempts(level, n int) int {
+	if level < 0 || level >= len(a.levels) {
+		return 0
+	}
+	l := &a.levels[level]
+	if n <= 0 {
+		l.attempts.Store(0)
+		return l.attCeil
+	}
+	if n > l.attCeil {
+		n = l.attCeil
+	}
+	l.attempts.Store(int64(n))
+	return n
+}
+
+// Attempts returns the level's effective attempt budget: the override when
+// set, else the static budget.
+func (a *Actuator) Attempts(level int) int {
+	if level < 0 || level >= len(a.levels) {
+		return 0
+	}
+	l := &a.levels[level]
+	if o := l.attempts.Load(); o > 0 {
+		return int(o)
+	}
+	return l.attCeil
+}
+
+// HelpCapable reports whether the level declared helping statically —
+// the only levels whose help budget the overlay can steer.
+func (a *Actuator) HelpCapable(level int) bool {
+	return level >= 0 && level < len(a.levels) && a.levels[level].helpCeil > 0
+}
+
+// SetHelpBudget overrides the level's help budget, clamped to
+// [0, static help budget]; n < 0 clears the override. A level that declared
+// no helping statically is a no-op (helping cannot be enabled online), so
+// the call returns 0 there. An override of 0 keeps the level a helping
+// level whose attempts help no descriptors before deferring — the shape
+// (and thus DefersAt for shallower levels) is unchanged.
+func (a *Actuator) SetHelpBudget(level, n int) int {
+	if level < 0 || level >= len(a.levels) {
+		return 0
+	}
+	l := &a.levels[level]
+	if l.helpCeil == 0 {
+		return 0
+	}
+	if n < 0 {
+		l.help.Store(0)
+		return l.helpCeil
+	}
+	if n > l.helpCeil {
+		n = l.helpCeil
+	}
+	l.help.Store(int64(n) + 1)
+	return n
+}
+
+// HelpBudgetAt returns the level's effective help budget: the override when
+// set, else the static budget (0 for non-helping levels).
+func (a *Actuator) HelpBudgetAt(level int) int {
+	if level < 0 || level >= len(a.levels) {
+		return 0
+	}
+	l := &a.levels[level]
+	if l.helpCeil == 0 {
+		return 0
+	}
+	if o := l.help.Load(); o > 0 {
+		return int(o - 1)
+	}
+	return l.helpCeil
+}
+
+// ActuatorLevelSnapshot is one level's view for diagnostics (/statz).
+type ActuatorLevelSnapshot struct {
+	Name            string `json:"name"`
+	Attempts        int    `json:"attempts"`
+	StaticAttempts  int    `json:"static_attempts"`
+	HelpBudget      int    `json:"help_budget"`
+	StaticHelp      int    `json:"static_help"`
+	AttemptOverride bool   `json:"attempt_override"`
+	HelpOverride    bool   `json:"help_override"`
+}
+
+// Snapshot returns the current effective budgets per level.
+func (a *Actuator) Snapshot() []ActuatorLevelSnapshot {
+	out := make([]ActuatorLevelSnapshot, len(a.levels))
+	for i := range a.levels {
+		l := &a.levels[i]
+		out[i] = ActuatorLevelSnapshot{
+			Name:            l.name,
+			Attempts:        a.Attempts(i),
+			StaticAttempts:  l.attCeil,
+			HelpBudget:      a.HelpBudgetAt(i),
+			StaticHelp:      l.helpCeil,
+			AttemptOverride: l.attempts.Load() > 0,
+			HelpOverride:    l.help.Load() > 0,
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package speculate
+
+import "testing"
+
+// TestActuatorCeilings pins the overlay's safety envelope: overrides clamp
+// to the statically-declared budgets, clearing restores the static value,
+// and a non-helping level can never have helping enabled online.
+func TestActuatorCeilings(t *testing.T) {
+	c := Fixed(0).Core(
+		Level{Name: "fast", Attempts: 6},
+		MiddleLevel(3, 4),
+	)
+	a := c.EnableActuation()
+	if a.Len() != 2 || c.Actuator() != a {
+		t.Fatal("actuator not attached")
+	}
+	if c.Budget(0) != 6 || c.Budget(1) != 3 {
+		t.Fatalf("default budgets = %d,%d, want statics", c.Budget(0), c.Budget(1))
+	}
+	if got := a.SetAttempts(0, 2); got != 2 || c.Budget(0) != 2 {
+		t.Fatalf("SetAttempts(0,2): got %d, Budget=%d", got, c.Budget(0))
+	}
+	if got := a.SetAttempts(0, 99); got != 6 || c.Budget(0) != 6 {
+		t.Fatalf("over-ceiling SetAttempts: got %d, Budget=%d, want clamp to 6", got, c.Budget(0))
+	}
+	if got := a.SetAttempts(0, 0); got != 6 || c.Budget(0) != 6 {
+		t.Fatalf("clear: got %d, Budget=%d, want static 6", got, c.Budget(0))
+	}
+	// Help budget: middle level declared 4.
+	if c.HelpBudget(1) != 4 {
+		t.Fatalf("static help = %d, want 4", c.HelpBudget(1))
+	}
+	if got := a.SetHelpBudget(1, 0); got != 0 || c.HelpBudget(1) != 0 {
+		t.Fatalf("SetHelpBudget(1,0): got %d, HelpBudget=%d, want explicit 0", got, c.HelpBudget(1))
+	}
+	if got := a.SetHelpBudget(1, 50); got != 4 || c.HelpBudget(1) != 4 {
+		t.Fatalf("over-ceiling help: got %d, HelpBudget=%d, want clamp to 4", got, c.HelpBudget(1))
+	}
+	if got := a.SetHelpBudget(1, -1); got != 4 || c.HelpBudget(1) != 4 {
+		t.Fatalf("clear help: got %d, HelpBudget=%d, want static 4", got, c.HelpBudget(1))
+	}
+	// Fast level declared no helping: it cannot be enabled online.
+	if got := a.SetHelpBudget(0, 3); got != 0 || c.HelpBudget(0) != 0 {
+		t.Fatalf("helping enabled online on non-helping level: got %d, HelpBudget=%d", got, c.HelpBudget(0))
+	}
+	// The shape stays helping under an explicit-0 override, so DefersAt for
+	// the fast level is unchanged.
+	a.SetHelpBudget(1, 0)
+	if !c.DefersAt(0) {
+		t.Fatal("DefersAt(0) flipped under a help override")
+	}
+	snap := a.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "fast" || snap[1].StaticHelp != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !snap[1].HelpOverride || snap[1].HelpBudget != 0 {
+		t.Fatalf("snapshot[1] = %+v, want help override 0 visible", snap[1])
+	}
+}
+
+// TestActuatorGlobalAttemptsCeiling: with Policy.Attempts set, the global
+// override is the ceiling at every level.
+func TestActuatorGlobalAttemptsCeiling(t *testing.T) {
+	c := Fixed(5).Core(Level{Name: "fast", Attempts: 9})
+	a := c.EnableActuation()
+	if c.Budget(0) != 5 {
+		t.Fatalf("Budget = %d, want policy 5", c.Budget(0))
+	}
+	if got := a.SetAttempts(0, 7); got != 5 {
+		t.Fatalf("SetAttempts(0,7) = %d, want clamp to policy ceiling 5", got)
+	}
+	if got := a.SetAttempts(0, 1); got != 1 || c.Budget(0) != 1 {
+		t.Fatalf("SetAttempts(0,1): got %d, Budget=%d", got, c.Budget(0))
+	}
+}

@@ -63,13 +63,17 @@ const (
 	RuleExhaust
 )
 
-// Core binds a Policy to one site's level budgets. It is immutable after
-// construction and safe to share; per-operation state lives in Walk, and
-// cross-operation adaptive state lives in the drivers (which consult
-// ShouldDisable / WindowSize / DisableOps for the thresholds).
+// Core binds a Policy to one site's level budgets. The declaration is
+// immutable after construction and safe to share; per-operation state lives
+// in Walk, and cross-operation adaptive state lives in the drivers (which
+// consult ShouldDisable / WindowSize / DisableOps for the thresholds). The
+// one mutable seam is act — an optional atomic overlay a background
+// controller steers within the declared budgets (see actuator.go); nil for
+// Cores that never call EnableActuation.
 type Core struct {
 	pol    Policy
 	levels []Level
+	act    *Actuator
 }
 
 // Core binds the policy to a PTO composition's tiers, outermost first.
@@ -83,11 +87,16 @@ func (c *Core) Policy() Policy { return c.pol }
 // Levels returns the bound level descriptors, outermost first.
 func (c *Core) Levels() []Level { return c.levels }
 
-// Budget returns the attempt budget of the given level: Policy.Attempts
-// when positive, else the level's own default; zero past the last level.
+// Budget returns the attempt budget of the given level: the actuator's
+// override when one is set (always within the static budget), else
+// Policy.Attempts when positive, else the level's own default; zero past
+// the last level.
 func (c *Core) Budget(level int) int {
 	if level >= len(c.levels) {
 		return 0
+	}
+	if c.act != nil {
+		return c.act.Attempts(level)
 	}
 	if c.pol.Attempts > 0 {
 		return c.pol.Attempts
@@ -133,6 +142,9 @@ func (c *Core) explicitRule(level int) Rule {
 func (c *Core) HelpBudget(level int) int {
 	if level >= len(c.levels) || !c.levels[level].Help {
 		return 0
+	}
+	if c.act != nil {
+		return c.act.HelpBudgetAt(level)
 	}
 	if c.levels[level].HelpBudget > 0 {
 		return c.levels[level].HelpBudget

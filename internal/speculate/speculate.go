@@ -284,8 +284,14 @@ func (p Policy) NewSite(name string, legacy *core.Stats, levels ...Level) *Site 
 		}
 	}
 	s.rng.Store(0x9E3779B97F4A7C15)
+	s.c.EnableActuation()
 	return s
 }
+
+// Actuator returns the site's online-tuning overlay: the handle the tune
+// controller mutates to retune per-level budgets within their declared
+// static ceilings.
+func (s *Site) Actuator() *Actuator { return s.c.Actuator() }
 
 // Core returns the site's bound decision core (read-only: level
 // descriptors, resolved budgets). Drivers that run the walk themselves —

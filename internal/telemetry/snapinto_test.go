@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func populatedRegistry() *Registry {
+	r := NewRegistry()
+	for i := 0; i < 6; i++ {
+		s := r.Site(fmt.Sprintf("site%d", i))
+		s.Attempts.Add(uint64(10 * (i + 1)))
+		s.Commits.Add(uint64(8 * (i + 1)))
+		s.Conflicts.Add(uint64(i))
+		s.SpecNanos.Observe(uint64(100 * (i + 1)))
+	}
+	c := r.Composed("comp")
+	c.Ops.Add(40)
+	c.FastCommits.Add(30)
+	c.Width.Observe(3)
+	o := r.Open("open")
+	o.Txns.Add(7)
+	o.OpsPerTxn.Observe(2)
+	return r
+}
+
+// TestSnapshotIntoMatchesSnapshot: the buffered path produces the same
+// values as the allocating one, including after more activity and a
+// late-registered site.
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	r := populatedRegistry()
+	var buf Snapshot
+	r.SnapshotInto(&buf)
+	if !reflect.DeepEqual(buf, r.Snapshot()) {
+		t.Fatal("SnapshotInto differs from Snapshot")
+	}
+	r.Site("site0").Commits.Add(5)
+	r.Site("late") // registration mid-stream
+	r.SnapshotInto(&buf)
+	if !reflect.DeepEqual(buf, r.Snapshot()) {
+		t.Fatal("SnapshotInto differs from Snapshot after growth")
+	}
+}
+
+// TestDeltaIntoMatchesDelta covers both the aligned fast path (same
+// registry, prev-first) and the prefix case where sites registered between
+// the two snapshots.
+func TestDeltaIntoMatchesDelta(t *testing.T) {
+	r := populatedRegistry()
+	var prev, cur, delta Snapshot
+	r.SnapshotInto(&prev)
+	r.Site("site2").Attempts.Add(100)
+	r.Site("site2").Commits.Add(90)
+	r.Composed("comp").Ops.Add(11)
+	r.Open("open").Txns.Add(3)
+	newcomer := r.Site("newcomer")
+	newcomer.Attempts.Add(4)
+	r.SnapshotInto(&cur)
+	cur.DeltaInto(&prev, &delta)
+	want := cur.Delta(prev)
+	if !reflect.DeepEqual(delta, want) {
+		t.Fatal("DeltaInto differs from Delta on the aligned path")
+	}
+	if d := delta.Sites[2]; d.Attempts != 100 || d.Commits != 90 {
+		t.Fatalf("site2 delta = %+v", d)
+	}
+	last := delta.Sites[len(delta.Sites)-1]
+	if last.Name != "newcomer" || last.Attempts != 4 {
+		t.Fatalf("newcomer delta = %+v", last)
+	}
+	// Misaligned snapshots (different registries) fall back to by-name.
+	other := populatedRegistry()
+	var op Snapshot
+	other.SnapshotInto(&op)
+	op.Sites[0], op.Sites[1] = op.Sites[1], op.Sites[0] // break alignment
+	cur.DeltaInto(&op, &delta)
+	if !reflect.DeepEqual(delta, cur.Delta(op)) {
+		t.Fatal("DeltaInto differs from Delta on the fallback path")
+	}
+}
+
+// TestSamplerHotLoopAllocs pins the satellite fix: one sampler/controller
+// tick — SnapshotInto + DeltaInto over warmed buffers — allocates nothing,
+// so a 10ms controller cadence adds zero GC pressure to the workload it is
+// steering.
+func TestSamplerHotLoopAllocs(t *testing.T) {
+	r := populatedRegistry()
+	var prev, cur, delta Snapshot
+	r.SnapshotInto(&prev)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.SnapshotInto(&cur)
+		cur.DeltaInto(&prev, &delta)
+		prev, cur = cur, prev
+	})
+	if allocs != 0 {
+		t.Fatalf("snapshot+delta tick allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,0 +1,247 @@
+package tune
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/speculate"
+	"repro/internal/telemetry"
+)
+
+// The law tests drive the controller on a fake clock: each Step() is one
+// controller tick, and the "workload" between ticks is synthetic counter
+// bumps on a private registry — so every action sequence below is exactly
+// reproducible.
+
+// feed bumps the site's counters by one interval's worth of activity.
+func feed(s *telemetry.Site, attempts, commits, falseConf, capacity, fallbacks, helped uint64) {
+	s.Attempts.Add(attempts)
+	s.Commits.Add(commits)
+	s.Conflicts.Add(falseConf) // every synthetic false conflict is a conflict
+	s.FalseConflicts.Add(falseConf)
+	s.Capacity.Add(capacity)
+	s.Fallbacks.Add(fallbacks)
+	s.Helped.Add(helped)
+}
+
+// TestLawStripesConvergence: an alias burst fires exactly one remap per
+// crossing and then quiesces; sustained calm steps the table back down
+// after CalmIntervals, never below MinStripes.
+func TestLawStripesConvergence(t *testing.T) {
+	r := telemetry.NewRegistry()
+	site := r.Site("shard0/txn")
+	d := htm.NewDomainStripes(0, 0, 64)
+	c := New(Config{
+		Registry: r, SitePrefix: "shard0/", Domain: d,
+		CalmIntervals: 3, MinStripes: 64, MaxStripes: 256,
+	})
+	// Alias-heavy interval: 1000 attempts, 100 false conflicts (rate 0.1).
+	feed(site, 1000, 850, 100, 0, 0, 0)
+	if got := c.Step(); got != 1 {
+		t.Fatalf("alias burst: %d actions, want 1", got)
+	}
+	if d.Stripes() != 128 {
+		t.Fatalf("stripes = %d after burst, want 128", d.Stripes())
+	}
+	// Burst continues: one more doubling, then the MaxStripes wall.
+	feed(site, 1000, 850, 100, 0, 0, 0)
+	c.Step()
+	if d.Stripes() != 256 {
+		t.Fatalf("stripes = %d, want 256", d.Stripes())
+	}
+	feed(site, 1000, 850, 100, 0, 0, 0)
+	if got := c.Step(); got != 0 {
+		t.Fatalf("at MaxStripes: %d actions, want 0 (quiesced)", got)
+	}
+	if d.Stripes() != 256 {
+		t.Fatalf("stripes = %d, MaxStripes exceeded", d.Stripes())
+	}
+	// Calm phase: no shrink until CalmIntervals consecutive calm ticks.
+	for i := 0; i < 2; i++ {
+		feed(site, 1000, 1000, 0, 0, 0, 0)
+		if got := c.Step(); got != 0 {
+			t.Fatalf("calm tick %d acted (%d), want quiet", i, got)
+		}
+	}
+	feed(site, 1000, 1000, 0, 0, 0, 0)
+	if got := c.Step(); got != 1 {
+		t.Fatalf("3rd calm tick: %d actions, want the shrink", got)
+	}
+	if d.Stripes() != 128 {
+		t.Fatalf("stripes = %d after calm, want 128", d.Stripes())
+	}
+	// A fresh alias tick resets the calm counter.
+	feed(site, 1000, 850, 100, 0, 0, 0)
+	c.Step() // grows back to 256
+	feed(site, 1000, 1000, 0, 0, 0, 0)
+	feed2 := func() { feed(site, 1000, 1000, 0, 0, 0, 0) }
+	c.Step()
+	feed2()
+	c.Step()
+	feed2()
+	if got := c.Step(); got != 1 || d.Stripes() != 128 {
+		t.Fatalf("post-reset shrink: actions=%d stripes=%d, want 1, 128", got, d.Stripes())
+	}
+	// Idle intervals (below MinOps) never actuate.
+	feed(site, 10, 1, 9, 0, 0, 0) // tiny but alias-heavy
+	if got := c.Step(); got != 0 {
+		t.Fatalf("idle interval acted (%d)", got)
+	}
+	snap := c.Snapshot()
+	if snap.RemapActions != 5 || snap.Actions != 5 || snap.Stripes != 128 {
+		t.Fatalf("snapshot = %+v, want 5 remaps at 128 stripes", snap)
+	}
+}
+
+// fakeBatch is a BatchSetter recording the AIMD trajectory.
+type fakeBatch struct {
+	k   int
+	min int
+	max int
+	log []int
+}
+
+func (b *fakeBatch) BatchK() int { return b.k }
+func (b *fakeBatch) SetBatchK(n int) int {
+	if n < b.min {
+		n = b.min
+	}
+	if n > b.max {
+		n = b.max
+	}
+	b.k = n
+	b.log = append(b.log, n)
+	return n
+}
+
+// TestLawBatchAIMD: capacity-heavy intervals halve k, clean intervals grow
+// it by one, and the trajectory reaches a steady state at the ceiling when
+// the capacity pressure ends.
+func TestLawBatchAIMD(t *testing.T) {
+	r := telemetry.NewRegistry()
+	site := r.Site("shard0/txn")
+	b := &fakeBatch{k: 16, min: 1, max: 20}
+	c := New(Config{Registry: r, Batch: b, MaxBatch: 20})
+	// Three capacity-heavy intervals: 16 → 8 → 4 → 2.
+	for i := 0; i < 3; i++ {
+		feed(site, 1000, 700, 0, 100, 0, 0) // capacity rate 0.1
+		if got := c.Step(); got != 1 {
+			t.Fatalf("capacity tick %d: %d actions, want 1", i, got)
+		}
+	}
+	if b.k != 2 {
+		t.Fatalf("k = %d after MD phase, want 2", b.k)
+	}
+	// Clean intervals: additive increase to the ceiling, then steady.
+	for i := 0; i < 30; i++ {
+		feed(site, 1000, 980, 0, 0, 0, 0)
+		c.Step()
+	}
+	if b.k != 20 {
+		t.Fatalf("k = %d after AI phase, want ceiling 20", b.k)
+	}
+	feed(site, 1000, 980, 0, 0, 0, 0)
+	if got := c.Step(); got != 0 {
+		t.Fatalf("at ceiling: %d actions, want steady state", got)
+	}
+	want := []int{8, 4, 2, 3, 4, 5}
+	for i, w := range want {
+		if b.log[i] != w {
+			t.Fatalf("trajectory %v..., want %v at step %d", b.log[:len(want)], w, i)
+		}
+	}
+	// Middling interval (commit ratio below GrowRatio, no capacity): hold.
+	feed(site, 1000, 500, 0, 0, 0, 0)
+	if got := c.Step(); got != 0 || b.k != 20 {
+		t.Fatalf("middling interval: actions=%d k=%d, want hold", got, b.k)
+	}
+}
+
+// TestLawBudgetsCeilingsAndRetune: the budget law shrinks the fast level's
+// attempts when its commit ratio collapses, restores them on recovery, and
+// steers the middle help budget by rescue value — never exceeding either
+// configured ceiling.
+func TestLawBudgetsCeilingsAndRetune(t *testing.T) {
+	r := telemetry.NewRegistry()
+	fast := r.SiteAt("shard0/txn/fast", "fast")
+	mid := r.SiteAt("shard0/txn/middle", "middle")
+	core := speculate.Fixed(0).Core(
+		speculate.Level{Name: "fast", Attempts: 4},
+		speculate.MiddleLevel(3, 4),
+	)
+	a := core.EnableActuation()
+	c := New(Config{Registry: r, SitePrefix: "shard0/", Budgets: a})
+
+	// Collapse: fast ratio 0.1 → attempts step 4 → 3 → 2 → 1, then floor.
+	for i := 0; i < 5; i++ {
+		feed(fast, 1000, 100, 0, 0, 0, 0)
+		c.Step()
+	}
+	if got := a.Attempts(0); got != 1 {
+		t.Fatalf("fast attempts = %d after collapse, want floor 1", got)
+	}
+	// Recovery: ratio 0.95 → restore one per interval up to the static 4.
+	for i := 0; i < 10; i++ {
+		feed(fast, 1000, 950, 0, 0, 0, 0)
+		c.Step()
+	}
+	if got := a.Attempts(0); got != 4 {
+		t.Fatalf("fast attempts = %d after recovery, want ceiling 4", got)
+	}
+	// Helping with no rescue value: middle burns attempts, helped stays 0
+	// → help budget steps 4 → 3 → 2 → 1 → 0 and stays.
+	for i := 0; i < 6; i++ {
+		feed(fast, 1000, 950, 0, 0, 0, 0)
+		feed(mid, 200, 150, 0, 0, 0, 0)
+		c.Step()
+	}
+	if got := a.HelpBudgetAt(1); got != 0 {
+		t.Fatalf("help budget = %d after zero-rescue phase, want 0", got)
+	}
+	// Rescue value returns under fallback pressure: budget climbs back,
+	// clamped at the static ceiling 4.
+	for i := 0; i < 10; i++ {
+		feed(fast, 1000, 700, 0, 0, 50, 0)
+		feed(mid, 200, 150, 0, 0, 0, 30)
+		c.Step()
+	}
+	if got := a.HelpBudgetAt(1); got != 4 {
+		t.Fatalf("help budget = %d after rescue phase, want ceiling 4", got)
+	}
+	snap := c.Snapshot()
+	if snap.BudgetActions == 0 || len(snap.Budgets) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for _, l := range snap.Budgets {
+		if l.Attempts > l.StaticAttempts || l.HelpBudget > l.StaticHelp {
+			t.Fatalf("ceiling exceeded in %+v", l)
+		}
+	}
+}
+
+// TestControllerBackgroundLoop: the wired form — real ticker, real htm
+// domain — actuates on its own and stops cleanly.
+func TestControllerBackgroundLoop(t *testing.T) {
+	r := telemetry.NewRegistry()
+	site := r.Site("bg/txn")
+	d := htm.NewDomainStripes(0, 0, 64)
+	c := New(Config{Registry: r, SitePrefix: "bg/", Domain: d, Interval: time.Millisecond})
+	c.Start()
+	defer c.Stop()
+	for i := 0; i < 2000; i++ {
+		feed(site, 100, 85, 10, 0, 0, 0)
+		if c.Snapshot().RemapActions > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background controller never actuated")
+}
+
+// TestStopWithoutStart does not hang.
+func TestStopWithoutStart(t *testing.T) {
+	c := New(Config{Registry: telemetry.NewRegistry()})
+	c.Stop()
+	c.Stop()
+}

@@ -36,6 +36,7 @@ var (
 	_ simtxn.Set   = (*simds.SimBST)(nil)
 	_ simtxn.Set   = (*simds.SimHash)(nil)
 	_ simtxn.Set   = (*simds.SimSkip)(nil)
+	_ simtxn.Set   = (*simds.SimList)(nil)
 	_ simtxn.Queue = (*simds.SimMSQueue)(nil)
 	_ simtxn.PQ    = (*simds.SimSkipQ)(nil)
 
@@ -164,16 +165,18 @@ func TestConservationFuzzSim(t *testing.T) {
 	h := simds.NewSimHash(setup, simds.HashPTO, 16, threads)
 	h.Stabilize(setup)
 	s := simds.NewSimSkip(setup, false, threads)
+	li := simds.NewSimList(setup, false, threads)
 	reg.AddSet("bst", b)
 	reg.AddSet("hashtable", h)
 	reg.AddSet("skiplist", s)
+	reg.AddSet("list", li)
 	names := reg.SetNames()
 	sets := make([]simtxn.Set, len(names))
 	for i, n := range names {
 		sets[i] = reg.Set(n)
 	}
-	ins := []func(*sim.Thread, uint64) bool{b.Insert, h.Insert, s.Insert}
-	order := []int{0, 0, 0}
+	ins := []func(*sim.Thread, uint64) bool{b.Insert, h.Insert, s.Insert, li.Insert}
+	order := []int{0, 0, 0, 0}
 	for i, n := range names {
 		switch n {
 		case "bst":
@@ -182,6 +185,8 @@ func TestConservationFuzzSim(t *testing.T) {
 			order[i] = 1
 		case "skiplist":
 			order[i] = 2
+		case "list":
+			order[i] = 3
 		}
 	}
 	for k := uint64(1); k <= keyRange; k++ {
@@ -216,7 +221,7 @@ func TestConservationFuzzSim(t *testing.T) {
 	})
 
 	homes := make([]int, keyRange+1)
-	for _, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), s.Keys(setup)} {
+	for _, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), s.Keys(setup), li.Keys(setup)} {
 		for _, k := range keys {
 			if k < 1 || k > keyRange {
 				t.Fatalf("out-of-range key %d surfaced", k)

@@ -222,13 +222,13 @@ func TestSemtxConservationFuzzRuntime(t *testing.T) {
 }
 
 // TestSemtxConservationFuzzSim is the same conservation fuzz on the modeled
-// substrate (the tester's sim world: three set adapters, one MS queue, no
+// substrate (the tester's sim world: four set adapters, one MS queue, no
 // PQ), same corpus generator, bodies running on machine threads through
 // per-thread Execs against one shared semtx manager.
 func TestSemtxConservationFuzzSim(t *testing.T) {
 	cfg := txtest.Config{Threads: 4, Txns: 1200, MaxOps: 8, Keys: 48,
 		Seed: 0xC0FFEE, AbortPct: 5}
-	sh := txtest.Shape{Sets: 3, Queues: 1, PQs: 0}
+	sh := txtest.Shape{Sets: 4, Queues: 1, PQs: 0}
 
 	machine := sim.New(sim.DefaultConfig(cfg.Threads))
 	setup := machine.Thread(0)
@@ -238,12 +238,14 @@ func TestSemtxConservationFuzzSim(t *testing.T) {
 	h := simds.NewSimHash(setup, simds.HashPTO, 16, cfg.Threads)
 	h.Stabilize(setup)
 	sk := simds.NewSimSkip(setup, false, cfg.Threads)
+	li := simds.NewSimList(setup, false, cfg.Threads)
 	reg.AddSet("bst", b)
 	reg.AddSet("hashtable", h)
 	reg.AddSet("skiplist", sk)
+	reg.AddSet("list", li)
 	q := simds.NewSimMSQueue(setup, true)
 	reg.AddQueue("ingress", q)
-	sets := []string{"bst", "hashtable", "skiplist"}
+	sets := []string{"bst", "hashtable", "skiplist", "list"}
 	queues := []string{"ingress"}
 	sm := semtx.New[*simtxn.Ctx, uint64](mgr.On(setup), reg)
 
@@ -274,7 +276,7 @@ func TestSemtxConservationFuzzSim(t *testing.T) {
 	}
 	checkConserved(t, "queue ingress", tl.enq[0], tl.deq[0], rem)
 	members := make([]map[uint64]bool, sh.Sets)
-	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup)} {
+	for i, keys := range [][]uint64{b.Keys(setup), h.Keys(setup), sk.Keys(setup), li.Keys(setup)} {
 		members[i] = make(map[uint64]bool, len(keys))
 		for _, k := range keys {
 			members[i][k] = true
