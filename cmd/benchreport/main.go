@@ -47,11 +47,20 @@
 //     action counts (controller_actions > 0 is the CI gate) and its end
 //     state; the adaptive_ok bit records the full acceptance claim.
 //
+//   - One hardware-frontier sample (under -frontier, on by default): the
+//     deterministic A12 sweep — the BoundedSet HTM model's read/write-set
+//     budgets swept against the default RTM-like model across composed
+//     footprint shapes (single-op, pair Move, batched MoveAll, open semtx
+//     bodies), with and without the NBTC commit-time publication batch.
+//     Reported as per-shape fit thresholds (smallest budget within 80% of
+//     baseline) plus the bounded_set_ok / nbtc_ok acceptance bits CI greps.
+//
 // Usage:
 //
 //	benchreport [-figures 2a,4b,a4,a8] [-scale 0.05] [-threads 4]
 //	            [-ops 20000] [-keys 256] [-compose] [-semantic]
-//	            [-semtxns 800] [-threepath] [-selftune] [-out BENCH_pto.json]
+//	            [-semtxns 800] [-threepath] [-selftune] [-frontier]
+//	            [-out BENCH_pto.json]
 //
 // -out - writes the JSON to stdout. Wall-clock-only figures (A6, A7) are
 // rejected: everything under "figures" must be deterministic; A8 carries
@@ -175,30 +184,37 @@ type report struct {
 	// signal (controller_actions > 0); the adaptive_ok bit is the
 	// full-scale acceptance claim and is reported, not gated.
 	SelfTune *bench.SelfTuneResult `json:"self_tune,omitempty"`
+
+	// Frontier is the A12 sample: the BoundedSet set-size sweep vs the
+	// default RTM-like model across composed footprint shapes, with the
+	// NBTC arm alongside. Fully deterministic (modeled machine); CI greps
+	// the bounded_set_ok and nbtc_ok bits.
+	Frontier *bench.FrontierResult `json:"frontier,omitempty"`
 }
 
 // deterministic maps figure IDs to their runners, excluding the wall-clock
 // ablations (A6, A7) whose numbers are not reproducible across hosts.
 var deterministic = map[string]func(float64) bench.Figure{
-	"2a": bench.Fig2a,
-	"2b": bench.Fig2b,
-	"3a": func(s float64) bench.Figure { return bench.Fig3(0, s) },
-	"3b": func(s float64) bench.Figure { return bench.Fig3(34, s) },
-	"3c": func(s float64) bench.Figure { return bench.Fig3(100, s) },
-	"4a": func(s float64) bench.Figure { return bench.Fig4(0, s) },
-	"4b": func(s float64) bench.Figure { return bench.Fig4(80, s) },
-	"4c": func(s float64) bench.Figure { return bench.Fig4(100, s) },
-	"5a": bench.Fig5a,
-	"5b": bench.Fig5b,
-	"5c": bench.Fig5c,
-	"a1": bench.AblationMindicatorRetries,
-	"a2": bench.AblationMoundRetries,
-	"a3": bench.AblationBSTBudgets,
-	"a4": bench.AblationCapacity,
-	"a5": bench.AblationSMT,
-	"a8": bench.AblationComposedMoveSim,
-	"e1": func(s float64) bench.Figure { return bench.ExtList(34, s) },
-	"e2": bench.ExtQueue,
+	"2a":  bench.Fig2a,
+	"2b":  bench.Fig2b,
+	"3a":  func(s float64) bench.Figure { return bench.Fig3(0, s) },
+	"3b":  func(s float64) bench.Figure { return bench.Fig3(34, s) },
+	"3c":  func(s float64) bench.Figure { return bench.Fig3(100, s) },
+	"4a":  func(s float64) bench.Figure { return bench.Fig4(0, s) },
+	"4b":  func(s float64) bench.Figure { return bench.Fig4(80, s) },
+	"4c":  func(s float64) bench.Figure { return bench.Fig4(100, s) },
+	"5a":  bench.Fig5a,
+	"5b":  bench.Fig5b,
+	"5c":  bench.Fig5c,
+	"a1":  bench.AblationMindicatorRetries,
+	"a2":  bench.AblationMoundRetries,
+	"a3":  bench.AblationBSTBudgets,
+	"a4":  bench.AblationCapacity,
+	"a5":  bench.AblationSMT,
+	"a8":  bench.AblationComposedMoveSim,
+	"a12": bench.AblationFrontier,
+	"e1":  func(s float64) bench.Figure { return bench.ExtList(34, s) },
+	"e2":  bench.ExtQueue,
 }
 
 func toJSON(f bench.Figure) figureJSON {
@@ -358,6 +374,7 @@ func main() {
 	semantic := flag.Bool("semantic", true, "include the semantic-validation (A9) sample")
 	threepath := flag.Bool("threepath", true, "include the three-path speculation (A10) modeled sample")
 	selftune := flag.Bool("selftune", true, "include the self-tuning controller (A11) sample")
+	frontier := flag.Bool("frontier", true, "include the hardware-frontier (A12) set-size sweep")
 	semTxns := flag.Int("semtxns", 800, "semantic sample transactions per thread per arm")
 	out := flag.String("out", "BENCH_pto.json", "output path (- for stdout)")
 	flag.Parse()
@@ -395,6 +412,10 @@ func main() {
 	if *selftune {
 		st := bench.SelfTuneSample(*scale)
 		rep.SelfTune = &st
+	}
+	if *frontier {
+		fr := bench.FrontierSample(*scale)
+		rep.Frontier = &fr
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

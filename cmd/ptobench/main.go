@@ -3,15 +3,19 @@
 //
 // Usage:
 //
-//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a11|e1|e2] [-scale 1.0] [-csv]
+//	ptobench [-figure all|2a|2b|3a|3b|3c|4a|4b|4c|5a|5b|5c|a1..a12|e1|e2] [-scale 1.0] [-csv]
 //	         [-policy adaptive|fixed] [-attempts N]
+//	         [-model rtm|bounded] [-bounded-reads N] [-bounded-writes N] [-nbtc]
 //
-// -figure also accepts individual ablation (a1..a11) and extension (e1, e2)
+// -figure also accepts individual ablation (a1..a12) and extension (e1, e2)
 // IDs; -ablations / -extensions run each full set. -policy/-attempts build ONE speculation policy (speculate.Policy)
 // installed on every structure the benchmarks construct, on both substrates:
 // the real runtime (wall-clock ablations A6/A7) and the simulated machine
 // (everything else) run the same attempt/backoff/fallback engine, so one
-// flag steers both.
+// flag steers both. -model/-bounded-reads/-bounded-writes select the
+// simulated HTM design (sim.HTMModel) under every modeled figure, and
+// -nbtc publishes composed fallbacks through the commit-time NBTC batch;
+// ablation A12 ignores these overrides and sweeps hardware explicitly.
 //
 // Figures (Liu, Zhou, Spear, SPAA 2015):
 //
@@ -32,7 +36,9 @@
 // occupied-fallback adversary, with deterministic modeled arms and
 // wall-clock arms. A11 is the self-tuning controller (internal/tune) vs
 // static (stripes, batch-k) corners under a phase-changing adversary
-// (alias-heavy → capacity-heavy → calm), wall clock.
+// (alias-heavy → capacity-heavy → calm), wall clock. A12 is the hardware
+// frontier: BoundedSet set-size budgets × composed-footprint shapes vs
+// the RTM-like baseline, with and without NBTC, deterministic.
 //
 // -scale shrinks or stretches the simulated measurement window (1.0 is the
 // duration used for EXPERIMENTS.md). Runs are deterministic.
@@ -45,18 +51,33 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 	"repro/internal/speculate"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a11)")
+	figure := flag.String("figure", "all", "which figure to regenerate (paper figures or ablations a1..a12)")
 	scale := flag.Float64("scale", 1.0, "measurement window scale factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A11; A6, A7, A9, A11, and A10's wall arms are wall-clock)")
+	ablations := flag.Bool("ablations", false, "also run the ablation tables (A1-A12; A6, A7, A9, A11, and A10's wall arms are wall-clock)")
 	extensions := flag.Bool("extensions", false, "also run the extension tables (E1-E2)")
 	policy := flag.String("policy", "", "speculation policy for both substrates: adaptive or fixed (empty = per-substrate default)")
 	attempts := flag.Int("attempts", 0, "override every speculation attempt budget (0 = per-structure defaults; implies -policy fixed if unset)")
+	model := flag.String("model", "", "simulated HTM model for every modeled figure: rtm or bounded (empty = rtm)")
+	boundedReads := flag.Int("bounded-reads", 0, "BoundedSet read budget in lines (0 = sim default; only with -model bounded)")
+	boundedWrites := flag.Int("bounded-writes", 0, "BoundedSet write budget in lines (0 = sim default; only with -model bounded)")
+	nbtc := flag.Bool("nbtc", false, "publish composed fallbacks via the NBTC commit-time batch on the modeled substrate")
 	flag.Parse()
+
+	if *model != "" || *boundedReads > 0 || *boundedWrites > 0 || *nbtc {
+		switch *model {
+		case "", sim.ModelRTM, sim.ModelBoundedSet:
+		default:
+			fmt.Fprintf(os.Stderr, "unknown model %q (want %q or %q)\n", *model, sim.ModelRTM, sim.ModelBoundedSet)
+			os.Exit(2)
+		}
+		bench.SetHardware(*model, *boundedReads, *boundedWrites, *nbtc)
+	}
 
 	if *policy != "" || *attempts > 0 {
 		var p speculate.Policy
@@ -96,6 +117,7 @@ func main() {
 		"a9":  bench.AblationSemantic,
 		"a10": bench.AblationThreePath,
 		"a11": bench.AblationSelfTune,
+		"a12": bench.AblationFrontier,
 		"e1":  func(s float64) bench.Figure { return bench.ExtList(34, s) },
 		"e2":  bench.ExtQueue,
 	}

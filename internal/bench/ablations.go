@@ -185,5 +185,6 @@ func Ablations(scale float64) []Figure {
 		AblationSemantic(scale),
 		AblationThreePath(scale),
 		AblationSelfTune(scale),
+		AblationFrontier(scale),
 	}
 }

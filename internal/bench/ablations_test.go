@@ -88,10 +88,20 @@ func TestAblationComposedMoveSim(t *testing.T) {
 	f := AblationComposedMoveSim(ablationTestScale)
 	allPositive(t, f)
 	// Three historical arms + the caps sweep, then the matrix arms (skiplist
-	// pair, skipq+skiplist PQ pair) and the batched MoveAll sweep appended by
-	// the adapter-contract refactors.
-	if len(f.Series) != 10 {
+	// pair, skipq+skiplist PQ pair), the batched MoveAll sweep appended by
+	// the adapter-contract refactors, and the NBTC publication arm.
+	if len(f.Series) != 11 {
 		t.Fatalf("unexpected table shape: %+v", f)
+	}
+	// The NBTC arm runs the same forced-fallback workload with publication
+	// collapsed into one commit-time hardware batch instead of 2N claim/
+	// release CASes, so at low contention it must not fall below the classic
+	// MultiCAS fallback.
+	nbtc := byName(f, "Composed (NBTC fallback)")
+	fbArm := byName(f, "Composed (MultiCAS fallback)")
+	if at(nbtc, 2) < at(fbArm, 2) {
+		t.Errorf("NBTC publication below classic MultiCAS at 2 threads: %v vs %v",
+			at(nbtc, 2), at(fbArm, 2))
 	}
 	if pq := byName(f, "Composed skipq+skiplist MoveMin/MoveToPQ (modeled fast path)"); len(pq.Points) != 3 {
 		t.Fatalf("PQ matrix arm missing points: %+v", pq)

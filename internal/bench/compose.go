@@ -206,6 +206,10 @@ const (
 	composeFast composeMode = iota
 	composeFallback
 	composeLocked
+	// composeNBTC is the modeled substrate's fourth arm: forced fallback
+	// with NBTC commit-time batch publication (simtxn.WithNBTC). Only
+	// buildComposedMoveSim understands it.
+	composeNBTC
 )
 
 // measureComposedMove runs opsPer random-direction Moves per thread between

@@ -96,6 +96,17 @@ func AblationComposedMoveSim(scale float64) Figure {
 		}
 		f.Series = append(f.Series, s)
 	}
+	// NBTC arm: the MultiCAS fallback with publication deferred into one
+	// commit-time hardware batch (simtxn.WithNBTC) — the Cai/Wen/Scott
+	// commit mode as a fourth completion strategy next to fast/fallback/
+	// locked. Appended after the historical series so their figures stay
+	// bit-for-bit.
+	nbtcArm := Series{Name: "Composed (NBTC fallback)"}
+	for _, threads := range []int{2, 4, 8} {
+		tput := measure(threads, w, buildComposedMoveSim(composeNBTC, 0))
+		nbtcArm.Points = append(nbtcArm.Points, Point{Threads: threads, Throughput: tput})
+	}
+	f.Series = append(f.Series, nbtcArm)
 	return f
 }
 
@@ -182,9 +193,12 @@ func buildComposedMoveSim(mode composeMode, caps int) buildFunc {
 				t.Store(muB, 0)
 			}
 		}
-		mgr := simtxn.New(0).WithPolicy(simPolicy())
-		if mode == composeFallback {
+		mgr := newSimManager()
+		if mode == composeFallback || mode == composeNBTC {
 			mgr.ForceFallback(true)
+		}
+		if mode == composeNBTC {
+			mgr.WithNBTC(true)
 		}
 		if caps > 0 {
 			mgr.WithCaps(caps, caps)
@@ -212,7 +226,7 @@ func buildComposedMoveSim(mode composeMode, caps int) buildFunc {
 func buildComposedSkipMoveSim() buildFunc {
 	const keyRange = 256
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		mgr := newSimManager()
 		s1 := simds.NewSimSkip(setup, false, m.Config().Threads)
 		s2 := simds.NewSimSkip(setup, false, m.Config().Threads)
 		prefillSet(setup, keyRange, s1.Insert)
@@ -237,7 +251,7 @@ func buildComposedSkipMoveSim() buildFunc {
 func buildComposedSkipQMoveSim() buildFunc {
 	const keyRange = 256
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		mgr := newSimManager()
 		pq := simds.NewSimSkipQ(setup, false, m.Config().Threads)
 		set := simds.NewSimSkip(setup, false, m.Config().Threads)
 		for i := 0; i < keyRange/2; i++ {
@@ -262,7 +276,7 @@ func buildComposedSkipQMoveSim() buildFunc {
 func buildComposedMoveAllSim(k int) buildFunc {
 	const keyRange = 256
 	return func(m *sim.Machine, setup *sim.Thread) func(t *sim.Thread) {
-		mgr := simtxn.New(0).WithPolicy(simPolicy())
+		mgr := newSimManager()
 		b := simds.NewSimBST(setup, simds.BSTPTO12, false, m.Config().Threads).WithPolicy(simPolicy())
 		h := simds.NewSimHash(setup, simds.HashPTO, 64, m.Config().Threads).WithPolicy(simPolicy())
 		h.Stabilize(setup)

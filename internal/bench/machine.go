@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simtxn"
+)
+
+// The benchmarks build every simulated machine through simConfig and every
+// composed-layer manager through newSimManager, so one override (cmd/
+// ptobench's -model/-bounded-reads/-bounded-writes/-nbtc flags) retargets
+// the whole figure set at a candidate hardware: a different HTMModel for the
+// machines, and optionally the NBTC commit mode for composed publication.
+// With no override the defaults are the paper's testbed (sim.ModelRTM, no
+// NBTC), so the historical figures stay bit-for-bit.
+
+var hw struct {
+	model                 string
+	readLines, writeLines int
+	nbtc                  bool
+}
+
+// SetHardware installs the modeled-hardware override for every subsequently
+// built benchmark machine and composed-layer manager. model "" keeps
+// sim.ModelRTM; readLines/writeLines ≤ 0 keep the sim.DefaultConfig bounded
+// budgets; nbtc switches composed publication to the commit-time batch.
+func SetHardware(model string, readLines, writeLines int, nbtc bool) {
+	hw.model, hw.readLines, hw.writeLines, hw.nbtc = model, readLines, writeLines, nbtc
+}
+
+// simConfig is the benchmarks' machine configuration: the paper's testbed
+// with the hardware override applied.
+func simConfig(threads int) sim.Config {
+	cfg := sim.DefaultConfig(threads)
+	if hw.model != "" {
+		cfg.Model = hw.model
+	}
+	if hw.readLines > 0 {
+		cfg.BoundedReadLines = hw.readLines
+	}
+	if hw.writeLines > 0 {
+		cfg.BoundedWriteLines = hw.writeLines
+	}
+	return cfg
+}
+
+// newSimManager is the benchmarks' composed-layer manager constructor, with
+// the policy and NBTC overrides applied.
+func newSimManager() *simtxn.Manager {
+	mgr := simtxn.New(0).WithPolicy(simPolicy())
+	if hw.nbtc {
+		mgr.WithNBTC(true)
+	}
+	return mgr
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate is the table over every rejection Validate knows,
+// pinning that each error names the offending field instead of leaving the
+// machine to die on a late index or divide-by-zero.
+func TestConfigValidate(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		cfg := DefaultConfig(4)
+		f(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // "" = valid
+	}{
+		{"default", DefaultConfig(4), ""},
+		{"rtm explicit", mut(func(c *Config) { c.Model = ModelRTM }), ""},
+		{"bounded", mut(func(c *Config) { c.Model = ModelBoundedSet }), ""},
+		{"zero threads", mut(func(c *Config) { c.Threads = 0 }), "thread count"},
+		{"negative threads", mut(func(c *Config) { c.Threads = -2 }), "thread count"},
+		{"too many threads", mut(func(c *Config) { c.Threads = 17 }), "thread count"},
+		{"zero cores", mut(func(c *Config) { c.Cores = 0 }), "core count"},
+		{"zero l1", mut(func(c *Config) { c.L1Lines = 0 }), "L1 capacity"},
+		{"zero write bound", mut(func(c *Config) { c.WriteSetLines = 0 }), "rtm set bounds"},
+		{"zero read bound", mut(func(c *Config) { c.ReadSetLines = 0 }), "rtm set bounds"},
+		{"bounded zero read", mut(func(c *Config) {
+			c.Model = ModelBoundedSet
+			c.BoundedReadLines = 0
+		}), "bounded set budgets"},
+		{"bounded zero write", mut(func(c *Config) {
+			c.Model = ModelBoundedSet
+			c.BoundedWriteLines = -1
+		}), "bounded set budgets"},
+		{"unknown model", mut(func(c *Config) { c.Model = "quantum" }), `unknown HTM model "quantum"`},
+		// RTM ignores the bounded budgets; bounded ignores the RTM bounds.
+		{"rtm ignores bounded budgets", mut(func(c *Config) { c.BoundedReadLines = 0 }), ""},
+		{"bounded ignores rtm bounds", mut(func(c *Config) {
+			c.Model = ModelBoundedSet
+			c.WriteSetLines = 0
+		}), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewPanicsOnInvalidConfig: New refuses an invalid config with the
+// Validate message rather than misbehaving later.
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted an unknown model")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "unknown HTM model") {
+			t.Fatalf("panic = %v, want the Validate message", r)
+		}
+	}()
+	cfg := DefaultConfig(1)
+	cfg.Model = "quantum"
+	New(cfg)
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // CostModel fixes the cycle charge of each event kind. One calibration,
 // loosely derived from Haswell latencies, is used verbatim by every
 // experiment (see DESIGN.md §7); no figure gets its own tuning.
@@ -68,12 +70,51 @@ type Config struct {
 	// WriteSetLines and ReadSetLines bound a transaction's footprint; beyond
 	// them the transaction takes a capacity abort.
 	WriteSetLines, ReadSetLines int
+	// Model names the transactional-hardware model (htmmodel.go): ModelRTM
+	// (also the empty string) or ModelBoundedSet.
+	Model string
+	// BoundedReadLines and BoundedWriteLines are the ModelBoundedSet
+	// budgets: tiny exact line sets held in dedicated storage, decoupled
+	// from the L1. Ignored by ModelRTM.
+	BoundedReadLines, BoundedWriteLines int
 	// CyclesPerMs converts simulated cycles to milliseconds (clock rate).
 	CyclesPerMs float64
 	// Cost is the event cost model.
 	Cost CostModel
 	// Seed perturbs all per-thread random streams (workload determinism).
 	Seed uint64
+}
+
+// Validate reports why the configuration cannot describe a machine: thread
+// count out of the scheduler's 1..16 range, non-positive core count, cache
+// or set bounds, or an unknown model name. New panics with this error, so
+// callers constructing configs from user input should call it first.
+func (cfg Config) Validate() error {
+	if cfg.Threads <= 0 || cfg.Threads > 16 {
+		return fmt.Errorf("sim: thread count %d out of range 1..16", cfg.Threads)
+	}
+	if cfg.Cores <= 0 {
+		return fmt.Errorf("sim: core count %d must be positive", cfg.Cores)
+	}
+	if cfg.L1Lines <= 0 {
+		return fmt.Errorf("sim: L1 capacity %d lines must be positive", cfg.L1Lines)
+	}
+	switch cfg.Model {
+	case "", ModelRTM:
+		if cfg.WriteSetLines <= 0 || cfg.ReadSetLines <= 0 {
+			return fmt.Errorf("sim: rtm set bounds (write %d, read %d lines) must be positive",
+				cfg.WriteSetLines, cfg.ReadSetLines)
+		}
+	case ModelBoundedSet:
+		if cfg.BoundedWriteLines <= 0 || cfg.BoundedReadLines <= 0 {
+			return fmt.Errorf("sim: bounded set budgets (write %d, read %d lines) must be positive",
+				cfg.BoundedWriteLines, cfg.BoundedReadLines)
+		}
+	default:
+		return fmt.Errorf("sim: unknown HTM model %q (want %q or %q)",
+			cfg.Model, ModelRTM, ModelBoundedSet)
+	}
+	return nil
 }
 
 // DefaultConfig returns the i7-4770-like machine with n worker threads.
@@ -85,7 +126,11 @@ func DefaultConfig(n int) Config {
 		L1Lines:       512,
 		WriteSetLines: 448,
 		ReadSetLines:  4096,
-		CyclesPerMs:   3.4e6,
+		// BoundedSet defaults are only consulted when Model is switched to
+		// ModelBoundedSet; 16/16 is the FORTH TR's "handful of lines" scale.
+		BoundedReadLines:  16,
+		BoundedWriteLines: 16,
+		CyclesPerMs:       3.4e6,
 		Cost:          DefaultCost(),
 		Seed:          1,
 	}

@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+func boundedConfig(n, readLines, writeLines int) Config {
+	cfg := DefaultConfig(n)
+	cfg.Model = ModelBoundedSet
+	cfg.BoundedReadLines = readLines
+	cfg.BoundedWriteLines = writeLines
+	return cfg
+}
+
+// TestBoundedSetCapacityAborts: the bounded model's budgets are its own,
+// not the RTM bounds — crossing either tiny set takes a capacity abort.
+func TestBoundedSetCapacityAborts(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		body   func(t *Thread, a Addr)
+		fits   int
+		bursts int
+	}{
+		{"write", func(t *Thread, a Addr) { t.Store(a, 1) }, 4, 10},
+		{"read", func(t *Thread, a Addr) { t.Load(a) }, 4, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(boundedConfig(1, 4, 4))
+			th := m.Thread(0)
+			a := th.Alloc(100 * LineWords)
+			var fits, bursts Status
+			m.Run(func(th *Thread) {
+				fits = th.Atomic(func() {
+					for i := 0; i < tc.fits; i++ {
+						tc.body(th, a+Addr(i*LineWords))
+					}
+				})
+				bursts = th.Atomic(func() {
+					for i := 0; i < tc.bursts; i++ {
+						tc.body(th, a+Addr(i*LineWords))
+					}
+				})
+			})
+			if fits != OK {
+				t.Fatalf("%d-line tx under budget 4: %v, want ok", tc.fits, fits)
+			}
+			if bursts != AbortCapacity {
+				t.Fatalf("%d-line tx under budget 4: %v, want capacity", tc.bursts, bursts)
+			}
+		})
+	}
+}
+
+// TestBoundedSetNoL1Coupling: the write set lives in dedicated storage, so
+// the L1-eviction scenario that dooms an RTM transaction (a dirty tx line
+// falling out of a blown cache) commits under the bounded model.
+func TestBoundedSetNoL1Coupling(t *testing.T) {
+	run := func(cfg Config) Status {
+		cfg.L1Lines = 8
+		m := New(cfg)
+		th := m.Thread(0)
+		a := th.Alloc(64 * LineWords)
+		var st Status
+		m.Run(func(t *Thread) {
+			st = t.Atomic(func() {
+				t.Store(a, 1)
+				for i := 1; i < 64; i++ {
+					t.Load(a + Addr(i*LineWords))
+				}
+			})
+		})
+		return st
+	}
+	rtm := DefaultConfig(1)
+	rtm.WriteSetLines = 1000
+	if st := run(rtm); st != AbortCapacity {
+		t.Fatalf("rtm: %v, want capacity (write-set line evicted)", st)
+	}
+	if st := run(boundedConfig(1, 64, 4)); st != OK {
+		t.Fatalf("bounded: %v, want ok (set storage decoupled from L1)", st)
+	}
+}
+
+// TestBoundedSetExactReadConflicts: the bounded model tracks reads exactly,
+// so the filter-bucket collision that falsely kills an RTM reader does not
+// conflict — while a genuine write to the read line still does.
+func TestBoundedSetExactReadConflicts(t *testing.T) {
+	h := func(l uint64) uint64 { return (l * 0x9E3779B97F4A7C15) % readFilterBuckets }
+	run := func(genuine bool) Status {
+		m := New(boundedConfig(2, 8, 8))
+		setup := m.Thread(0)
+		base := setup.Alloc((readFilterBuckets + 2) * LineWords)
+		read := base
+		write := read
+		if !genuine {
+			for i := 1; ; i++ {
+				cand := base + Addr(i*LineWords)
+				if cand >= base+Addr((readFilterBuckets+2)*LineWords) {
+					t.Skip("no colliding line in range")
+				}
+				if h(lineOf(cand)) == h(lineOf(read)) {
+					write = cand
+					break
+				}
+			}
+		}
+		var st Status
+		m.Run(func(th *Thread) {
+			if th.ID() == 0 {
+				st = th.Atomic(func() {
+					th.Load(read)
+					th.Work(20000)
+					th.Load(read)
+				})
+			} else {
+				th.Work(1000)
+				th.Store(write, 1)
+			}
+		})
+		return st
+	}
+	if st := run(false); st != OK {
+		t.Fatalf("aliasing write killed an exact-read-set tx: %v", st)
+	}
+	if st := run(true); st != AbortConflict {
+		t.Fatalf("genuine write-after-read did not conflict: %v", st)
+	}
+}
+
+// TestModelName pins the Config.Model spellings reachable through flags.
+func TestModelName(t *testing.T) {
+	if got := New(DefaultConfig(1)).Model().Name(); got != ModelRTM {
+		t.Errorf("default model = %q, want %q", got, ModelRTM)
+	}
+	if got := New(boundedConfig(1, 4, 4)).Model().Name(); got != ModelBoundedSet {
+		t.Errorf("bounded model = %q, want %q", got, ModelBoundedSet)
+	}
+}

@@ -137,12 +137,11 @@ type thread struct {
 	inTx      bool
 	txAborted bool
 	txStatus  Status
-	readSet   map[uint64]struct{}
-	// readFilter is the imprecise (hashed) read-set signature: as on
-	// Haswell, reads are tracked in a filter that can report false
-	// conflicts, so the false-abort probability grows with read-set size.
-	readFilter map[uint64]struct{}
-	writeSet   map[uint64]struct{}
+	// tracker is the per-thread footprint tracker of the machine's HTMModel
+	// (htmmodel.go): it owns the read/write line sets, capacity accounting,
+	// and the eviction-abort rule. The store buffer below is substrate, not
+	// model — every model buffers writes until commit (strong atomicity).
+	tracker    TxTracker
 	writeBuf   map[Addr]uint64
 	writeOrder []Addr
 
@@ -155,6 +154,7 @@ type thread struct {
 type Machine struct {
 	cfg   Config
 	cost  CostModel
+	model HTMModel
 	stats Stats
 
 	pages map[uint64]*[pageWords]uint64
@@ -175,14 +175,17 @@ type Machine struct {
 	directOrder []Addr
 }
 
-// New returns a machine with the given configuration.
+// New returns a machine with the given configuration. The configuration
+// must pass Config.Validate; an invalid one panics with its error.
 func New(cfg Config) *Machine {
-	if cfg.Threads <= 0 || cfg.Threads > 16 {
-		panic("sim: thread count out of range")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
+	model := modelFor(cfg)
 	m := &Machine{
 		cfg:      cfg,
 		cost:     cfg.Cost,
+		model:    model,
 		pages:    make(map[uint64]*[pageWords]uint64),
 		dir:      make(map[uint64]*dline),
 		nextAddr: LineWords, // skip the null line
@@ -194,7 +197,7 @@ func New(cfg Config) *Machine {
 		m.nextAddr += LineWords
 	}
 	for i := 0; i < cfg.Threads; i++ {
-		t := &thread{id: i, replyCh: make(chan reply, 1)}
+		t := &thread{id: i, tracker: model.NewTracker(), replyCh: make(chan reply, 1)}
 		t.resetTx()
 		m.threads = append(m.threads, t)
 		m.api = append(m.api, &Thread{m: m, id: i, rng: splitmix(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15)})
@@ -205,9 +208,7 @@ func New(cfg Config) *Machine {
 func (t *thread) resetTx() {
 	t.inTx = false
 	t.txAborted = false
-	t.readSet = nil
-	t.readFilter = nil
-	t.writeSet = nil
+	t.tracker.End()
 	t.writeBuf = nil
 	t.writeOrder = nil
 }
@@ -217,6 +218,9 @@ func (m *Machine) Stats() Stats { return m.stats }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Model returns the machine's transactional-hardware model.
+func (m *Machine) Model() HTMModel { return m.model }
 
 // Thread returns the API handle for hardware thread i. Before Run, its
 // operations execute directly (for building initial state); during Run it
@@ -331,26 +335,22 @@ func (m *Machine) abortOther(v *thread, st Status) {
 	}
 }
 
-// readFilterBuckets sizes the imprecise read-set signature.
-const readFilterBuckets = 1021
-
 // conflicts applies strong-atomicity conflict detection for an access by t.
-// Writes also test the victims' imprecise read signature, which can report
-// false conflicts — the larger a transaction's read set, the likelier it is
-// to be killed by an unrelated write, as with real best-effort HTM.
+// Writes also test the victims' read footprint, which on imprecise models
+// (the RTM read signature) can report false conflicts — the larger a
+// transaction's read set, the likelier it is to be killed by an unrelated
+// write, as with real best-effort HTM.
 func (m *Machine) conflicts(t *thread, l uint64, write bool) {
 	for _, v := range m.threads {
 		if v == t || !v.inTx {
 			continue
 		}
-		if _, ok := v.writeSet[l]; ok {
+		if v.tracker.HasWrite(l) {
 			m.abortOther(v, AbortConflict)
 			continue
 		}
-		if write {
-			if _, ok := v.readFilter[(l*0x9E3779B97F4A7C15)%readFilterBuckets]; ok {
-				m.abortOther(v, AbortConflict)
-			}
+		if write && v.tracker.MayHaveRead(l) {
+			m.abortOther(v, AbortConflict)
 		}
 	}
 }
@@ -400,8 +400,8 @@ func (m *Machine) access(t *thread, a Addr, write bool) uint64 {
 }
 
 // insertLine records line l in t's cache, evicting FIFO-oldest on overflow.
-// Evicting a line in the running transaction's write set is a capacity
-// abort, as on an L1-bounded HTM.
+// On L1-coupled models (RTM), evicting a line in the running transaction's
+// write set is a capacity abort; models with dedicated set storage shrug.
 func (m *Machine) insertLine(t *thread, l uint64) {
 	t.fifo = append(t.fifo, l)
 	bit := uint16(1) << t.id
@@ -415,11 +415,9 @@ func (m *Machine) insertLine(t *thread, l uint64) {
 		if d.sharers&bit == 0 {
 			continue // stale entry: already invalidated
 		}
-		if t.inTx && !t.txAborted {
-			if _, ok := t.writeSet[old]; ok {
-				t.txAborted = true
-				t.txStatus = AbortCapacity
-			}
+		if t.inTx && !t.txAborted && t.tracker.EvictionAborts(old) {
+			t.txAborted = true
+			t.txStatus = AbortCapacity
 		}
 		d.sharers &^= bit
 		if d.owner == int8(t.id) {
@@ -449,10 +447,7 @@ func (m *Machine) process(t *thread, r *request) reply {
 			} else {
 				rep.val = *m.word(r.addr)
 			}
-			l := lineOf(r.addr)
-			t.readSet[l] = struct{}{}
-			t.readFilter[(l*0x9E3779B97F4A7C15)%readFilterBuckets] = struct{}{}
-			if len(t.readSet) > m.cfg.ReadSetLines {
+			if !t.tracker.Read(lineOf(r.addr)) {
 				t.txAborted, t.txStatus = true, AbortCapacity
 				return m.finishAbort(t)
 			}
@@ -487,8 +482,7 @@ func (m *Machine) process(t *thread, r *request) reply {
 					t.writeOrder = append(t.writeOrder, r.addr)
 				}
 				t.writeBuf[r.addr] = val
-				t.writeSet[lineOf(r.addr)] = struct{}{}
-				if len(t.writeSet) > m.cfg.WriteSetLines {
+				if !t.tracker.Write(lineOf(r.addr)) {
 					t.txAborted, t.txStatus = true, AbortCapacity
 					return m.finishAbort(t)
 				}
@@ -539,9 +533,7 @@ func (m *Machine) process(t *thread, r *request) reply {
 		cost += m.cost.TxBegin
 		t.inTx = true
 		t.txAborted = false
-		t.readSet = make(map[uint64]struct{}, 32)
-		t.readFilter = make(map[uint64]struct{}, 32)
-		t.writeSet = make(map[uint64]struct{}, 16)
+		t.tracker.Begin()
 		t.writeBuf = make(map[Addr]uint64, 16)
 		t.writeOrder = t.writeOrder[:0]
 	case opTxEnd:

@@ -1,0 +1,46 @@
+package simspec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestAbortReasonLabelParity is the golden parity pin between the two
+// substrates' abort taxonomies: the simulator's Status strings and the
+// runtime telemetry's Prometheus reason labels must stay identical, or
+// dashboards joining modeled and wall-clock abort mixes silently split.
+// The stripe-alias label is runtime-only (the simulator has no stripes to
+// alias), so it must NOT collide with any simulator status string — it is
+// a refinement of ReasonConflict, not a fourth machine-level reason.
+func TestAbortReasonLabelParity(t *testing.T) {
+	golden := []struct {
+		status sim.Status
+		label  string
+	}{
+		{sim.AbortConflict, telemetry.ReasonConflict},
+		{sim.AbortCapacity, telemetry.ReasonCapacity},
+		{sim.AbortExplicit, telemetry.ReasonExplicit},
+	}
+	for _, g := range golden {
+		if got := g.status.String(); got != g.label {
+			t.Errorf("sim status %d renders %q, telemetry label is %q", int(g.status), got, g.label)
+		}
+	}
+	for _, g := range golden {
+		if g.status.String() == telemetry.ReasonConflictAlias {
+			t.Errorf("runtime-only alias label %q collides with sim status %d", telemetry.ReasonConflictAlias, int(g.status))
+		}
+	}
+	if !strings.HasPrefix(telemetry.ReasonConflictAlias, telemetry.ReasonConflict) {
+		t.Errorf("alias label %q is not a refinement of %q", telemetry.ReasonConflictAlias, telemetry.ReasonConflict)
+	}
+	// "ok" is a status, not an abort reason: no reason label may claim it.
+	for _, label := range []string{telemetry.ReasonConflict, telemetry.ReasonConflictAlias, telemetry.ReasonCapacity, telemetry.ReasonExplicit} {
+		if label == sim.OK.String() {
+			t.Errorf("abort reason label %q collides with the commit status", label)
+		}
+	}
+}

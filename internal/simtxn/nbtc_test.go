@@ -1,0 +1,146 @@
+package simtxn
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNBTCCommitsOneBatch: under NBTC the whole publication is one hardware
+// commit — no descriptor, no claim/release CAS pairs.
+func TestNBTCCommitsOneBatch(t *testing.T) {
+	m := sim.New(sim.DefaultConfig(1))
+	setup := m.Thread(0)
+	a := setup.Alloc(2)
+	setup.Store(a, 10)
+	setup.Store(a+1, 20)
+	mgr := New(0).ForceFallback(true).WithNBTC(true)
+	m.Run(func(th *sim.Thread) {
+		mgr.Atomic(th, func(c *Ctx) {
+			c.Write(a, c.Read(a)+1)
+			c.Write(a+1, c.Read(a+1)+1)
+		})
+	})
+	if setup.Load(a) != 11 || setup.Load(a+1) != 21 {
+		t.Errorf("after commit: %d %d, want 11 21", setup.Load(a), setup.Load(a+1))
+	}
+	if got := mgr.NBTC(); got.Batches != 1 || got.Unfit != 0 || got.Mismatches != 0 {
+		t.Errorf("NBTC stats = %+v, want exactly one batch", got)
+	}
+	st := m.Stats()
+	if st.TxCommits != 1 {
+		t.Errorf("hardware commits = %d, want 1 (the publication batch)", st.TxCommits)
+	}
+	if st.CASes != 0 {
+		t.Errorf("publication issued %d CASes, want 0 under NBTC", st.CASes)
+	}
+}
+
+// TestNBTCUnfitFallsBackToMCAS: a batch too big for the machine's
+// transactional footprint must publish through the classic MultiCAS —
+// NBTC is an accelerator, not a progress requirement.
+func TestNBTCUnfitFallsBackToMCAS(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	cfg.Model = sim.ModelBoundedSet
+	cfg.BoundedReadLines = 2
+	cfg.BoundedWriteLines = 2
+	m := sim.New(cfg)
+	setup := m.Thread(0)
+	const words = 10
+	a := setup.Alloc(words * sim.LineWords)
+	mgr := New(0).ForceFallback(true).WithNBTC(true)
+	m.Run(func(th *sim.Thread) {
+		mgr.Atomic(th, func(c *Ctx) {
+			for i := 0; i < words; i++ {
+				w := a + sim.Addr(i*sim.LineWords)
+				c.Write(w, c.Read(w)+1)
+			}
+		})
+	})
+	for i := 0; i < words; i++ {
+		if got := setup.Load(a + sim.Addr(i*sim.LineWords)); got != 1 {
+			t.Errorf("word %d = %d, want 1", i, got)
+		}
+	}
+	if got := mgr.NBTC(); got.Batches != 0 || got.Unfit != 1 {
+		t.Errorf("NBTC stats = %+v, want one unfit batch and no commits", got)
+	}
+	if st := m.Stats(); st.TxCapacity == 0 {
+		t.Error("no capacity abort recorded for the oversized batch")
+	}
+}
+
+// TestNBTCPublishMismatch: a stale captured old value must send the
+// operation back to re-capture, not publish garbage.
+func TestNBTCPublishMismatch(t *testing.T) {
+	m := sim.New(sim.DefaultConfig(1))
+	setup := m.Thread(0)
+	a := setup.Alloc(1)
+	setup.Store(a, 7)
+	mgr := New(0)
+	m.Run(func(th *sim.Thread) {
+		out := mgr.nbtcPublish(th, []entry{{addr: a, old: 6, new: 8, write: true}})
+		if out != nbtcMismatch {
+			t.Errorf("stale batch published: %v", out)
+		}
+	})
+	if setup.Load(a) != 7 {
+		t.Errorf("word = %d, want 7 untouched", setup.Load(a))
+	}
+	if got := mgr.NBTC(); got.Mismatches != 1 {
+		t.Errorf("NBTC stats = %+v, want one mismatch", got)
+	}
+}
+
+// TestNBTCConservation mixes NBTC and classic-MultiCAS managers over the
+// same counters from eight threads: each commit moves one unit between two
+// of eight counters, so exact conservation at quiescence means the batch
+// transactions were atomic against in-flight descriptors (a marked word
+// aborts the batch, which helps the descriptor to decision and retries).
+func TestNBTCConservation(t *testing.T) {
+	const threads = 8
+	const words = 8
+	const opsPer = 200
+	const initVal = uint64(1) << 32
+
+	m := sim.New(sim.DefaultConfig(threads))
+	setup := m.Thread(0)
+	base := setup.Alloc(words)
+	for i := 0; i < words; i++ {
+		setup.Store(base+sim.Addr(i), initVal)
+	}
+	nbtcMgr := New(0).ForceFallback(true).WithNBTC(true)
+	mcasMgr := New(0).ForceFallback(true)
+	m.Run(func(th *sim.Thread) {
+		mgr := nbtcMgr
+		if th.ID()%2 == 1 {
+			mgr = mcasMgr
+		}
+		for i := 0; i < opsPer; i++ {
+			x := th.Rand()
+			ai := sim.Addr(x % words)
+			bi := sim.Addr(x >> 8 % words)
+			if ai == bi {
+				bi = (bi + 1) % words
+			}
+			mgr.Atomic(th, func(c *Ctx) {
+				c.Write(base+ai, c.Read(base+ai)+1)
+				c.Write(base+bi, c.Read(base+bi)-1)
+			})
+		}
+	})
+	var sum uint64
+	for i := 0; i < words; i++ {
+		w := setup.Load(base + sim.Addr(i))
+		if w&markerBit != 0 {
+			t.Fatalf("word %d left marked: %#x", i, w)
+		}
+		sum += w
+	}
+	if sum != words*initVal {
+		t.Errorf("total drifted: got %d, want %d", sum, words*initVal)
+	}
+	if got := nbtcMgr.NBTC(); got.Batches == 0 {
+		t.Errorf("NBTC stats = %+v, want committed batches", got)
+	}
+}

@@ -94,6 +94,11 @@ type Manager struct {
 	// classic two-path fast/fallback shape).
 	pol    speculate.Policy
 	middle speculate.Level
+
+	// nbtc switches the fallback's publication to the commit-time batch
+	// (nbtc.go); nbtcStats counts its outcomes.
+	nbtc      bool
+	nbtcStats nbtcCounters
 }
 
 // New returns a Manager; attempts ≤ 0 selects DefaultAttempts. The manager
@@ -466,6 +471,16 @@ func (m *Manager) fallback(t *sim.Thread, body func(c *Ctx)) {
 		// Claim in ascending address order so concurrent MultiCASes meet
 		// head-on instead of deadlocking into mutual helping cycles.
 		sort.Slice(c.ents, func(i, j int) bool { return c.ents[i].addr < c.ents[j].addr })
+		if m.nbtc {
+			switch m.nbtcPublish(t, c.ents) {
+			case nbtcCommitted:
+				c.runHooks()
+				return
+			case nbtcMismatch:
+				continue // stale footprint: re-capture
+			}
+			// Unfit for hardware: publish through the classic MultiCAS.
+		}
 		if mcas(t, c.ents) {
 			c.runHooks()
 			return

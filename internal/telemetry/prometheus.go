@@ -44,6 +44,21 @@ const (
 	MetricOpenOps     = "pto_open_ops_per_txn"
 )
 
+// Abort reason labels carried by MetricAborts' {reason="..."} series.
+// ReasonConflict, ReasonCapacity, and ReasonExplicit mirror the simulated
+// machine's abort Status strings one-for-one (a golden test in
+// internal/simspec pins the parity), so dashboards can join modeled and
+// runtime abort mixes by label. ReasonConflictAlias is the runtime-only
+// stripe-alias attribution: the engine splits total conflict aborts into
+// ReasonConflict (true data races) and ReasonConflictAlias (false sharing
+// on a stripe word), which sum to the simulator's single conflict count.
+const (
+	ReasonConflict      = "conflict"
+	ReasonConflictAlias = "conflict_alias"
+	ReasonCapacity      = "capacity"
+	ReasonExplicit      = "explicit"
+)
+
 // siteLabels renders a site snapshot's label set, without braces: the site
 // name plus, for per-level sites, the level label.
 func siteLabels(s SiteSnapshot) string {
@@ -76,10 +91,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		// Conflicts are split by the engine's attribution: "conflict" is
 		// true data conflicts, "conflict_alias" the stripe-alias (false)
 		// share, so the two sum to the total conflict aborts.
-		fmt.Fprintf(w, "%s{%s,reason=\"conflict\"} %d\n", MetricAborts, siteLabels(s), s.Conflicts-s.FalseConflicts)
-		fmt.Fprintf(w, "%s{%s,reason=\"conflict_alias\"} %d\n", MetricAborts, siteLabels(s), s.FalseConflicts)
-		fmt.Fprintf(w, "%s{%s,reason=\"capacity\"} %d\n", MetricAborts, siteLabels(s), s.Capacity)
-		fmt.Fprintf(w, "%s{%s,reason=\"explicit\"} %d\n", MetricAborts, siteLabels(s), s.Explicit)
+		fmt.Fprintf(w, "%s{%s,reason=%q} %d\n", MetricAborts, siteLabels(s), ReasonConflict, s.Conflicts-s.FalseConflicts)
+		fmt.Fprintf(w, "%s{%s,reason=%q} %d\n", MetricAborts, siteLabels(s), ReasonConflictAlias, s.FalseConflicts)
+		fmt.Fprintf(w, "%s{%s,reason=%q} %d\n", MetricAborts, siteLabels(s), ReasonCapacity, s.Capacity)
+		fmt.Fprintf(w, "%s{%s,reason=%q} %d\n", MetricAborts, siteLabels(s), ReasonExplicit, s.Explicit)
 	}
 	fmt.Fprintf(w, "# HELP %s Operations completed by the nonblocking fallback per site.\n", MetricFallbacks)
 	fmt.Fprintf(w, "# TYPE %s counter\n", MetricFallbacks)

@@ -110,6 +110,15 @@ type Config struct {
 	// MinOps gates every law: an interval with fewer attempts than this
 	// is ignored (default 64).
 	MinOps uint64
+
+	// Cooldown is the per-law hysteresis guard: after a law actuates, that
+	// law sits out the next Cooldown evaluated intervals (idle intervals
+	// below MinOps don't count), so one pressure spike cannot thrash an
+	// actuator on consecutive ticks while its effect is still propagating.
+	// Each law cools down independently — a remap does not silence the
+	// batch or budget laws. 0 (the default) disables the guard: every
+	// interval is eligible, the behavior the law-trajectory tests pin.
+	Cooldown int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -162,6 +171,9 @@ type Controller struct {
 	mu               sync.Mutex // serializes Step; owns the buffers below
 	prev, cur, delta telemetry.Snapshot
 	calm             int
+	// Per-law cooldown counters: a law runs only at 0 and is reset to
+	// cfg.Cooldown when it actuates; non-idle intervals decrement.
+	remapCool, batchCool, budgetCool int
 
 	remapActions  atomic.Uint64
 	batchActions  atomic.Uint64
@@ -257,9 +269,25 @@ func (c *Controller) Step() int {
 	if iv.attempts < c.cfg.MinOps {
 		return 0
 	}
-	actions := c.lawStripes(iv)
-	actions += c.lawBatch(iv)
-	actions += c.lawBudgets(iv)
+	actions := 0
+	if c.remapCool > 0 {
+		c.remapCool--
+	} else if n := c.lawStripes(iv); n > 0 {
+		c.remapCool = c.cfg.Cooldown
+		actions += n
+	}
+	if c.batchCool > 0 {
+		c.batchCool--
+	} else if n := c.lawBatch(iv); n > 0 {
+		c.batchCool = c.cfg.Cooldown
+		actions += n
+	}
+	if c.budgetCool > 0 {
+		c.budgetCool--
+	} else if n := c.lawBudgets(iv); n > 0 {
+		c.budgetCool = c.cfg.Cooldown
+		actions += n
+	}
 	return actions
 }
 

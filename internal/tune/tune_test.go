@@ -245,3 +245,76 @@ func TestStopWithoutStart(t *testing.T) {
 	c.Stop()
 	c.Stop()
 }
+
+// TestCooldownHysteresis: with Cooldown=2 a law that actuates sits out the
+// next two evaluated intervals even under continuous pressure, each law
+// cools independently, and idle intervals don't advance the cooldown —
+// all on the same fake clock as the other law tests, so the action
+// pattern is exact.
+func TestCooldownHysteresis(t *testing.T) {
+	r := telemetry.NewRegistry()
+	site := r.Site("shard0/txn")
+	d := htm.NewDomainStripes(0, 0, 64)
+	b := &fakeBatch{k: 16, min: 1, max: 20}
+	c := New(Config{
+		Registry: r, SitePrefix: "shard0/", Domain: d, Batch: b,
+		MaxStripes: 4096, MaxBatch: 20, Cooldown: 2,
+	})
+	// Continuous pressure on both laws: alias-heavy AND capacity-heavy.
+	// Tick pattern per law: act, cool, cool, act, cool, cool, act.
+	wantActions := []int{2, 0, 0, 2, 0, 0, 2}
+	for i, want := range wantActions {
+		feed(site, 1000, 700, 100, 100, 0, 0) // alias 0.1, capacity 0.1
+		if got := c.Step(); got != want {
+			t.Fatalf("tick %d: %d actions, want %d", i, got, want)
+		}
+	}
+	if d.Stripes() != 512 { // 64 → 128 → 256 → 512: three remaps, not seven
+		t.Fatalf("stripes = %d, want 512 (3 cooled remaps)", d.Stripes())
+	}
+	if b.k != 2 { // 16 → 8 → 4 → 2: three halvings, not seven
+		t.Fatalf("k = %d, want 2 (3 cooled halvings)", b.k)
+	}
+	// Idle intervals (below MinOps) never advance a cooldown: after one
+	// action the law still waits two EVALUATED intervals.
+	feed(site, 1000, 700, 100, 100, 0, 0)
+	if got := c.Step(); got != 0 { // both laws just actuated → cooling
+		t.Fatalf("cooling tick acted (%d)", got)
+	}
+	for i := 0; i < 5; i++ {
+		feed(site, 10, 7, 1, 1, 0, 0) // idle: ignored entirely
+		if got := c.Step(); got != 0 {
+			t.Fatalf("idle tick %d acted (%d)", i, got)
+		}
+	}
+	feed(site, 1000, 700, 100, 100, 0, 0) // second evaluated cooling tick
+	if got := c.Step(); got != 0 {
+		t.Fatalf("still-cooling tick acted (%d)", got)
+	}
+	feed(site, 1000, 700, 100, 100, 0, 0) // cooldown over: both act again
+	if got := c.Step(); got != 2 {
+		t.Fatalf("post-cooldown tick: %d actions, want 2", got)
+	}
+	snap := c.Snapshot()
+	if snap.RemapActions != 4 || snap.BatchActions != 4 {
+		t.Fatalf("snapshot = %+v, want 4 remaps and 4 batch actions", snap)
+	}
+}
+
+// TestCooldownZeroIsEveryInterval: the default keeps the historical
+// every-tick behavior the trajectory tests pin.
+func TestCooldownZeroIsEveryInterval(t *testing.T) {
+	r := telemetry.NewRegistry()
+	site := r.Site("shard0/txn")
+	b := &fakeBatch{k: 16, min: 1, max: 20}
+	c := New(Config{Registry: r, Batch: b, MaxBatch: 20})
+	for i := 0; i < 3; i++ {
+		feed(site, 1000, 700, 0, 100, 0, 0)
+		if got := c.Step(); got != 1 {
+			t.Fatalf("tick %d: %d actions, want 1 (no cooldown)", i, got)
+		}
+	}
+	if b.k != 2 {
+		t.Fatalf("k = %d, want 2", b.k)
+	}
+}

@@ -151,15 +151,39 @@ func TestConservationFuzzRuntime(t *testing.T) {
 // TestConservationFuzzSim is the same fuzz on the modeled substrate: random
 // Move/MoveAll/Transfer over random pairs of every simulated set adapter,
 // conservation verified from the structures' own key scans at quiescence.
+// It runs once per hardware variant: the default RTM-like model, the
+// BoundedSet model (whose tight exact-set budgets push far more traffic
+// through the capacity-abort → fallback path), and BoundedSet with every
+// publication forced through the NBTC commit-time batch — conservation
+// must hold identically on all three.
 func TestConservationFuzzSim(t *testing.T) {
+	t.Run("default", func(t *testing.T) {
+		conservationFuzzSim(t, sim.DefaultConfig(6), simtxn.New(0))
+	})
+	t.Run("bounded", func(t *testing.T) {
+		cfg := sim.DefaultConfig(6)
+		cfg.Model = sim.ModelBoundedSet
+		conservationFuzzSim(t, cfg, simtxn.New(0))
+	})
+	t.Run("bounded+nbtc", func(t *testing.T) {
+		cfg := sim.DefaultConfig(6)
+		cfg.Model = sim.ModelBoundedSet
+		mgr := simtxn.New(0).ForceFallback(true).WithNBTC(true)
+		conservationFuzzSim(t, cfg, mgr)
+		if mgr.NBTC().Batches == 0 {
+			t.Error("NBTC arm committed no publication batches")
+		}
+	})
+}
+
+func conservationFuzzSim(t *testing.T, cfg sim.Config, mgr *simtxn.Manager) {
 	const (
 		keyRange = 48
-		threads  = 6
 		opsPer   = 150
 	)
-	machine := sim.New(sim.DefaultConfig(threads))
+	threads := cfg.Threads
+	machine := sim.New(cfg)
 	setup := machine.Thread(0)
-	mgr := simtxn.New(0)
 	reg := mgr.Structures()
 	b := simds.NewSimBST(setup, simds.BSTPTO12, false, threads)
 	h := simds.NewSimHash(setup, simds.HashPTO, 16, threads)
@@ -330,7 +354,11 @@ func TestConservationFuzzSimPQ(t *testing.T) {
 // shared composed algorithm on both substrates and requires the decision
 // streams (Move success bits, MoveAll moved counts) to match exactly. The
 // adapters differ in every mechanical detail, so agreement here pins that
-// both implement the same abstract set semantics under the contract.
+// both implement the same abstract set semantics under the contract. The
+// modeled side runs once per hardware variant — default RTM-like model,
+// BoundedSet, and BoundedSet publishing through the forced NBTC batch —
+// because the hardware model may move operations between the fast path and
+// the fallback but must never change what an operation decides.
 func TestDecisionParityAcrossSubstrates(t *testing.T) {
 	const (
 		keyRange = 32
@@ -366,10 +394,39 @@ func TestDecisionParityAcrossSubstrates(t *testing.T) {
 		}
 	}
 
-	// Modeled: SimBST ↔ SimSkip pair on a one-thread machine.
-	machine := sim.New(sim.DefaultConfig(1))
+	// Modeled: SimBST ↔ SimSkip pair on a one-thread machine, replayed once
+	// per hardware variant against the one runtime stream.
+	bounded := sim.DefaultConfig(1)
+	bounded.Model = sim.ModelBoundedSet
+	variants := []struct {
+		name string
+		cfg  sim.Config
+		mgr  *simtxn.Manager
+	}{
+		{"default", sim.DefaultConfig(1), simtxn.New(0)},
+		{"bounded", bounded, simtxn.New(0)},
+		{"bounded+nbtc", bounded, simtxn.New(0).ForceFallback(true).WithNBTC(true)},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			sm := modeledDecisions(v.cfg, v.mgr, keyRange, ops)
+			if len(rt) != len(sm) {
+				t.Fatalf("decision stream lengths differ: %d vs %d", len(rt), len(sm))
+			}
+			for i := range rt {
+				if rt[i] != sm[i] {
+					t.Fatalf("decision %d diverged: runtime %d, modeled %d", i, rt[i], sm[i])
+				}
+			}
+		})
+	}
+}
+
+// modeledDecisions replays the parity sequence on one modeled machine and
+// returns its decision stream.
+func modeledDecisions(cfg sim.Config, mgr *simtxn.Manager, keyRange, ops uint64) []int {
+	machine := sim.New(cfg)
 	setup := machine.Thread(0)
-	mgr := simtxn.New(0)
 	sa := simds.NewSimBST(setup, simds.BSTPTO12, false, 1)
 	sb := simds.NewSimSkip(setup, false, 1)
 	for k := uint64(2); k <= keyRange; k += 2 {
@@ -377,8 +434,8 @@ func TestDecisionParityAcrossSubstrates(t *testing.T) {
 	}
 	var sm []int
 	machine.Run(func(th *sim.Thread) {
-		for i := 0; i < ops; i++ {
-			x := splitmix(uint64(i))
+		for i := uint64(0); i < ops; i++ {
+			x := splitmix(i)
 			k := x>>8%keyRange + 1
 			switch x % 3 {
 			case 0:
@@ -399,13 +456,5 @@ func TestDecisionParityAcrossSubstrates(t *testing.T) {
 			}
 		}
 	})
-
-	if len(rt) != len(sm) {
-		t.Fatalf("decision stream lengths differ: %d vs %d", len(rt), len(sm))
-	}
-	for i := range rt {
-		if rt[i] != sm[i] {
-			t.Fatalf("decision %d diverged: runtime %d, modeled %d", i, rt[i], sm[i])
-		}
-	}
+	return sm
 }
